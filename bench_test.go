@@ -1,0 +1,368 @@
+// Benchmarks regenerating each experiment of the paper's evaluation
+// (§VII): one benchmark per table and figure, the per-group optimizer
+// costs the paper reports timing for, and the ablation sweeps called out
+// in DESIGN.md. Full-geometry outputs come from cmd/experiments; these
+// benchmarks measure the same code paths at measured, repeatable sizes.
+package partitionshare_test
+
+import (
+	"sync"
+	"testing"
+
+	ps "partitionshare"
+	"partitionshare/internal/experiment"
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/partition"
+	"partitionshare/internal/sharing"
+	"partitionshare/internal/workload"
+)
+
+// ---------------------------------------------------------------- shared
+
+var (
+	benchOnce  sync.Once
+	benchProgs []workload.Program // 16 programs at test geometry
+	benchRes   experiment.Result  // full 1820-group run at test geometry
+	benchFull4 []workload.Program // 4 programs at full 1024-unit geometry
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := workload.TestConfig()
+		var err error
+		benchProgs, err = workload.ProfileAll(workload.Specs(), cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchRes, err = experiment.Run(benchProgs, 4, cfg.Units, cfg.BlocksPerUnit)
+		if err != nil {
+			panic(err)
+		}
+		full := workload.DefaultConfig()
+		benchFull4, err = workload.ProfileAll(workload.Specs()[:4], full)
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+func fullCurves(b *testing.B) []mrc.Curve {
+	benchSetup(b)
+	curves := make([]mrc.Curve, len(benchFull4))
+	for i, p := range benchFull4 {
+		curves[i] = p.Curve
+	}
+	return curves
+}
+
+// ------------------------------------------------------- paper artefacts
+
+// BenchmarkTableI regenerates Table I: all 1820 co-run groups under six
+// schemes plus the improvement statistics (reduced geometry; the
+// full-geometry run is cmd/experiments).
+func BenchmarkTableI(b *testing.B) {
+	benchSetup(b)
+	cfg := workload.TestConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(benchProgs, 4, cfg.Units, cfg.BlocksPerUnit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiment.TableI(res)
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5's data: per-program miss-ratio
+// series under five schemes for all 16 programs.
+func BenchmarkFigure5(b *testing.B) {
+	benchSetup(b)
+	schemes := []experiment.Scheme{experiment.Natural, experiment.Equal,
+		experiment.NaturalBaseline, experiment.EqualBaseline, experiment.Optimal}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := range benchProgs {
+			experiment.ProgramSeries(benchRes, p, schemes)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6's data: group miss ratios of five
+// schemes sorted by Optimal.
+func BenchmarkFigure6(b *testing.B) {
+	benchSetup(b)
+	schemes := []experiment.Scheme{experiment.Natural, experiment.Equal,
+		experiment.NaturalBaseline, experiment.EqualBaseline, experiment.Optimal}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.GroupSeries(benchRes, schemes)
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7's data: Optimal vs STTW.
+func BenchmarkFigure7(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.GroupSeries(benchRes, []experiment.Scheme{experiment.STTW, experiment.Optimal})
+	}
+}
+
+// BenchmarkSearchSpaceS2 computes the §II worked example (S2 for npr=4,
+// C=131072 — 375,368,690,761,743).
+func BenchmarkSearchSpaceS2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sharing.SpacePartitionSharing(4, 131072)
+	}
+}
+
+// BenchmarkValidationPair measures one §VII-C pair validation (prediction
+// plus shared-cache simulation) at reduced scale.
+func BenchmarkValidationPair(b *testing.B) {
+	cfg := workload.TestConfig()
+	specs := workload.Specs()[:2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ValidatePairs(specs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------- per-group solver costs
+
+// BenchmarkOptimalPartitionGroup is the §VII-A cost the paper reports as
+// ~0.21 s per group on a 2012 laptop: one O(P·C²) DP over 4 programs and
+// 1024 units.
+func BenchmarkOptimalPartitionGroup(b *testing.B) {
+	curves := fullCurves(b)
+	pr := partition.Problem{Curves: curves, Units: 1024}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Optimize(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalPartitionGroupParallel is the same DP with parallel
+// layers.
+func BenchmarkOptimalPartitionGroupParallel(b *testing.B) {
+	curves := fullCurves(b)
+	pr := partition.Problem{Curves: curves, Units: 1024}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.OptimizeParallel(pr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTTWGroup is the paper's STTW per-group cost (~0.11 s there).
+func BenchmarkSTTWGroup(b *testing.B) {
+	curves := fullCurves(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.STTW(curves, 1024)
+	}
+}
+
+// BenchmarkBaselineOptimizationGroup is one §VI equal-baseline DP.
+func BenchmarkBaselineOptimizationGroup(b *testing.B) {
+	curves := fullCurves(b)
+	base := partition.EqualAllocation(len(curves), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.OptimizeWithBaseline(curves, 1024, base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNaturalPartitionGroup is one natural-partition computation
+// (bisection over composed footprints).
+func BenchmarkNaturalPartitionGroup(b *testing.B) {
+	benchSetup(b)
+	comps := make([]ps.Program, len(benchFull4))
+	for i, p := range benchFull4 {
+		comps[i] = ps.Program{Name: p.Name, Fp: p.Fp, Rate: p.Rate}
+	}
+	cfg := workload.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.NaturalPartitionUnits(comps, cfg.Units, cfg.BlocksPerUnit)
+	}
+}
+
+// --------------------------------------------------------------- ablations
+
+// BenchmarkDPGranularity sweeps the partition-unit granularity, the
+// paper's own cost lever (§VII-A: 8 KB units make the DP 128² times
+// cheaper than 64 B blocks).
+func BenchmarkDPGranularity(b *testing.B) {
+	benchSetup(b)
+	cfg := workload.DefaultConfig()
+	for _, units := range []int{128, 256, 512, 1024, 2048} {
+		blocksPerUnit := cfg.CacheBlocks() / int64(units)
+		curves := make([]mrc.Curve, len(benchFull4))
+		for i, p := range benchFull4 {
+			curves[i] = mrc.FromFootprint(p.Name, p.Fp, units, blocksPerUnit, p.Rate)
+		}
+		pr := partition.Problem{Curves: curves, Units: units}
+		b.Run(unitsName(units), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.Optimize(pr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func unitsName(u int) string {
+	switch u {
+	case 128:
+		return "units=128"
+	case 256:
+		return "units=256"
+	case 512:
+		return "units=512"
+	case 1024:
+		return "units=1024"
+	default:
+		return "units=2048"
+	}
+}
+
+// BenchmarkHullSTTW measures the Suh-style convex-hull repair of STTW
+// (ablation: hull construction plus greedy vs plain greedy vs DP).
+func BenchmarkHullSTTW(b *testing.B) {
+	curves := fullCurves(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.STTWOnConvexHull(curves, 1024)
+	}
+}
+
+// BenchmarkIncrementalCandidateScan measures the scheduler scenario: score
+// 16 candidate fourth members against a fixed base trio via push/pop
+// versus full re-optimization.
+func BenchmarkIncrementalCandidateScan(b *testing.B) {
+	benchSetup(b)
+	cfg := workload.TestConfig()
+	base := benchProgs[:3]
+	cands := benchProgs[3:]
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inc := partition.NewIncremental(cfg.Units)
+			for _, p := range base {
+				if err := inc.Push(p.Curve); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, c := range cands {
+				if err := inc.Push(c.Curve); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := inc.Solve(); err != nil {
+					b.Fatal(err)
+				}
+				if err := inc.Pop(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range cands {
+				curves := []mrc.Curve{base[0].Curve, base[1].Curve, base[2].Curve, c.Curve}
+				if _, err := partition.Optimize(partition.Problem{Curves: curves, Units: cfg.Units}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkProfileProgram measures one full-trace profiling pass (the
+// paper: "on average 23 times slowdown" for full-trace footprint
+// analysis).
+func BenchmarkProfileProgram(b *testing.B) {
+	cfg := workload.TestConfig()
+	spec := workload.Specs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Profile(spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustivePartitionSharing measures the small-scale exhaustive
+// §II search used to verify the natural-partition reduction.
+func BenchmarkExhaustivePartitionSharing(b *testing.B) {
+	benchSetup(b)
+	comps := []ps.Program{
+		{Name: "a", Fp: benchProgs[0].Fp, Rate: benchProgs[0].Rate},
+		{Name: "b", Fp: benchProgs[5].Fp, Rate: benchProgs[5].Rate},
+		{Name: "c", Fp: benchProgs[10].Fp, Rate: benchProgs[10].Rate},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sharing.Exhaustive(comps, 8, 64)
+	}
+}
+
+// BenchmarkHierarchy measures the 3-level hierarchy simulator.
+func BenchmarkHierarchy(b *testing.B) {
+	tr := ps.Generate(ps.NewZipf(4000, 0.7, 3), 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := ps.NewHierarchy(128, 1024, 4096)
+		h.Run(tr)
+	}
+}
+
+// BenchmarkCRD measures concurrent-reuse-distance analysis of an
+// interleaved pair.
+func BenchmarkCRD(b *testing.B) {
+	a := ps.Generate(ps.NewZipf(2000, 0.6, 1), 1<<15)
+	c := ps.Generate(ps.NewLoop(900, 1), 1<<15)
+	iv := ps.InterleaveProportional([]ps.Trace{a, c}, []float64{1, 1}, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.ConcurrentReuseDistances(iv)
+	}
+}
+
+// BenchmarkSampledVsFullProfiling is the §VII-A profiling cost trade:
+// full-trace reuse collection vs 10% spatial sampling.
+func BenchmarkSampledVsFullProfiling(b *testing.B) {
+	tr := ps.Generate(ps.NewZipf(1<<15, 0.7, 9), 1<<20)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ps.CollectReuse(tr)
+		}
+	})
+	b.Run("sampled10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ps.CollectReuseSampled(tr, 0.1, 7)
+		}
+	})
+}
+
+// BenchmarkMechanisms measures the hardware-mechanism comparison.
+func BenchmarkMechanisms(b *testing.B) {
+	traces := []ps.Trace{
+		ps.Generate(ps.NewZipf(3000, 0.7, 1), 1<<15),
+		ps.Generate(ps.NewSawtooth(1500), 1<<15),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.ComparePartitionMechanisms(traces, []int{1024, 2048}, 64, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command calibrate prints the solo behaviour of the synthetic workload
+// suite — equal-partition miss ratios, miss-ratio curve shape, convexity,
+// and footprint growth — plus gain/loss under sharing for sample co-run
+// groups. It is the tool used to tune internal/workload against the
+// qualitative facts of the paper's Figure 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"partitionshare/internal/compose"
+	"partitionshare/internal/experiment"
+	"partitionshare/internal/workload"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the reduced test geometry")
+	group := flag.String("group", "", "comma-separated program names: print per-scheme allocations for that co-run group")
+	flag.Parse()
+	cfg := workload.DefaultConfig()
+	if *small {
+		cfg = workload.TestConfig()
+	}
+	if *group != "" {
+		inspectGroup(cfg, strings.Split(*group, ","))
+		return
+	}
+	progs, err := workload.ProfileAll(workload.Specs(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	equalShare := cfg.Units / 4
+
+	sort.Slice(progs, func(i, j int) bool {
+		return progs[i].Curve.MissRatio(equalShare) > progs[j].Curve.MissRatio(equalShare)
+	})
+
+	fmt.Printf("%-10s %6s %9s %9s %9s %9s %8s %9s %8s\n",
+		"program", "rate", "mr@C/8", "mr@C/4", "mr@C/2", "mr@C", "convex", "fp(n)", "coldRate")
+	for _, p := range progs {
+		fmt.Printf("%-10s %6.1f %9.5f %9.5f %9.5f %9.5f %8v %9d %8.5f\n",
+			p.Name, p.Rate,
+			p.Curve.MissRatio(cfg.Units/8),
+			p.Curve.MissRatio(equalShare),
+			p.Curve.MissRatio(cfg.Units/2),
+			p.Curve.MissRatio(cfg.Units),
+			p.Curve.IsConvex(),
+			p.Fp.M(),
+			float64(p.Fp.M())/float64(p.Fp.N()))
+	}
+
+	// Gains and losses in a few sample groups: compare natural (shared)
+	// with equal partitioning.
+	fmt.Printf("\nsample groups (occ = natural occupancy in units, eq share = %d):\n", equalShare)
+	groups := [][]int{{0, 1, 2, 3}, {0, 5, 10, 15}, {12, 13, 14, 15}, {0, 10, 11, 12}}
+	for _, g := range groups {
+		sub := make([]compose.Program, len(g))
+		for i, idx := range g {
+			sub[i] = compose.Program{Name: progs[idx].Name, Fp: progs[idx].Fp, Rate: progs[idx].Rate}
+		}
+		occ := compose.NaturalPartitionUnits(sub, cfg.Units, cfg.BlocksPerUnit)
+		mrs := compose.SharedMissRatios(sub, float64(cfg.CacheBlocks()))
+		fmt.Printf("  group:")
+		for i, idx := range g {
+			eqMr := progs[idx].Curve.MissRatio(equalShare)
+			verdict := "≈"
+			if mrs[i] < eqMr*0.95 {
+				verdict = "gain"
+			} else if mrs[i] > eqMr*1.05 {
+				verdict = "lose"
+			}
+			fmt.Printf(" %s[occ=%d nat=%.5f eq=%.5f %s]", progs[idx].Name, occ[i], mrs[i], eqMr, verdict)
+		}
+		fmt.Println()
+	}
+}
+
+// inspectGroup prints each scheme's allocation and per-program miss ratios
+// for one named co-run group.
+func inspectGroup(cfg workload.Config, names []string) {
+	progs, err := workload.ProfileAll(workload.Specs(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	idx := map[string]int{}
+	for i, p := range progs {
+		idx[p.Name] = i
+	}
+	var members []int
+	for _, n := range names {
+		i, ok := idx[strings.TrimSpace(n)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "calibrate: unknown program %q\n", n)
+			os.Exit(1)
+		}
+		members = append(members, i)
+	}
+	gr, err := experiment.EvaluateGroup(progs, members, cfg.Units, cfg.BlocksPerUnit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("group:")
+	for _, m := range members {
+		fmt.Printf(" %s", progs[m].Name)
+	}
+	fmt.Printf("  (units=%d)\n", cfg.Units)
+	for s := experiment.Scheme(0); s < experiment.NumSchemes; s++ {
+		fmt.Printf("%-17s groupMR=%.5f  alloc=%v  mr=[", s, gr.GroupMR[s], gr.Alloc[s])
+		for i, v := range gr.ProgramMR[s] {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%.5f", v)
+		}
+		fmt.Println("]")
+	}
+}

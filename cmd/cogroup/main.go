@@ -1,0 +1,83 @@
+// Command cogroup assigns programs to shared caches from their HOTL
+// profile files — the program-symbiosis scheduling workflow the paper's
+// §IV motivates. Profiles come from hotlprof.
+//
+// Usage:
+//
+//	cogroup [-caches 2] [-cacheblocks 4096] [-exhaustive] a.hotl b.hotl ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partitionshare/internal/compose"
+	"partitionshare/internal/profileio"
+	"partitionshare/internal/symbiosis"
+)
+
+func main() {
+	caches := flag.Int("caches", 2, "number of shared caches")
+	cacheBlocks := flag.Float64("cacheblocks", 4096, "capacity of each cache in blocks")
+	exhaustive := flag.Bool("exhaustive", false, "exhaustive search (<= 10 programs) instead of local search")
+	rounds := flag.Int("rounds", 50, "local-search round limit")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fatal(fmt.Errorf("need at least two profile files"))
+	}
+
+	var progs []compose.Program
+	for _, path := range flag.Args() {
+		p, err := profileio.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		progs = append(progs, compose.Program{Name: p.Name, Fp: p.Footprint(), Rate: p.Rate})
+	}
+
+	var grouping symbiosis.Grouping
+	var err error
+	if *exhaustive {
+		grouping, err = symbiosis.Exhaustive(progs, *caches, *cacheBlocks)
+	} else {
+		grouping, err = symbiosis.Greedy(progs, *caches, *cacheBlocks, *rounds)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("predicted overall miss ratio: %.6f\n", grouping.MissRatio)
+	for c, members := range grouping.Caches {
+		fmt.Printf("cache %d (%.0f blocks):", c, *cacheBlocks)
+		if len(members) == 0 {
+			fmt.Print(" (empty)")
+		}
+		for _, p := range members {
+			fmt.Printf(" %s", progs[p].Name)
+		}
+		fmt.Println()
+	}
+
+	// Per-cache detail: natural occupancies and per-program miss ratios.
+	for c, members := range grouping.Caches {
+		if len(members) == 0 {
+			continue
+		}
+		sub := make([]compose.Program, len(members))
+		for i, p := range members {
+			sub[i] = progs[p]
+		}
+		occ := compose.NaturalPartition(sub, *cacheBlocks)
+		mrs := compose.SharedMissRatios(sub, *cacheBlocks)
+		for i, p := range members {
+			fmt.Printf("  cache %d %-12s occupancy %8.1f blocks  mr %.6f\n",
+				c, progs[p].Name, occ[i], mrs[i])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cogroup:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,269 @@
+// Command experiments reproduces the paper's evaluation (§VII): it
+// profiles the 16-program synthetic suite, evaluates all 1820 4-program
+// co-run groups under the six allocation schemes, and regenerates Table I
+// and Figures 5, 6, and 7 as ASCII charts plus CSV files.
+//
+// Usage:
+//
+//	experiments [-small] [-out DIR] [-groupsize N] [-validate]
+//
+// CSV outputs in DIR (default "results"):
+//
+//	table1.csv   — improvement of Optimal over the other five schemes
+//	fig5_<p>.csv — per-program miss ratios across co-run groups
+//	fig6.csv     — group miss ratio of five schemes, sorted by Optimal
+//	fig7.csv     — Optimal vs STTW, sorted by Optimal
+//	validate.csv — HOTL-predicted vs simulated miss ratios (with -validate)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"partitionshare/internal/experiment"
+	"partitionshare/internal/textplot"
+	"partitionshare/internal/workload"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the reduced test geometry")
+	outDir := flag.String("out", "results", "directory for CSV outputs")
+	groupSize := flag.Int("groupsize", 4, "programs per co-run group")
+	validate := flag.Bool("validate", false, "also run the pair-prediction validation (slow)")
+	correlate := flag.Bool("correlate", false, "also run the locality-performance correlation study (slow)")
+	granularity := flag.Bool("granularity", false, "also run the partition-granularity ablation")
+	policy := flag.Bool("policy", false, "also run the replacement-policy study (slow)")
+	epochFlag := flag.Bool("epoch", false, "also run the dynamic-vs-static repartitioning study on the phased suite")
+	flag.Parse()
+
+	cfg := workload.DefaultConfig()
+	if *small {
+		cfg = workload.TestConfig()
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	fmt.Printf("profiling %d programs (units=%d, blocks/unit=%d, trace=%d)...\n",
+		len(workload.Specs()), cfg.Units, cfg.BlocksPerUnit, cfg.TraceLen)
+	progs, err := workload.ProfileAll(workload.Specs(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiled in %v\n", time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	res, err := experiment.Run(progs, *groupSize, cfg.Units, cfg.BlocksPerUnit)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("evaluated %d co-run groups x 6 schemes in %v (%.1f ms/group)\n\n",
+		len(res.Groups), time.Since(start).Round(time.Millisecond),
+		float64(time.Since(start).Milliseconds())/float64(len(res.Groups)))
+
+	// ---- Table I ----
+	rows := experiment.TableI(res)
+	fmt.Println("Table I: improvement of group performance by Optimal")
+	fmt.Print(experiment.FormatTableI(rows))
+	tableSeries := []textplot.Series{}
+	for _, r := range rows {
+		tableSeries = append(tableSeries, textplot.Series{
+			Name:   r.Baseline.String(),
+			Values: []float64{r.Max, r.Avg, r.Median, r.AtLeast10, r.AtLeast20},
+		})
+	}
+	writeCSV(*outDir, "table1.csv", tableSeries)
+
+	// ---- Figure 6: five schemes sorted by Optimal ----
+	schemes := []experiment.Scheme{experiment.Natural, experiment.Equal,
+		experiment.NaturalBaseline, experiment.EqualBaseline, experiment.Optimal}
+	g6 := experiment.GroupSeries(res, schemes)
+	var fig6 []textplot.Series
+	for _, s := range schemes {
+		fig6 = append(fig6, textplot.Series{Name: s.String(), Values: g6[s]})
+	}
+	writeCSV(*outDir, "fig6.csv", fig6)
+	fmt.Println(textplot.Chart{
+		Title:  "Figure 6: group miss ratio of the five partitioning methods (sorted by Optimal)",
+		Series: fig6,
+	}.Render())
+
+	// ---- Figure 7: Optimal vs STTW ----
+	g7 := experiment.GroupSeries(res, []experiment.Scheme{experiment.STTW, experiment.Optimal})
+	fig7 := []textplot.Series{
+		{Name: "Stone-Thiebaut-Turek-Wolf", Values: g7[experiment.STTW]},
+		{Name: "Optimal", Values: g7[experiment.Optimal]},
+	}
+	writeCSV(*outDir, "fig7.csv", fig7)
+	fmt.Println(textplot.Chart{
+		Title:  "Figure 7: group miss ratio of Optimal and STTW (sorted by Optimal)",
+		Series: fig7,
+	}.Render())
+
+	// ---- Figure 5: per-program miss ratios ----
+	fig5Schemes := []experiment.Scheme{experiment.Natural, experiment.Equal,
+		experiment.NaturalBaseline, experiment.EqualBaseline, experiment.Optimal}
+	fmt.Println("Figure 5: per-program miss ratio across co-run groups")
+	fmt.Printf("%-10s %9s %9s %9s %9s %9s   %s\n",
+		"program", "equal", "nat(avg)", "natbase", "eqbase", "opt(avg)", "gain/tie/loss vs equal")
+	for i, p := range res.Programs {
+		series := experiment.ProgramSeries(res, i, fig5Schemes)
+		var out []textplot.Series
+		for _, s := range fig5Schemes {
+			out = append(out, textplot.Series{Name: s.String(), Values: series[s]})
+		}
+		writeCSV(*outDir, fmt.Sprintf("fig5_%s.csv", p.Name), out)
+		gain, tie, loss := experiment.GainLoss(res, i, 0.02)
+		fmt.Printf("%-10s %9.5f %9.5f %9.5f %9.5f %9.5f   %d/%d/%d\n",
+			p.Name,
+			series[experiment.Equal][0],
+			mean(series[experiment.Natural]),
+			mean(series[experiment.NaturalBaseline]),
+			mean(series[experiment.EqualBaseline]),
+			mean(series[experiment.Optimal]),
+			gain, tie, loss)
+	}
+
+	// ---- Unfairness of Optimal (§VII-B) ----
+	fmt.Println("\nUnfairness of Optimal (groups where Optimal makes the program worse):")
+	fmt.Printf("%-10s %18s %18s\n", "program", "vs Natural", "vs Equal")
+	for i, p := range res.Programs {
+		wn, tn := experiment.UnfairnessCount(res, i, experiment.Natural)
+		we, te := experiment.UnfairnessCount(res, i, experiment.Equal)
+		fmt.Printf("%-10s %11d/%d %11d/%d\n", p.Name, wn, tn, we, te)
+	}
+
+	if *validate {
+		runValidation(cfg, *outDir)
+	}
+	if *correlate {
+		runCorrelation(cfg, *outDir)
+	}
+	if *granularity {
+		runGranularity(res.Programs, cfg)
+	}
+	if *policy {
+		runPolicy(cfg)
+	}
+	if *epochFlag {
+		runEpochStudy(cfg)
+	}
+}
+
+// runEpochStudy prints the dynamic-vs-static repartitioning comparison on
+// the phased (antiphase) suite — the §VIII random-phase caveat.
+func runEpochStudy(cfg workload.Config) {
+	ecfg := cfg
+	if ecfg.TraceLen > 1<<21 {
+		ecfg.TraceLen = 1 << 21
+	}
+	specs := workload.PhasedSpecs()
+	phaseLen := ecfg.TraceLen / 8
+	groups := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 1, 2, 3}, {4, 5, 6, 7}, {0, 3, 4, 7}}
+	rows, err := experiment.EpochStudy(specs, ecfg, groups, phaseLen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nDynamic vs static repartitioning on the phased suite (§VIII caveat):\n")
+	fmt.Printf("%-40s %12s %12s %9s\n", "group", "static MR", "dynamic MR", "gain")
+	for _, r := range rows {
+		fmt.Printf("%-40s %12.5f %12.5f %8.1f%%\n",
+			fmt.Sprint(r.Members), r.StaticMR, r.DynamicMR, 100*r.Gain())
+	}
+}
+
+// runCorrelation reproduces the §VIII locality-performance correlation:
+// predicted miss ratio vs simulated co-run time over sampled groups.
+func runCorrelation(cfg workload.Config, outDir string) {
+	ccfg := cfg
+	if ccfg.TraceLen > 1<<20 {
+		ccfg.TraceLen = 1 << 20
+	}
+	specs := workload.Specs()
+	all := experiment.Combinations(len(specs), 4)
+	var sample [][]int
+	for i := 0; i < len(all); i += 18 { // ~100 groups
+		sample = append(sample, all[i])
+	}
+	start := time.Now()
+	res, err := experiment.CorrelationStudy(specs, ccfg, sample, 100)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nLocality-performance correlation (§VIII): %d groups simulated in %v\n",
+		len(sample), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("Pearson r(predicted miss ratio, simulated time) = %.3f (paper: 0.938)\n", res.Pearson)
+	writeCSV(outDir, "correlation.csv", []textplot.Series{
+		{Name: "predicted_mr", Values: res.Predicted},
+		{Name: "simulated_time", Values: res.SimulatedTime},
+	})
+}
+
+// runGranularity prints the §VII-A granularity ablation.
+func runGranularity(progs []workload.Program, cfg workload.Config) {
+	groups := experiment.Combinations(len(progs), 4)
+	var sample [][]int
+	for i := 0; i < len(groups); i += 36 { // ~50 groups
+		sample = append(sample, groups[i])
+	}
+	counts := []int{cfg.Units, cfg.Units / 4, cfg.Units / 16, cfg.Units / 64}
+	pts, err := experiment.GranularityStudy(progs, cfg, sample, counts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nGranularity ablation (§VII-A), %d sampled groups:\n", len(sample))
+	fmt.Printf("%8s %14s %14s %14s\n", "units", "blocks/unit", "mean groupMR", "DP time")
+	for _, p := range pts {
+		fmt.Printf("%8d %14d %14.5f %14v\n", p.Units, p.BlocksPerUnit, p.MeanGroupMR, p.MeanSolveTime.Round(time.Microsecond))
+	}
+}
+
+// runPolicy prints the §VIII replacement-policy comparison.
+func runPolicy(cfg workload.Config) {
+	pcfg := cfg
+	if pcfg.TraceLen > 1<<21 {
+		pcfg.TraceLen = 1 << 21
+	}
+	specs := workload.Specs()[:8]
+	caps := []int{int(pcfg.CacheBlocks()) / 4, int(pcfg.CacheBlocks())}
+	rows, err := experiment.PolicyStudy(specs, pcfg, caps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nReplacement-policy study (§VIII): simulated miss ratios vs the HOTL (LRU) model\n")
+	fmt.Printf("%-10s %10s %9s %9s %9s %9s\n", "program", "capacity", "LRU", "CLOCK", "random", "HOTL")
+	for _, r := range rows {
+		fmt.Printf("%-10s %10d %9.5f %9.5f %9.5f %9.5f\n", r.Program, r.Capacity, r.LRU, r.Clock, r.Random, r.HOTL)
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func writeCSV(dir, name string, series []textplot.Series) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := textplot.WriteCSV(f, series); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

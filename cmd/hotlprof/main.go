@@ -1,0 +1,118 @@
+// Command hotlprof profiles a memory-access trace into a HOTL locality
+// profile file — the equivalent of the paper's full-trace footprint
+// analysis (§VII-A). The profile stores the reuse-time and boundary
+// histograms, from which the average footprint, fill time, and miss-ratio
+// curve are derived exactly (§III).
+//
+// Input is either a trace file (-in; text with one decimal ID per line,
+// or the binary delta-varint format, auto-detected; "-" reads text from
+// stdin) or a named synthetic workload (-workload, see internal/
+// workload). Output (-out) is the ASCII profile format of
+// internal/profileio. With -mrc set, the miss-ratio curve is also printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partitionshare/internal/footprint"
+	"partitionshare/internal/profileio"
+	"partitionshare/internal/reuse"
+	"partitionshare/internal/trace"
+	"partitionshare/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "trace file: one decimal datum ID per line (\"-\" = stdin)")
+	wl := flag.String("workload", "", "synthetic workload name (e.g. lbm); alternative to -in")
+	out := flag.String("out", "", "output profile path (default <name>.hotl)")
+	name := flag.String("name", "", "program name recorded in the profile")
+	rate := flag.Float64("rate", 1.0, "relative access rate recorded in the profile")
+	mrcFlag := flag.Bool("mrc", false, "also print the miss-ratio curve")
+	units := flag.Int("units", 1024, "cache units for -mrc")
+	blocksPerUnit := flag.Int64("blocksperunit", 4, "blocks per unit for -mrc")
+	small := flag.Bool("small", false, "use the reduced test geometry for -workload")
+	flag.Parse()
+
+	var tr trace.Trace
+	var err error
+	switch {
+	case *in != "" && *wl != "":
+		fatal(fmt.Errorf("use either -in or -workload, not both"))
+	case *in == "-":
+		tr, err = trace.ReadText(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		if len(tr) == 0 {
+			fatal(fmt.Errorf("stdin: empty trace"))
+		}
+		if *name == "" {
+			*name = "trace"
+		}
+	case *in != "":
+		tr, err = trace.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		if len(tr) == 0 {
+			fatal(fmt.Errorf("%s: empty trace", *in))
+		}
+		if *name == "" {
+			*name = "trace"
+		}
+	case *wl != "":
+		cfg := workload.DefaultConfig()
+		if *small {
+			cfg = workload.TestConfig()
+		}
+		spec, ok := findSpec(*wl)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *wl))
+		}
+		gen := spec.Build(uint32(cfg.CacheBlocks()), cfg.Seed)
+		tr = trace.Generate(gen, cfg.TraceLen)
+		if *name == "" {
+			*name = spec.Name
+		}
+		if *rate == 1.0 {
+			*rate = spec.Rate
+		}
+	default:
+		fatal(fmt.Errorf("need -in FILE or -workload NAME"))
+	}
+
+	prof := profileio.Profile{Name: *name, Rate: *rate, Reuse: reuse.Collect(tr)}
+	path := *out
+	if path == "" {
+		path = *name + ".hotl"
+	}
+	if err := profileio.WriteFile(path, prof); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiled %d accesses, %d distinct blocks -> %s\n",
+		prof.Reuse.N, prof.Reuse.M, path)
+
+	if *mrcFlag {
+		fp := footprint.New(prof.Reuse)
+		fmt.Printf("units miss_ratio\n")
+		for u := 0; u <= *units; u += max(1, *units/64) {
+			fmt.Printf("%5d %.6f\n", u, fp.MissRatio(float64(int64(u)**blocksPerUnit)))
+		}
+	}
+}
+
+func findSpec(name string) (workload.Spec, bool) {
+	for _, s := range workload.Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return workload.Spec{}, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hotlprof:", err)
+	os.Exit(1)
+}

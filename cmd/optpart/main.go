@@ -1,0 +1,103 @@
+// Command optpart computes cache allocations for a co-run group from HOTL
+// profile files, mirroring the paper's optimizer workflow (§VII-A: "the
+// optimizer reads 4 footprints from 4 files"). It prints all six schemes —
+// Equal, Natural, Equal-baseline, Natural-baseline, Optimal, STTW — with
+// per-program allocations and miss ratios.
+//
+// Usage:
+//
+//	optpart [-units 1024] [-blocksperunit 4] prog1.hotl prog2.hotl ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partitionshare/internal/compose"
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/partition"
+	"partitionshare/internal/profileio"
+)
+
+func main() {
+	units := flag.Int("units", 1024, "cache size in partition units")
+	blocksPerUnit := flag.Int64("blocksperunit", 4, "cache blocks per partition unit")
+	minimax := flag.Bool("minimax", false, "also print the minimax-fair optimal partition")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fatal(fmt.Errorf("need at least two profile files"))
+	}
+	if *units < 1 || *blocksPerUnit < 1 {
+		fatal(fmt.Errorf("invalid geometry"))
+	}
+
+	var curves []mrc.Curve
+	var comps []compose.Program
+	for _, path := range flag.Args() {
+		p, err := profileio.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		fp := p.Footprint()
+		curve := mrc.FromFootprint(p.Name, fp, *units, *blocksPerUnit, p.Rate)
+		curve.Accesses = int64(float64(curve.Accesses) * p.Rate)
+		curves = append(curves, curve)
+		comps = append(comps, compose.Program{Name: p.Name, Fp: fp, Rate: p.Rate})
+	}
+
+	pr := partition.Problem{Curves: curves, Units: *units}
+	show := func(label string, sol partition.Solution) {
+		fmt.Printf("%-17s group miss ratio %.6f\n", label, sol.GroupMissRatio)
+		for i, c := range curves {
+			fmt.Printf("  %-12s %5d units  mr %.6f\n", c.Name, sol.Alloc[i], sol.MissRatios[i])
+		}
+	}
+
+	equalAlloc := partition.EqualAllocation(len(curves), *units)
+	sol, err := partition.Evaluate(pr, equalAlloc)
+	if err != nil {
+		fatal(err)
+	}
+	show("Equal", sol)
+
+	naturalAlloc := partition.Allocation(compose.NaturalPartitionUnits(comps, *units, *blocksPerUnit))
+	sol, err = partition.Evaluate(pr, naturalAlloc)
+	if err != nil {
+		fatal(err)
+	}
+	show("Natural", sol)
+
+	sol, err = partition.OptimizeWithBaseline(curves, *units, equalAlloc)
+	if err != nil {
+		fatal(err)
+	}
+	show("Equal baseline", sol)
+
+	sol, err = partition.OptimizeWithBaseline(curves, *units, naturalAlloc)
+	if err != nil {
+		fatal(err)
+	}
+	show("Natural baseline", sol)
+
+	sol, err = partition.Optimize(pr)
+	if err != nil {
+		fatal(err)
+	}
+	show("Optimal", sol)
+
+	show("STTW", partition.STTW(curves, *units))
+
+	if *minimax {
+		sol, err = partition.Optimize(partition.Problem{Curves: curves, Units: *units, Combine: partition.Minimax})
+		if err != nil {
+			fatal(err)
+		}
+		show("Minimax", sol)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "optpart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Package partitionshare is a from-scratch reproduction of "Optimal Cache
+// Partition-Sharing" (Brock, Ye, Ding, Li, Wang, Luo — ICPP 2015): a
+// library for modelling shared-cache performance with the higher-order
+// theory of locality (HOTL) and for computing optimal, fair, and classical
+// cache partitions.
+//
+// The library is organised in layers, all re-exported here as a single
+// public API:
+//
+//   - Traces: synthetic memory-access generators (streaming, loops,
+//     sawtooth sweeps, Zipfian mixes) and rate-proportional interleaving.
+//   - Locality: reuse-time histograms, the exact linear-time average
+//     footprint fp(w), fill time, inter-miss time, and miss-ratio curves;
+//     exact LRU stack distances as ground truth.
+//   - Composition: stretched-footprint composition of co-run programs and
+//     the Natural Cache Partition — the occupancies free-for-all sharing
+//     converges to, which reduce partition-sharing to partitioning.
+//   - Partitioning: a dynamic-programming optimizer over arbitrary
+//     (non-convex) miss-ratio curves and objectives, baseline-constrained
+//     fair optimization, and the Stone–Thiebaut–Turek–Wolf greedy.
+//   - Simulation: fully-associative and set-associative LRU caches, shared
+//     and partition-shared co-run simulation for validation.
+//   - Evaluation: the paper's 16-program synthetic suite and the harness
+//     that regenerates Table I and Figures 5–7.
+//
+// Quick start:
+//
+//	tr := partitionshare.Generate(partitionshare.NewLoop(512, 1), 1<<20)
+//	fp := partitionshare.ProfileTrace(tr)
+//	fmt.Println(fp.MissRatio(256), fp.MissRatio(1024))
+//
+// See examples/ for runnable programs and cmd/ for the CLI tools.
+package partitionshare

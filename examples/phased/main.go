@@ -1,0 +1,99 @@
+// Figure 1 of the paper: a workload where partition-sharing genuinely
+// beats strict partitioning, because two programs alternate their cache
+// demand in synchronized antiphase — exactly the case the natural
+// partition assumption excludes (§VIII "Random Phase Interaction").
+//
+// Four cores share a small cache:
+//
+//	core 1, core 2 — streaming (no reuse, pure pollution)
+//	core 3         — phases: big working set, then tiny, repeating
+//	core 4         — the same phases, shifted so that 3 is big while 4 is
+//	                 tiny and vice versa
+//
+// This demo enumerates EVERY partition-sharing scheme (every grouping of
+// the 4 programs x every wall placement) and simulates each on the same
+// interleaved trace — the small-scale version of the paper's §II search
+// space. Strict partitioning cannot cover both phased programs' peaks at
+// once; giving cores 3 and 4 a shared partition can.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	ps "partitionshare"
+	"partitionshare/internal/sharing"
+)
+
+func main() {
+	const (
+		cache    = 24      // blocks
+		bigWS    = 14      // phased programs' large working set
+		tinyWS   = 1       // and their small one
+		phaseLen = 4096    // accesses per phase
+		total    = 1 << 18 // interleaved accesses
+	)
+
+	// Antiphase: core 3 starts big, core 4 starts tiny.
+	mkPhased := func(bigFirst bool) ps.Generator {
+		big := ps.Phase{Gen: ps.NewSawtooth(bigWS), Len: phaseLen}
+		tiny := ps.Phase{Gen: ps.Region{Gen: ps.NewSawtooth(tinyWS), Base: 1 << 20}, Len: phaseLen}
+		if bigFirst {
+			return ps.NewPhased(big, tiny)
+		}
+		return ps.NewPhased(tiny, big)
+	}
+	perProg := total / 4
+	traces := []ps.Trace{
+		ps.Generate(ps.NewStreaming(1), perProg),
+		ps.Generate(ps.NewStreaming(1), perProg),
+		ps.Generate(mkPhased(true), perProg),
+		ps.Generate(mkPhased(false), perProg),
+	}
+	rates := []float64{1, 1, 1, 1}
+	iv := ps.InterleaveProportional(traces, rates, total)
+
+	type best struct {
+		mr     float64
+		scheme sharing.Scheme
+	}
+	bestAny := best{mr: math.Inf(1)}
+	bestPart := best{mr: math.Inf(1)}
+	evaluated := 0
+	for _, groups := range sharing.SetPartitions(4) {
+		sharing.Compositions(cache, len(groups), func(alloc []int) {
+			evaluated++
+			caps := append([]int(nil), alloc...)
+			res := ps.SimulatePartitionShared(iv, groups, caps)
+			mr := res.GroupMissRatio()
+			s := sharing.Scheme{Groups: groups, Units: caps}
+			if mr < bestAny.mr {
+				bestAny = best{mr, cloneScheme(s)}
+			}
+			if len(groups) == 4 && mr < bestPart.mr {
+				bestPart = best{mr, cloneScheme(s)}
+			}
+		})
+	}
+
+	fmt.Printf("simulated %d partition-sharing schemes of a %d-block cache\n\n", evaluated, cache)
+	fmt.Printf("best partitioning-only : %-28s group mr %.4f\n", bestPart.scheme, bestPart.mr)
+	fmt.Printf("best partition-sharing : %-28s group mr %.4f\n", bestAny.scheme, bestAny.mr)
+	if bestAny.mr < bestPart.mr-1e-9 {
+		fmt.Printf("\n-> partition-sharing wins by %.1f%%: the phased programs' peaks\n",
+			100*(bestPart.mr/bestAny.mr-1))
+		fmt.Println("   never overlap, so a shared partition serves both — no strict")
+		fmt.Println("   partition can. (With random phase alignment the gap vanishes,")
+		fmt.Println("   which is why the paper's natural-partition reduction holds.)")
+	} else {
+		fmt.Println("\n-> no gap: at this configuration partitioning matches sharing.")
+	}
+}
+
+func cloneScheme(s sharing.Scheme) sharing.Scheme {
+	g := make([][]int, len(s.Groups))
+	for i, m := range s.Groups {
+		g[i] = append([]int(nil), m...)
+	}
+	return sharing.Scheme{Groups: g, Units: append([]int(nil), s.Units...)}
+}

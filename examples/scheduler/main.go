@@ -1,0 +1,114 @@
+// Scheduler: the co-run scheduling workflow the paper motivates in §IV —
+// "for a scheduling problem with 20 programs ... we would like to predict
+// cache performance based on 20 metrics, not 20-choose-2".
+//
+// Twelve synthetic programs are profiled once (12 profiles), then:
+//
+//  1. the grouping optimizer assigns them to 3 shared caches from solo
+//     profiles alone (no co-run measurement of any pair), and
+//  2. within each cache, the incremental DP scores candidate partitions
+//     push/pop style and the optimal partition is installed.
+package main
+
+import (
+	"fmt"
+
+	ps "partitionshare"
+)
+
+func main() {
+	const (
+		cacheBlocks   = 2048
+		units         = 64
+		blocksPerUnit = cacheBlocks / units
+		n             = 1 << 18
+		caches        = 3
+	)
+
+	// A zoo of twelve programs: streamers, loopers of assorted sizes, and
+	// zipf-skewed random access.
+	specs := []struct {
+		name string
+		gen  ps.Generator
+		rate float64
+	}{
+		{"stream-a", ps.NewStreaming(2), 2.4},
+		{"stream-b", ps.NewStreaming(4), 2.0},
+		{"loop-s", ps.NewLoop(400, 1), 1.0},
+		{"loop-m", ps.NewLoop(900, 1), 1.1},
+		{"loop-l", ps.NewLoop(1600, 1), 1.2},
+		{"saw-s", ps.NewSawtooth(500), 0.9},
+		{"saw-l", ps.NewSawtooth(1800), 1.3},
+		{"zipf-hot", ps.NewZipf(600, 1.2, 1), 1.8},
+		{"zipf-mid", ps.NewZipf(1500, 0.9, 2), 1.4},
+		{"zipf-cold", ps.NewZipf(3000, 0.6, 3), 1.0},
+		{"tiny", ps.NewSawtooth(60), 0.6},
+		{"mixed", ps.NewDeterministicMix(
+			[]ps.Generator{ps.NewLoop(700, 1), ps.Region{Gen: ps.NewStreaming(16), Base: 1 << 24}},
+			[]float64{0.8, 0.2}), 1.5},
+	}
+
+	fmt.Printf("profiling %d programs once each (%d accesses)...\n", len(specs), n)
+	progs := make([]ps.Program, len(specs))
+	for i, s := range specs {
+		progs[i] = ps.Program{Name: s.name, Fp: ps.ProfileTrace(ps.Generate(s.gen, n)), Rate: s.rate}
+	}
+
+	// Step 1: assign programs to caches from the 12 solo profiles.
+	grouping, err := ps.GreedyGrouping(progs, caches, cacheBlocks, 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nbest grouping found (predicted overall miss ratio %.4f):\n", grouping.MissRatio)
+	for c, members := range grouping.Caches {
+		fmt.Printf("  cache %d:", c)
+		for _, p := range members {
+			fmt.Printf(" %s", progs[p].Name)
+		}
+		fmt.Println()
+	}
+
+	// Step 2: partition each cache optimally; the incremental DP lets a
+	// scheduler re-score as membership churns.
+	fmt.Println("\nper-cache optimal partitions:")
+	for c, members := range grouping.Caches {
+		if len(members) == 0 {
+			continue
+		}
+		inc := ps.NewIncremental(units)
+		var curves []ps.Curve
+		for _, p := range members {
+			curve := ps.CurveFromFootprint(progs[p].Name, progs[p].Fp, units, int64(blocksPerUnit), progs[p].Rate)
+			curve.Accesses = int64(float64(curve.Accesses) * progs[p].Rate)
+			curves = append(curves, curve)
+			if err := inc.Push(curve); err != nil {
+				panic(err)
+			}
+		}
+		sol, err := inc.Solve()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  cache %d: group mr %.4f  [", c, sol.GroupMissRatio)
+		for i, p := range members {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%s=%d", progs[p].Name, sol.Alloc[i])
+		}
+		fmt.Println("]")
+
+		// What if the scheduler considers evicting the last program?
+		if len(members) > 1 {
+			if err := inc.Pop(); err != nil {
+				panic(err)
+			}
+			reduced, err := inc.Solve()
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("           without %s: group mr %.4f\n",
+				progs[members[len(members)-1]].Name, reduced.GroupMissRatio)
+		}
+	}
+}

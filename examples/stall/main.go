@@ -1,0 +1,87 @@
+// Stall scheduling: the paper's §IV motivating scenario, verbatim — "if
+// two programs are traversing different 60MB arrays while sharing a 64MB
+// cache, stalling one of them will prevent thrashing, and they may both
+// finish sooner this way."
+//
+// Two programs each sweep an array of ~60% of the cache. Run together,
+// neither array fits its natural half and both thrash. Alternating
+// exclusive turns (stalling one program at a time) lets each turn run at
+// full cache and hit — total work finishes with far fewer misses. The
+// composition model predicts this from solo profiles before any co-run.
+package main
+
+import (
+	"fmt"
+
+	ps "partitionshare"
+)
+
+func main() {
+	const (
+		cache  = 1024 // blocks ("64MB")
+		arrayA = 600  // ~60% of cache each
+		arrayB = 620
+		n      = 1 << 18 // accesses per program
+	)
+
+	ta := ps.Generate(ps.NewLoop(arrayA, 1), n)
+	tb := ps.Generate(ps.NewLoop(arrayB, 1), n)
+
+	// Prediction from solo profiles: under sharing each occupies about
+	// half the cache — far below its array — so both should miss ~always.
+	progs := []ps.Program{
+		{Name: "A", Fp: ps.ProfileTrace(ta), Rate: 1},
+		{Name: "B", Fp: ps.ProfileTrace(tb), Rate: 1},
+	}
+	occ := ps.NaturalPartition(progs, cache)
+	pred := ps.SharedMissRatios(progs, cache)
+	fmt.Printf("prediction: A occupies %.0f blocks (mr %.3f), B %.0f (mr %.3f)\n",
+		occ[0], pred[0], occ[1], pred[1])
+
+	// Measured: free-for-all sharing.
+	iv := ps.InterleaveProportional([]ps.Trace{ta, tb}, []float64{1, 1}, 2*n)
+	shared := ps.SimulateShared(iv, cache, n/4)
+	sharedMisses := shared.Misses[0] + shared.Misses[1]
+	fmt.Printf("shared (no stalls): %d misses over %d accesses (mr %.3f)\n",
+		sharedMisses, 2*n, shared.GroupMissRatio())
+
+	// Stall schedule: the programs alternate exclusive slices of the
+	// cache. Each slice re-warms (one sweep of cold misses) and then hits
+	// until its turn ends.
+	slice := n / 8 // accesses per exclusive turn
+	cacheLRU := ps.NewLRU(cache)
+	var stallMisses int64
+	posA, posB := 0, 0
+	for posA < len(ta) || posB < len(tb) {
+		for turn, pos, tr := 0, &posA, &ta; turn < 2; turn++ {
+			if turn == 1 {
+				pos, tr = &posB, &tb
+			}
+			end := *pos + slice
+			if end > len(*tr) {
+				end = len(*tr)
+			}
+			for _, d := range (*tr)[*pos:end] {
+				// Programs own disjoint blocks: offset B's IDs.
+				if turn == 1 {
+					d += 1 << 24
+				}
+				if hit, _, _ := cacheLRU.Access(d); !hit {
+					stallMisses++
+				}
+			}
+			*pos = end
+		}
+	}
+	fmt.Printf("alternating stalls:  %d misses over %d accesses (mr %.3f)\n",
+		stallMisses, 2*n, float64(stallMisses)/float64(2*n))
+
+	if stallMisses < sharedMisses/2 {
+		fmt.Printf("\n-> stalling cut misses by %.1fx: both programs finish sooner,\n",
+			float64(sharedMisses)/float64(stallMisses))
+		fmt.Println("   exactly the §IV scheduling opportunity the composition theory")
+		fmt.Println("   exposes without ever co-running the pair.")
+	} else {
+		fmt.Println("\n-> no win at this configuration.")
+	}
+}

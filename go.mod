@@ -1,0 +1,3 @@
+module partitionshare
+
+go 1.22

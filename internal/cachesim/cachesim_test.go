@@ -1,0 +1,361 @@
+package cachesim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"partitionshare/internal/reuse"
+	"partitionshare/internal/trace"
+)
+
+func randomTrace(seed uint64, n, pool int) trace.Trace {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	t := make(trace.Trace, n)
+	for i := range t {
+		t[i] = uint32(rng.IntN(pool))
+	}
+	return t
+}
+
+func TestLRUBasicEviction(t *testing.T) {
+	c := NewLRU(2)
+	hit, _, _ := c.Access(1)
+	if hit {
+		t.Fatal("first access should miss")
+	}
+	c.Access(2)
+	if hit, _, _ := c.Access(1); !hit {
+		t.Fatal("1 should still be cached")
+	}
+	// Cache: [1 MRU, 2 LRU]; inserting 3 evicts 2.
+	_, ev, did := c.Access(3)
+	if !did || ev != 2 {
+		t.Fatalf("evicted %v (did=%v), want 2", ev, did)
+	}
+	if c.Contains(2) {
+		t.Fatal("2 should be evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Fatal("1 and 3 should be cached")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRU(0)
+	for i := uint32(0); i < 10; i++ {
+		if hit, _, did := c.Access(i % 2); hit || did {
+			t.Fatal("zero-capacity cache must always miss and never evict")
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache must stay empty")
+	}
+}
+
+func TestLRUNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLRU(-1)
+}
+
+// The simulator must agree exactly with the stack-distance oracle: an
+// access hits iff its stack distance is <= capacity.
+func TestLRUMatchesStackDistanceOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		tr := randomTrace(seed, 500, 40)
+		dists := reuse.StackDistances(tr)
+		for _, capacity := range []int{1, 3, 7, 20, 40} {
+			c := NewLRU(capacity)
+			for i, d := range tr {
+				hit, _, _ := c.Access(d)
+				wantHit := dists[i] != reuse.ColdMiss && dists[i] <= int64(capacity)
+				if hit != wantHit {
+					t.Fatalf("seed %d cap %d access %d: hit=%v, oracle=%v", seed, capacity, i, hit, wantHit)
+				}
+			}
+		}
+	}
+}
+
+func TestLRURunMissCount(t *testing.T) {
+	// Loop over 5 blocks, cache of 5: only 5 cold misses.
+	tr := trace.Generate(trace.NewLoop(5, 1), 100)
+	if got := NewLRU(5).Run(tr); got != 5 {
+		t.Errorf("misses = %d, want 5", got)
+	}
+	// Cache of 4: everything misses.
+	if got := NewLRU(4).Run(tr); got != 100 {
+		t.Errorf("misses = %d, want 100", got)
+	}
+}
+
+func TestSetAssocDegeneratesToFullyAssoc(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomTrace(seed, 400, 30)
+		sa := NewSetAssoc(1, 16)
+		fa := NewLRU(16)
+		return sa.Run(tr) == fa.Run(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAssocConflictMisses(t *testing.T) {
+	// Two blocks mapping to the same set of a 2-set, 1-way cache conflict.
+	c := NewSetAssoc(2, 1)
+	if c.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", c.Capacity())
+	}
+	// 0 and 2 both map to set 0.
+	c.Access(0)
+	c.Access(2)
+	if c.Access(0) {
+		t.Fatal("0 should have been evicted by the conflicting 2")
+	}
+	// 1 maps to set 1 and stays resident.
+	c.Access(1)
+	if !c.Access(1) {
+		t.Fatal("1 should hit")
+	}
+}
+
+func TestSetAssocPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewSetAssoc(0, 4) },
+		func() { NewSetAssoc(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSimulateSharedCountsAndOccupancy(t *testing.T) {
+	// Two identical random programs sharing a cache: by symmetry each
+	// should occupy about half.
+	a := randomTrace(1, 4000, 300)
+	b := randomTrace(2, 4000, 300).Offset(0) // interleaver re-bases anyway
+	iv := trace.InterleaveProportional([]trace.Trace{a, b}, []float64{1, 1}, 8000)
+	res := SimulateShared(iv, 200, 2000)
+	if res.Accesses[0] != 4000 || res.Accesses[1] != 4000 {
+		t.Fatalf("accesses = %v", res.Accesses)
+	}
+	total := res.MeanOccupancy[0] + res.MeanOccupancy[1]
+	if math.Abs(total-200) > 1 {
+		t.Errorf("total occupancy = %v, want ~200 (cache full)", total)
+	}
+	ratio := res.MeanOccupancy[0] / total
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("occupancy split = %v, want ~0.5", ratio)
+	}
+	if res.GroupMissRatio() <= 0 || res.GroupMissRatio() > 1 {
+		t.Errorf("group miss ratio = %v", res.GroupMissRatio())
+	}
+}
+
+func TestSimulateSharedStreamingPollutes(t *testing.T) {
+	// A streaming program co-run with a loop that would fit the whole
+	// cache alone: sharing lets streaming evict the loop's blocks.
+	loop := trace.Generate(trace.NewLoop(80, 1), 4000)
+	stream := trace.Generate(trace.NewStreaming(1), 4000)
+	iv := trace.InterleaveProportional([]trace.Trace{loop, stream}, []float64{1, 1}, 8000)
+	shared := SimulateShared(iv, 100, 1000)
+	// Solo, the loop program would have only cold misses in 100 blocks.
+	solo := NewLRU(100).Run(loop)
+	if shared.Misses[0] <= solo*2 {
+		t.Errorf("sharing should hurt the loop program: shared %d vs solo %d", shared.Misses[0], solo)
+	}
+}
+
+func TestSimulateSharedPanics(t *testing.T) {
+	a := trace.Generate(trace.NewLoop(4, 1), 10)
+	iv := trace.InterleaveProportional([]trace.Trace{a}, []float64{1}, 10)
+	for i, f := range []func(){
+		func() { SimulateShared(trace.Interleaved{}, 10, 0) },
+		func() { SimulateShared(iv, 10, -1) },
+		func() { SimulateShared(iv, 10, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSimulatePartitioned(t *testing.T) {
+	loop := trace.Generate(trace.NewLoop(50, 1), 1000)
+	stream := trace.Generate(trace.NewStreaming(1), 1000)
+	res := SimulatePartitioned([]trace.Trace{loop, stream}, []int{50, 50})
+	if res.Misses[0] != 50 {
+		t.Errorf("loop in fitting partition: %d misses, want 50 cold", res.Misses[0])
+	}
+	if res.Misses[1] != 1000 {
+		t.Errorf("streaming: %d misses, want 1000", res.Misses[1])
+	}
+	if got := res.MissRatio(1); got != 1.0 {
+		t.Errorf("streaming miss ratio = %v, want 1", got)
+	}
+	want := float64(1050) / 2000
+	if got := res.GroupMissRatio(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("group miss ratio = %v, want %v", got, want)
+	}
+}
+
+func TestSimulatePartitionedPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SimulatePartitioned([]trace.Trace{{0}}, []int{1, 2})
+}
+
+func TestPartitionSharedSingletonsEqualPartitioned(t *testing.T) {
+	a := randomTrace(5, 2000, 100)
+	b := randomTrace(6, 2000, 150)
+	iv := trace.InterleaveProportional([]trace.Trace{a, b}, []float64{1, 1}, 4000)
+	ps := SimulatePartitionShared(iv, [][]int{{0}, {1}}, []int{60, 80})
+	// Interleaving is irrelevant under strict partitioning, but the
+	// per-program streams are cycled by the interleaver; compare against
+	// partitioned simulation of the same cycled streams.
+	var sa, sb trace.Trace
+	for i, d := range iv.Trace {
+		if iv.Owner[i] == 0 {
+			sa = append(sa, d)
+		} else {
+			sb = append(sb, d)
+		}
+	}
+	part := SimulatePartitioned([]trace.Trace{sa, sb}, []int{60, 80})
+	for p := 0; p < 2; p++ {
+		if ps.Misses[p] != part.Misses[p] {
+			t.Errorf("program %d: partition-shared %d vs partitioned %d misses", p, ps.Misses[p], part.Misses[p])
+		}
+	}
+}
+
+func TestPartitionSharedOneGroupEqualsShared(t *testing.T) {
+	a := randomTrace(7, 2000, 120)
+	b := randomTrace(8, 2000, 120)
+	iv := trace.InterleaveProportional([]trace.Trace{a, b}, []float64{1, 2}, 4000)
+	ps := SimulatePartitionShared(iv, [][]int{{0, 1}}, []int{100})
+	sh := SimulateShared(iv, 100, 100)
+	for p := 0; p < 2; p++ {
+		if ps.Misses[p] != sh.Misses[p] {
+			t.Errorf("program %d: partition-shared %d vs shared %d misses", p, ps.Misses[p], sh.Misses[p])
+		}
+	}
+}
+
+func TestPartitionSharedPanics(t *testing.T) {
+	a := trace.Generate(trace.NewLoop(4, 1), 10)
+	b := trace.Generate(trace.NewLoop(4, 1), 10)
+	iv := trace.InterleaveProportional([]trace.Trace{a, b}, []float64{1, 1}, 20)
+	for i, f := range []func(){
+		func() { SimulatePartitionShared(iv, [][]int{{0, 1}}, []int{10, 20}) },     // count mismatch
+		func() { SimulatePartitionShared(iv, [][]int{{0}}, []int{10}) },            // program 1 unassigned
+		func() { SimulatePartitionShared(iv, [][]int{{0, 1}, {1}}, []int{10, 5}) }, // duplicated
+		func() { SimulatePartitionShared(iv, [][]int{{0, 7}}, []int{10}) },         // invalid index
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkLRUAccess(b *testing.B) {
+	tr := randomTrace(1, 1<<16, 10000)
+	c := NewLRU(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(tr[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkSetAssocAccess(b *testing.B) {
+	tr := randomTrace(1, 1<<16, 10000)
+	c := NewSetAssoc(256, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(tr[i&(1<<16-1)])
+	}
+}
+
+func TestLRUResize(t *testing.T) {
+	c := NewLRU(4)
+	for d := uint32(1); d <= 4; d++ {
+		c.Access(d)
+	}
+	// Shrink to 2: evicts LRU blocks 1 and 2, in that order.
+	ev := c.Resize(2)
+	if len(ev) != 2 || ev[0] != 1 || ev[1] != 2 {
+		t.Fatalf("evicted %v, want [1 2]", ev)
+	}
+	if c.Len() != 2 || !c.Contains(3) || !c.Contains(4) {
+		t.Fatal("shrink kept the wrong blocks")
+	}
+	// Grow back: contents stay, capacity rises.
+	if ev := c.Resize(5); len(ev) != 0 {
+		t.Fatalf("grow evicted %v", ev)
+	}
+	if c.Capacity() != 5 || c.Len() != 2 {
+		t.Fatal("grow wrong")
+	}
+	// The cache still behaves correctly after resizing.
+	c.Access(7)
+	c.Access(8)
+	c.Access(9)
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+	if hit, _, _ := c.Access(3); !hit {
+		t.Fatal("3 should still be resident")
+	}
+}
+
+func TestLRUResizeToZero(t *testing.T) {
+	c := NewLRU(3)
+	c.Access(1)
+	c.Access(2)
+	ev := c.Resize(0)
+	if len(ev) != 2 || c.Len() != 0 {
+		t.Fatalf("resize to zero: evicted %v, len %d", ev, c.Len())
+	}
+	if hit, _, _ := c.Access(1); hit {
+		t.Fatal("zero-capacity cache hit")
+	}
+}
+
+func TestLRUResizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLRU(2).Resize(-1)
+}

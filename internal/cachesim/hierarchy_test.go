@@ -1,0 +1,121 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+
+	"partitionshare/internal/footprint"
+	"partitionshare/internal/trace"
+)
+
+func TestHierarchyBasics(t *testing.T) {
+	h := NewHierarchy(2, 8)
+	if h.Levels() != 2 {
+		t.Fatal("levels")
+	}
+	// First access misses everywhere.
+	if lvl := h.Access(1); lvl != 2 {
+		t.Fatalf("cold access hit level %d", lvl)
+	}
+	// Immediate re-access hits L1.
+	if lvl := h.Access(1); lvl != 0 {
+		t.Fatalf("hot access served by level %d", lvl)
+	}
+	// Push 1 out of the 2-block L1 but not out of L2.
+	h.Access(2)
+	h.Access(3)
+	if lvl := h.Access(1); lvl != 1 {
+		t.Fatalf("L1-evicted block served by level %d, want 1", lvl)
+	}
+}
+
+func TestHierarchyPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewHierarchy() },
+		func() { NewHierarchy(8, 8) },  // not increasing
+		func() { NewHierarchy(16, 8) }, // decreasing
+		func() { NewHierarchy(0, 8) },  // empty level
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHierarchyTrafficAccounting(t *testing.T) {
+	tr := randomTrace(3, 20000, 600)
+	h := NewHierarchy(64, 256, 1024)
+	streams := h.Run(tr)
+	if h.Accesses[0] != int64(len(tr)) {
+		t.Fatalf("L1 accesses %d", h.Accesses[0])
+	}
+	// Level i+1's accesses equal level i's misses.
+	for i := 0; i < 2; i++ {
+		if h.Accesses[i+1] != h.Misses[i] {
+			t.Fatalf("level %d misses %d != level %d accesses %d", i, h.Misses[i], i+1, h.Accesses[i+1])
+		}
+		if int64(len(streams[i])) != h.Misses[i] {
+			t.Fatalf("stream %d length %d != misses %d", i, len(streams[i]), h.Misses[i])
+		}
+	}
+	// Local miss ratios multiply into the global one.
+	global := h.GlobalMissRatio(2)
+	product := h.MissRatio(0) * h.MissRatio(1) * h.MissRatio(2)
+	if math.Abs(global-product) > 1e-12 {
+		t.Fatalf("global %v != product of locals %v", global, product)
+	}
+}
+
+// Each level of the hierarchy must behave exactly like a solo LRU cache
+// run on the stream the level above forwarded — the filtering semantics.
+func TestHierarchyLevelsMatchSoloLRU(t *testing.T) {
+	tr := randomTrace(7, 30000, 800)
+	h := NewHierarchy(64, 512)
+	streams := h.Run(tr)
+	// L2 = solo LRU(512) over L1's miss stream.
+	solo := NewLRU(512)
+	soloMisses := solo.Run(streams[0])
+	if soloMisses != h.Misses[1] {
+		t.Fatalf("L2 misses %d vs solo replay %d", h.Misses[1], soloMisses)
+	}
+}
+
+// The §VIII multi-level claim in miniature: profiling each level's input
+// stream with HOTL predicts that level's miss ratio.
+func TestHOTLPredictsEveryHierarchyLevel(t *testing.T) {
+	tr := randomTrace(11, 60000, 1500)
+	caps := []int{128, 512, 2048}
+	h := NewHierarchy(caps[0], caps[1], caps[2])
+	streams := h.Run(tr)
+	input := tr
+	for level := 0; level < 3; level++ {
+		fp := footprint.FromTrace(input)
+		pred := fp.MissRatio(float64(caps[level]))
+		got := h.MissRatio(level)
+		if math.Abs(pred-got) > 0.05 {
+			t.Errorf("level %d: HOTL predicts %.4f, simulated %.4f", level, pred, got)
+		}
+		if level < 2 {
+			input = streams[level]
+		}
+	}
+}
+
+func TestHierarchyLoopCliffPlacement(t *testing.T) {
+	// A loop of 300 blocks thrashes a 100-block L1 but fits the 400-block
+	// L2: L1 mr ~1, L2 mr ~0 after warmup.
+	tr := trace.Generate(trace.NewLoop(300, 1), 30000)
+	h := NewHierarchy(100, 400)
+	h.Run(tr)
+	if h.MissRatio(0) < 0.95 {
+		t.Errorf("L1 mr %v, want ~1 (thrash)", h.MissRatio(0))
+	}
+	if h.MissRatio(1) > 0.02 {
+		t.Errorf("L2 mr %v, want ~0 (loop fits)", h.MissRatio(1))
+	}
+}

@@ -1,0 +1,186 @@
+// Package cachesim simulates caches at block granularity. It is the
+// ground-truth substrate for validating the HOTL predictions and the
+// natural-partition assumption (paper §VII-C): the paper validates against
+// hardware counters on real machines; here a fully-associative LRU
+// simulator plays that role, which is exactly the cache model the HOTL
+// theory targets. A set-associative variant quantifies the associativity
+// gap the paper discusses in §VIII.
+package cachesim
+
+import (
+	"fmt"
+
+	"partitionshare/internal/trace"
+)
+
+// LRU is a fully-associative LRU cache over abstract block IDs. The zero
+// value is not usable; construct with NewLRU.
+type LRU struct {
+	capacity int
+	index    map[uint32]int32
+	nodes    []node // nodes[0] is the sentinel; list is circular
+	free     []int32
+}
+
+type node struct {
+	key        uint32
+	prev, next int32
+}
+
+// NewLRU returns an empty LRU cache holding up to capacity blocks.
+// Capacity 0 is legal: every access misses.
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cachesim: negative capacity %d", capacity))
+	}
+	c := &LRU{
+		capacity: capacity,
+		index:    make(map[uint32]int32, capacity+1),
+		nodes:    make([]node, 1, capacity+1),
+	}
+	c.nodes[0] = node{prev: 0, next: 0} // sentinel: empty circular list
+	return c
+}
+
+// Capacity returns the cache capacity in blocks.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Len returns the number of blocks currently cached.
+func (c *LRU) Len() int { return len(c.index) }
+
+// Access touches block d, returning true on a hit. On a miss the block is
+// inserted, evicting the least recently used block if the cache is full;
+// evicted reports what was evicted.
+func (c *LRU) Access(d uint32) (hit bool, evicted uint32, didEvict bool) {
+	if i, ok := c.index[d]; ok {
+		c.unlink(i)
+		c.pushFront(i)
+		return true, 0, false
+	}
+	if c.capacity == 0 {
+		return false, 0, false
+	}
+	if len(c.index) >= c.capacity {
+		// Evict from the back (LRU end).
+		victim := c.nodes[0].prev
+		evicted = c.nodes[victim].key
+		didEvict = true
+		c.unlink(victim)
+		delete(c.index, evicted)
+		c.free = append(c.free, victim)
+	}
+	var i int32
+	if n := len(c.free); n > 0 {
+		i = c.free[n-1]
+		c.free = c.free[:n-1]
+		c.nodes[i].key = d
+	} else {
+		c.nodes = append(c.nodes, node{key: d})
+		i = int32(len(c.nodes) - 1)
+	}
+	c.index[d] = i
+	c.pushFront(i)
+	return false, evicted, didEvict
+}
+
+// Contains reports whether block d is cached, without touching recency.
+func (c *LRU) Contains(d uint32) bool {
+	_, ok := c.index[d]
+	return ok
+}
+
+func (c *LRU) unlink(i int32) {
+	p, n := c.nodes[i].prev, c.nodes[i].next
+	c.nodes[p].next = n
+	c.nodes[n].prev = p
+}
+
+func (c *LRU) pushFront(i int32) {
+	first := c.nodes[0].next
+	c.nodes[i].prev = 0
+	c.nodes[i].next = first
+	c.nodes[first].prev = i
+	c.nodes[0].next = i
+}
+
+// Resize changes the cache capacity in place. Shrinking evicts the least
+// recently used blocks immediately (the hardware way-repartitioning
+// model); growing keeps current contents. It returns the evicted blocks,
+// in eviction (LRU-first) order.
+func (c *LRU) Resize(capacity int) (evicted []uint32) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cachesim: negative capacity %d", capacity))
+	}
+	c.capacity = capacity
+	for len(c.index) > capacity {
+		victim := c.nodes[0].prev
+		key := c.nodes[victim].key
+		c.unlink(victim)
+		delete(c.index, key)
+		c.free = append(c.free, victim)
+		evicted = append(evicted, key)
+	}
+	return evicted
+}
+
+// Run feeds a whole trace through the cache and returns the miss count.
+func (c *LRU) Run(t trace.Trace) (misses int64) {
+	for _, d := range t {
+		if hit, _, _ := c.Access(d); !hit {
+			misses++
+		}
+	}
+	return misses
+}
+
+// SetAssoc is a set-associative LRU cache: sets × ways blocks total, with
+// block d mapping to set d mod sets.
+type SetAssoc struct {
+	sets []LRUSlice
+	ways int
+}
+
+// LRUSlice is a small fixed-capacity LRU list used as one cache set. Linear
+// scan is fine for realistic associativities (4–32 ways).
+type LRUSlice struct {
+	blocks []uint32 // MRU first
+}
+
+// NewSetAssoc returns a set-associative cache with the given geometry.
+func NewSetAssoc(sets, ways int) *SetAssoc {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cachesim: invalid geometry sets=%d ways=%d", sets, ways))
+	}
+	return &SetAssoc{sets: make([]LRUSlice, sets), ways: ways}
+}
+
+// Capacity returns total blocks.
+func (c *SetAssoc) Capacity() int { return len(c.sets) * c.ways }
+
+// Access touches block d, returning true on a hit.
+func (c *SetAssoc) Access(d uint32) bool {
+	s := &c.sets[d%uint32(len(c.sets))]
+	for i, b := range s.blocks {
+		if b == d {
+			copy(s.blocks[1:i+1], s.blocks[:i])
+			s.blocks[0] = d
+			return true
+		}
+	}
+	if len(s.blocks) < c.ways {
+		s.blocks = append(s.blocks, 0)
+	}
+	copy(s.blocks[1:], s.blocks)
+	s.blocks[0] = d
+	return false
+}
+
+// Run feeds a whole trace through the cache and returns the miss count.
+func (c *SetAssoc) Run(t trace.Trace) (misses int64) {
+	for _, d := range t {
+		if !c.Access(d) {
+			misses++
+		}
+	}
+	return misses
+}

@@ -1,0 +1,235 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"partitionshare/internal/trace"
+)
+
+// The paper allocates abstract capacity units; real hardware implements
+// partitions with one of two mechanisms:
+//
+//   - way partitioning (e.g. Intel CAT): all programs index the same
+//     sets, but each may only replace within its quota of ways;
+//   - set partitioning (page coloring): each program is confined to a
+//     disjoint subset of sets and uses all ways there.
+//
+// Both deliver the intended capacity with different conflict behaviour.
+// These simulators measure the mechanism gap against the ideal
+// (fully-associative) capacity partitioning the optimizer assumes.
+
+// WayPartitioned is a set-associative cache whose ways are statically
+// divided among programs: program p may hit on any block in its sets but
+// only inserts into (and evicts from) its own way quota.
+type WayPartitioned struct {
+	sets   int
+	quotas []int
+	// per set, per program: an LRU list of that program's blocks in the
+	// set, capped at its quota.
+	lists [][][]uint32
+	index map[uint32]struct{ set, prog int }
+}
+
+// NewWayPartitioned builds a way-partitioned cache with the given set
+// count and per-program way quotas. Total ways = sum of quotas.
+func NewWayPartitioned(sets int, quotas []int) *WayPartitioned {
+	if sets <= 0 {
+		panic(fmt.Sprintf("cachesim: invalid set count %d", sets))
+	}
+	if len(quotas) == 0 {
+		panic("cachesim: need at least one program quota")
+	}
+	for p, q := range quotas {
+		if q < 0 {
+			panic(fmt.Sprintf("cachesim: negative quota %d for program %d", q, p))
+		}
+	}
+	w := &WayPartitioned{
+		sets:   sets,
+		quotas: append([]int(nil), quotas...),
+		lists:  make([][][]uint32, sets),
+		index:  make(map[uint32]struct{ set, prog int }),
+	}
+	for s := range w.lists {
+		w.lists[s] = make([][]uint32, len(quotas))
+	}
+	return w
+}
+
+// Capacity returns total blocks (sets × total ways).
+func (w *WayPartitioned) Capacity() int {
+	total := 0
+	for _, q := range w.quotas {
+		total += q
+	}
+	return w.sets * total
+}
+
+// Access touches block d on behalf of program p, returning true on a hit.
+// Blocks are owned by the inserting program; block IDs must be globally
+// unique across programs (offset each program's data space as
+// ComparePartitionMechanisms does), or programs will alias each other's
+// blocks.
+func (w *WayPartitioned) Access(p int, d uint32) bool {
+	if p < 0 || p >= len(w.quotas) {
+		panic(fmt.Sprintf("cachesim: invalid program %d", p))
+	}
+	if loc, ok := w.index[d]; ok {
+		// Move to MRU within its owner's list.
+		list := w.lists[loc.set][loc.prog]
+		for i, b := range list {
+			if b == d {
+				copy(list[1:i+1], list[:i])
+				list[0] = d
+				break
+			}
+		}
+		return true
+	}
+	if w.quotas[p] == 0 {
+		return false
+	}
+	s := int(d) % w.sets
+	list := w.lists[s][p]
+	if len(list) >= w.quotas[p] {
+		victim := list[len(list)-1]
+		delete(w.index, victim)
+		list = list[:len(list)-1]
+	}
+	list = append(list, 0)
+	copy(list[1:], list)
+	list[0] = d
+	w.lists[s][p] = list
+	w.index[d] = struct{ set, prog int }{s, p}
+	return false
+}
+
+// SetPartitioned is a page-coloring cache: the sets are divided into
+// contiguous disjoint ranges, one per program, and each program has the
+// full associativity within its range.
+type SetPartitioned struct {
+	ways   int
+	ranges []struct{ start, count int }
+	sets   []LRUSlice
+}
+
+// NewSetPartitioned builds a set-partitioned (page-colored) cache with
+// the given associativity and per-program set counts.
+func NewSetPartitioned(ways int, setCounts []int) *SetPartitioned {
+	if ways <= 0 {
+		panic(fmt.Sprintf("cachesim: invalid ways %d", ways))
+	}
+	if len(setCounts) == 0 {
+		panic("cachesim: need at least one program")
+	}
+	sp := &SetPartitioned{ways: ways}
+	total := 0
+	for p, c := range setCounts {
+		if c < 0 {
+			panic(fmt.Sprintf("cachesim: negative set count %d for program %d", c, p))
+		}
+		sp.ranges = append(sp.ranges, struct{ start, count int }{total, c})
+		total += c
+	}
+	sp.sets = make([]LRUSlice, total)
+	return sp
+}
+
+// Capacity returns total blocks.
+func (sp *SetPartitioned) Capacity() int { return len(sp.sets) * sp.ways }
+
+// Access touches block d on behalf of program p.
+func (sp *SetPartitioned) Access(p int, d uint32) bool {
+	if p < 0 || p >= len(sp.ranges) {
+		panic(fmt.Sprintf("cachesim: invalid program %d", p))
+	}
+	r := sp.ranges[p]
+	if r.count == 0 {
+		return false
+	}
+	s := &sp.sets[r.start+int(d)%r.count]
+	for i, b := range s.blocks {
+		if b == d {
+			copy(s.blocks[1:i+1], s.blocks[:i])
+			s.blocks[0] = d
+			return true
+		}
+	}
+	if len(s.blocks) < sp.ways {
+		s.blocks = append(s.blocks, 0)
+	}
+	copy(s.blocks[1:], s.blocks)
+	s.blocks[0] = d
+	return false
+}
+
+// MechanismResult compares partitioning mechanisms on the same workload
+// and allocation.
+type MechanismResult struct {
+	// Ideal, Way, Set are per-program miss ratios under ideal
+	// (fully-associative) capacity partitioning, way partitioning, and
+	// set partitioning (page coloring).
+	Ideal, Way, Set []float64
+}
+
+// ComparePartitionMechanisms runs each program's trace through the three
+// mechanisms with equivalent capacity: program p gets blocks[p] blocks —
+// as a private fully-associative LRU (ideal), as blocks[p]/sets ways of a
+// sets-set shared cache (way partitioning), and as blocks[p]/ways sets of
+// an assoc-way cache (page coloring). blocks[p] must be divisible by both
+// sets and ways.
+func ComparePartitionMechanisms(traces []trace.Trace, blocks []int, sets, ways int) (MechanismResult, error) {
+	if len(traces) != len(blocks) {
+		return MechanismResult{}, fmt.Errorf("cachesim: %d traces but %d allocations", len(traces), len(blocks))
+	}
+	if sets <= 0 || ways <= 0 {
+		return MechanismResult{}, fmt.Errorf("cachesim: invalid geometry sets=%d ways=%d", sets, ways)
+	}
+	quotas := make([]int, len(blocks))
+	setCounts := make([]int, len(blocks))
+	for p, b := range blocks {
+		if b%sets != 0 || b%ways != 0 {
+			return MechanismResult{}, fmt.Errorf("cachesim: allocation %d not divisible by sets %d and ways %d", b, sets, ways)
+		}
+		quotas[p] = b / sets
+		setCounts[p] = b / ways
+	}
+	res := MechanismResult{
+		Ideal: make([]float64, len(traces)),
+		Way:   make([]float64, len(traces)),
+		Set:   make([]float64, len(traces)),
+	}
+	way := NewWayPartitioned(sets, quotas)
+	set := NewSetPartitioned(ways, setCounts)
+	// Programs do not share data: give each a disjoint block-ID range so
+	// identical raw IDs cannot alias across programs in the shared-set
+	// way-partitioned cache. The offset is a multiple of the set count,
+	// preserving each block's set index.
+	var base uint32
+	for p, tr := range traces {
+		if len(tr) == 0 {
+			return MechanismResult{}, fmt.Errorf("cachesim: program %d has an empty trace", p)
+		}
+		var maxID uint32
+		for _, d := range tr {
+			if d > maxID {
+				maxID = d
+			}
+		}
+		n := float64(len(tr))
+		res.Ideal[p] = float64(NewLRU(blocks[p]).Run(tr)) / n
+		var wm, sm int64
+		for _, d := range tr {
+			if !way.Access(p, base+d) {
+				wm++
+			}
+			if !set.Access(p, d) { // set ranges are disjoint already
+				sm++
+			}
+		}
+		res.Way[p] = float64(wm) / n
+		res.Set[p] = float64(sm) / n
+		base += (maxID/uint32(sets) + 2) * uint32(sets)
+	}
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package cachesim
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Cache is the common interface of the replacement-policy simulators.
+type Cache interface {
+	// Access touches block d and reports whether it hit.
+	Access(d uint32) bool
+	// Capacity returns the cache size in blocks.
+	Capacity() int
+}
+
+// lruAdapter exposes *LRU through the Cache interface.
+type lruAdapter struct{ c *LRU }
+
+func (a lruAdapter) Access(d uint32) bool {
+	hit, _, _ := a.c.Access(d)
+	return hit
+}
+func (a lruAdapter) Capacity() int { return a.c.Capacity() }
+
+// AsCache wraps an *LRU in the policy-neutral Cache interface.
+func AsCache(c *LRU) Cache { return lruAdapter{c} }
+
+// Clock is a CLOCK (second-chance) cache: an approximation of LRU used by
+// real hardware and OS page caches. The paper's HOTL results assume exact
+// LRU (§VIII: "the replacement policy may be an approximation or
+// improvement of LRU"); Clock quantifies how much that approximation
+// moves the miss ratio.
+type Clock struct {
+	capacity int
+	index    map[uint32]int
+	blocks   []uint32
+	ref      []bool
+	hand     int
+}
+
+// NewClock returns an empty CLOCK cache holding up to capacity blocks.
+func NewClock(capacity int) *Clock {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cachesim: negative capacity %d", capacity))
+	}
+	return &Clock{
+		capacity: capacity,
+		index:    make(map[uint32]int, capacity+1),
+	}
+}
+
+// Capacity implements Cache.
+func (c *Clock) Capacity() int { return c.capacity }
+
+// Access implements Cache.
+func (c *Clock) Access(d uint32) bool {
+	if i, ok := c.index[d]; ok {
+		c.ref[i] = true
+		return true
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	if len(c.blocks) < c.capacity {
+		c.index[d] = len(c.blocks)
+		c.blocks = append(c.blocks, d)
+		c.ref = append(c.ref, true)
+		return false
+	}
+	// Advance the hand, clearing reference bits, until an unreferenced
+	// victim is found.
+	for c.ref[c.hand] {
+		c.ref[c.hand] = false
+		c.hand = (c.hand + 1) % c.capacity
+	}
+	delete(c.index, c.blocks[c.hand])
+	c.blocks[c.hand] = d
+	c.ref[c.hand] = true
+	c.index[d] = c.hand
+	c.hand = (c.hand + 1) % c.capacity
+	return false
+}
+
+// Random is a random-replacement cache. Unlike LRU it has no pathological
+// thrash on cyclic working sets slightly larger than the cache: a loop of
+// L > C blocks hits with probability ≈ C/L per access instead of never —
+// the classic LRU-vs-random trade the working-set cliffs exercise.
+type Random struct {
+	capacity int
+	index    map[uint32]int
+	blocks   []uint32
+	rng      *rand.Rand
+}
+
+// NewRandom returns an empty random-replacement cache, seeded
+// deterministically.
+func NewRandom(capacity int, seed uint64) *Random {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cachesim: negative capacity %d", capacity))
+	}
+	return &Random{
+		capacity: capacity,
+		index:    make(map[uint32]int, capacity+1),
+		rng:      rand.New(rand.NewPCG(seed, seed^0xa0761d6478bd642f)),
+	}
+}
+
+// Capacity implements Cache.
+func (r *Random) Capacity() int { return r.capacity }
+
+// Access implements Cache.
+func (r *Random) Access(d uint32) bool {
+	if _, ok := r.index[d]; ok {
+		return true
+	}
+	if r.capacity == 0 {
+		return false
+	}
+	if len(r.blocks) < r.capacity {
+		r.index[d] = len(r.blocks)
+		r.blocks = append(r.blocks, d)
+		return false
+	}
+	v := r.rng.IntN(r.capacity)
+	delete(r.index, r.blocks[v])
+	r.blocks[v] = d
+	r.index[d] = v
+	return false
+}
+
+// RunPolicy feeds a trace through any Cache and returns its miss count.
+func RunPolicy(c Cache, t []uint32) (misses int64) {
+	for _, d := range t {
+		if !c.Access(d) {
+			misses++
+		}
+	}
+	return misses
+}

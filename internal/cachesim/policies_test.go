@@ -1,0 +1,147 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+
+	"partitionshare/internal/trace"
+)
+
+func TestClockBasics(t *testing.T) {
+	c := NewClock(2)
+	if c.Access(1) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(1) {
+		t.Fatal("re-access missed")
+	}
+	c.Access(2)
+	if c.Access(3) { // evicts someone
+		t.Fatal("cold access hit")
+	}
+	if c.Capacity() != 2 {
+		t.Fatal("capacity wrong")
+	}
+	// The just-inserted block must be resident.
+	if !c.Access(3) {
+		t.Fatal("3 should be cached right after insertion")
+	}
+}
+
+func TestClockZeroCapacity(t *testing.T) {
+	c := NewClock(0)
+	for i := 0; i < 5; i++ {
+		if c.Access(7) {
+			t.Fatal("zero-capacity cache hit")
+		}
+	}
+}
+
+func TestClockApproximatesLRU(t *testing.T) {
+	// On random traces CLOCK tracks LRU closely.
+	tr := randomTrace(3, 30000, 500)
+	for _, capacity := range []int{50, 150, 300} {
+		lru := float64(NewLRU(capacity).Run(tr)) / float64(len(tr))
+		clock := float64(RunPolicy(NewClock(capacity), tr)) / float64(len(tr))
+		if math.Abs(lru-clock) > 0.05 {
+			t.Errorf("cap %d: LRU mr %.4f vs CLOCK mr %.4f", capacity, lru, clock)
+		}
+	}
+}
+
+func TestClockHitsWorkingSet(t *testing.T) {
+	// A loop that fits has only cold misses under CLOCK too.
+	tr := trace.Generate(trace.NewLoop(40, 1), 4000)
+	if got := RunPolicy(NewClock(40), tr); got != 40 {
+		t.Errorf("fitting loop: %d misses, want 40", got)
+	}
+}
+
+func TestRandomBeatsLRUOnThrashingLoop(t *testing.T) {
+	// Loop of 150 blocks in a 100-block cache: LRU misses every access;
+	// random replacement hits roughly C/L of the time — the §VIII
+	// non-LRU policy contrast.
+	tr := trace.Generate(trace.NewLoop(150, 1), 30000)
+	lruMisses := NewLRU(100).Run(tr)
+	if lruMisses != 30000 {
+		t.Fatalf("LRU should thrash: %d misses", lruMisses)
+	}
+	rndMisses := RunPolicy(NewRandom(100, 7), tr)
+	rndMR := float64(rndMisses) / 30000
+	if rndMR > 0.75 {
+		t.Errorf("random replacement mr %.3f, want well below 1 (LRU thrash)", rndMR)
+	}
+}
+
+func TestRandomWorseOnFriendlyTrace(t *testing.T) {
+	// Zipf-skewed access favours recency; LRU should beat random.
+	tr := trace.Generate(trace.NewZipf(2000, 1.0, 11), 40000)
+	capacity := 300
+	lru := NewLRU(capacity).Run(tr)
+	rnd := RunPolicy(NewRandom(capacity, 13), tr)
+	if rnd < lru {
+		t.Errorf("random (%d) should not beat LRU (%d) on a recency-friendly trace", rnd, lru)
+	}
+}
+
+func TestRandomDeterministicSeed(t *testing.T) {
+	tr := randomTrace(9, 5000, 200)
+	a := RunPolicy(NewRandom(50, 42), tr)
+	b := RunPolicy(NewRandom(50, 42), tr)
+	if a != b {
+		t.Fatal("same seed, different miss counts")
+	}
+}
+
+func TestRandomZeroCapacity(t *testing.T) {
+	r := NewRandom(0, 1)
+	if r.Access(3) {
+		t.Fatal("zero-capacity hit")
+	}
+}
+
+func TestPolicyPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewClock(-1) },
+		func() { NewRandom(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAsCacheAdapter(t *testing.T) {
+	c := AsCache(NewLRU(2))
+	if c.Capacity() != 2 {
+		t.Fatal("capacity")
+	}
+	if c.Access(1) {
+		t.Fatal("cold hit")
+	}
+	if !c.Access(1) {
+		t.Fatal("miss on cached block")
+	}
+	// RunPolicy over the adapter matches LRU.Run.
+	tr := randomTrace(5, 2000, 100)
+	a := RunPolicy(AsCache(NewLRU(64)), tr)
+	b := NewLRU(64).Run(tr)
+	if a != b {
+		t.Fatalf("adapter misses %d vs direct %d", a, b)
+	}
+}
+
+func BenchmarkClockAccess(b *testing.B) {
+	tr := randomTrace(1, 1<<16, 10000)
+	c := NewClock(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(tr[i&(1<<16-1)])
+	}
+}

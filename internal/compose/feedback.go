@@ -1,0 +1,72 @@
+package compose
+
+import (
+	"fmt"
+	"math"
+)
+
+// FeedbackResult reports a rate-feedback fixed point.
+type FeedbackResult struct {
+	// Occupancy is the natural partition at the converged rates.
+	Occupancy []float64
+	// MissRatios are the per-program miss ratios at those occupancies.
+	MissRatios []float64
+	// EffectiveRates are the converged access rates.
+	EffectiveRates []float64
+	// Iterations is the number of fixed-point steps taken.
+	Iterations int
+	// Converged reports whether the rates moved less than the tolerance
+	// on the final step.
+	Converged bool
+}
+
+// NaturalPartitionWithFeedback extends the natural partition with the
+// feedback loop the paper leaves to future work (§IV footnote 4): a
+// program that misses more stalls more, lowering its effective access
+// rate, which in turn shrinks its share of the shared cache. The model is
+//
+//	rate_i' = rate_i / (1 + missPenalty · mr_i(occ_i))
+//
+// iterated (with 0.5 damping) to a fixed point. missPenalty is the
+// average stall, in units of hit latencies, that one miss adds to an
+// access (0 recovers the plain natural partition). It panics on a
+// negative penalty or non-positive maxIter.
+func NaturalPartitionWithFeedback(progs []Program, c float64, missPenalty float64, maxIter int) FeedbackResult {
+	validate(progs)
+	if missPenalty < 0 {
+		panic(fmt.Sprintf("compose: negative miss penalty %v", missPenalty))
+	}
+	if maxIter <= 0 {
+		panic(fmt.Sprintf("compose: non-positive iteration limit %d", maxIter))
+	}
+	const tol = 1e-9
+	cur := make([]Program, len(progs))
+	copy(cur, progs)
+	res := FeedbackResult{
+		EffectiveRates: make([]float64, len(progs)),
+	}
+	for i, p := range progs {
+		res.EffectiveRates[i] = p.Rate
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		res.Occupancy = NaturalPartition(cur, c)
+		res.MissRatios = make([]float64, len(cur))
+		maxDelta := 0.0
+		for i := range cur {
+			res.MissRatios[i] = cur[i].Fp.MissRatio(res.Occupancy[i])
+			target := progs[i].Rate / (1 + missPenalty*res.MissRatios[i])
+			next := 0.5*res.EffectiveRates[i] + 0.5*target
+			if d := math.Abs(next - res.EffectiveRates[i]); d > maxDelta {
+				maxDelta = d
+			}
+			res.EffectiveRates[i] = next
+			cur[i].Rate = next
+		}
+		if maxDelta < tol || missPenalty == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,95 @@
+package compose
+
+import (
+	"math"
+	"testing"
+
+	"partitionshare/internal/footprint"
+	"partitionshare/internal/trace"
+)
+
+func feedbackProgs(t *testing.T) []Program {
+	t.Helper()
+	// A pure streamer (mr 1) and a large sawtooth sweep (mr well below 1
+	// at its occupancy) at equal base rates. Both footprints keep growing
+	// at the fill window, so occupancy responds to rate changes.
+	stream := trace.Generate(trace.NewStreaming(1), 20000)
+	sweep := trace.Generate(trace.NewSawtooth(600), 20000)
+	return []Program{
+		{Name: "stream", Fp: footprint.FromTrace(stream), Rate: 1},
+		{Name: "sweep", Fp: footprint.FromTrace(sweep), Rate: 1},
+	}
+}
+
+func TestFeedbackZeroPenaltyMatchesPlain(t *testing.T) {
+	progs := feedbackProgs(t)
+	c := 400.0
+	res := NaturalPartitionWithFeedback(progs, c, 0, 10)
+	if !res.Converged || res.Iterations != 1 {
+		t.Fatalf("zero penalty should converge immediately: %+v", res)
+	}
+	plain := NaturalPartition(progs, c)
+	for i := range plain {
+		if math.Abs(res.Occupancy[i]-plain[i]) > 1e-9 {
+			t.Errorf("occupancy %d: %v vs plain %v", i, res.Occupancy[i], plain[i])
+		}
+		if res.EffectiveRates[i] != progs[i].Rate {
+			t.Errorf("rate %d changed: %v", i, res.EffectiveRates[i])
+		}
+	}
+}
+
+func TestFeedbackSlowsMissHeavyProgram(t *testing.T) {
+	progs := feedbackProgs(t)
+	c := 400.0
+	res := NaturalPartitionWithFeedback(progs, c, 50, 200)
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	// The streamer misses constantly, so feedback must slow it more.
+	if res.EffectiveRates[0] >= res.EffectiveRates[1] {
+		t.Errorf("streamer rate %v should drop below looper rate %v",
+			res.EffectiveRates[0], res.EffectiveRates[1])
+	}
+	// Slower streamer grabs less cache than in the plain model.
+	plain := NaturalPartition(progs, c)
+	if res.Occupancy[0] >= plain[0] {
+		t.Errorf("feedback occupancy %v should shrink from plain %v", res.Occupancy[0], plain[0])
+	}
+	// Occupancies still fill the cache.
+	sum := res.Occupancy[0] + res.Occupancy[1]
+	if math.Abs(sum-c) > 1e-3 {
+		t.Errorf("occupancies sum to %v, want %v", sum, c)
+	}
+}
+
+func TestFeedbackMonotoneInPenalty(t *testing.T) {
+	progs := feedbackProgs(t)
+	c := 400.0
+	prevRate := math.Inf(1)
+	for _, penalty := range []float64{1, 10, 100} {
+		res := NaturalPartitionWithFeedback(progs, c, penalty, 300)
+		if res.EffectiveRates[0] > prevRate+1e-9 {
+			t.Errorf("penalty %v: streamer rate %v rose above %v", penalty, res.EffectiveRates[0], prevRate)
+		}
+		prevRate = res.EffectiveRates[0]
+	}
+}
+
+func TestFeedbackPanics(t *testing.T) {
+	progs := feedbackProgs(t)
+	for i, f := range []func(){
+		func() { NaturalPartitionWithFeedback(progs, 100, -1, 10) },
+		func() { NaturalPartitionWithFeedback(progs, 100, 1, 0) },
+		func() { NaturalPartitionWithFeedback(nil, 100, 1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,190 @@
+// Package epoch implements time-windowed (phase-aware) cache
+// partitioning: traces are profiled per fixed-length epoch and the
+// partition is re-optimized at every epoch boundary.
+//
+// The paper's optimization is static — one partition from whole-execution
+// profiles — and its §VIII "Random Phase Interaction" assumption is
+// exactly the condition under which static is enough. This package
+// provides the dynamic counterpart for workloads that violate it (the
+// Figure 1 scenario): per-epoch DP plans plus a repartitioning simulator
+// to measure what phase awareness is worth.
+package epoch
+
+import (
+	"fmt"
+
+	"partitionshare/internal/cachesim"
+	"partitionshare/internal/footprint"
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/partition"
+	"partitionshare/internal/trace"
+)
+
+// Program is one co-run program profiled per epoch.
+type Program struct {
+	Name string
+	Rate float64
+	// Trace is the program's full access trace.
+	Trace trace.Trace
+	// EpochFps[e] is the footprint of epoch e (a slice of the trace).
+	EpochFps []footprint.Footprint
+	// WholeFp is the whole-trace footprint (for the static plan).
+	WholeFp footprint.Footprint
+}
+
+// ProfileEpochs profiles a trace whole and in fixed-length epochs. The
+// final partial epoch (if any) is profiled too. It returns an error for
+// an empty trace or non-positive epoch length.
+func ProfileEpochs(name string, rate float64, t trace.Trace, epochLen int) (Program, error) {
+	if len(t) == 0 {
+		return Program{}, fmt.Errorf("epoch: empty trace for %q", name)
+	}
+	if epochLen <= 0 {
+		return Program{}, fmt.Errorf("epoch: non-positive epoch length %d", epochLen)
+	}
+	p := Program{Name: name, Rate: rate, Trace: t, WholeFp: footprint.FromTrace(t)}
+	for start := 0; start < len(t); start += epochLen {
+		end := start + epochLen
+		if end > len(t) {
+			end = len(t)
+		}
+		p.EpochFps = append(p.EpochFps, footprint.FromTrace(t[start:end]))
+	}
+	return p, nil
+}
+
+// Epochs returns the number of epochs profiled.
+func (p Program) Epochs() int { return len(p.EpochFps) }
+
+// Plan is a per-epoch sequence of allocations (units per program).
+type Plan struct {
+	// Alloc[e][i] is program i's units during epoch e.
+	Alloc [][]int
+	// Units is the cache size in units.
+	Units int
+}
+
+// PlanStatic computes one optimal partition from whole-trace profiles and
+// repeats it every epoch — the paper's (static) optimizer applied to the
+// epoch framework.
+func PlanStatic(progs []Program, units int, blocksPerUnit int64) (Plan, error) {
+	epochs, err := commonEpochs(progs)
+	if err != nil {
+		return Plan{}, err
+	}
+	curves := make([]mrc.Curve, len(progs))
+	for i, p := range progs {
+		curves[i] = mrc.FromFootprint(p.Name, p.WholeFp, units, blocksPerUnit, p.Rate)
+	}
+	sol, err := partition.Optimize(partition.Problem{Curves: curves, Units: units})
+	if err != nil {
+		return Plan{}, err
+	}
+	plan := Plan{Units: units, Alloc: make([][]int, epochs)}
+	for e := range plan.Alloc {
+		plan.Alloc[e] = sol.Alloc
+	}
+	return plan, nil
+}
+
+// PlanDynamic re-optimizes the partition for every epoch from that
+// epoch's profiles.
+func PlanDynamic(progs []Program, units int, blocksPerUnit int64) (Plan, error) {
+	epochs, err := commonEpochs(progs)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan := Plan{Units: units, Alloc: make([][]int, epochs)}
+	for e := 0; e < epochs; e++ {
+		curves := make([]mrc.Curve, len(progs))
+		for i, p := range progs {
+			curves[i] = mrc.FromFootprint(p.Name, p.EpochFps[e], units, blocksPerUnit, p.Rate)
+		}
+		sol, err := partition.Optimize(partition.Problem{Curves: curves, Units: units})
+		if err != nil {
+			return Plan{}, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		plan.Alloc[e] = sol.Alloc
+	}
+	return plan, nil
+}
+
+func commonEpochs(progs []Program) (int, error) {
+	if len(progs) == 0 {
+		return 0, fmt.Errorf("epoch: no programs")
+	}
+	epochs := progs[0].Epochs()
+	for _, p := range progs[1:] {
+		if p.Epochs() != epochs {
+			return 0, fmt.Errorf("epoch: %q has %d epochs, %q has %d — profile with equal trace and epoch lengths",
+				p.Name, p.Epochs(), progs[0].Name, epochs)
+		}
+	}
+	return epochs, nil
+}
+
+// Result reports a repartitioning simulation.
+type Result struct {
+	// Misses[i] is program i's total miss count.
+	Misses []int64
+	// Accesses[i] is program i's access count.
+	Accesses []int64
+}
+
+// GroupMissRatio returns total misses over total accesses.
+func (r Result) GroupMissRatio() float64 {
+	var m, a int64
+	for i := range r.Misses {
+		m += r.Misses[i]
+		a += r.Accesses[i]
+	}
+	if a == 0 {
+		return 0
+	}
+	return float64(m) / float64(a)
+}
+
+// Simulate runs the programs through private LRU partitions that are
+// resized at every epoch boundary according to the plan (shrinking evicts
+// LRU blocks, the hardware way-repartitioning model). Programs advance in
+// lockstep epochs of epochLen accesses each.
+func Simulate(progs []Program, plan Plan, epochLen int, blocksPerUnit int64) (Result, error) {
+	epochs, err := commonEpochs(progs)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(plan.Alloc) != epochs {
+		return Result{}, fmt.Errorf("epoch: plan has %d epochs, programs have %d", len(plan.Alloc), epochs)
+	}
+	if epochLen <= 0 || blocksPerUnit <= 0 {
+		return Result{}, fmt.Errorf("epoch: invalid geometry epochLen=%d blocksPerUnit=%d", epochLen, blocksPerUnit)
+	}
+	res := Result{
+		Misses:   make([]int64, len(progs)),
+		Accesses: make([]int64, len(progs)),
+	}
+	caches := make([]*cachesim.LRU, len(progs))
+	for i := range caches {
+		caches[i] = cachesim.NewLRU(0)
+	}
+	for e := 0; e < epochs; e++ {
+		if len(plan.Alloc[e]) != len(progs) {
+			return Result{}, fmt.Errorf("epoch %d: plan covers %d programs, want %d", e, len(plan.Alloc[e]), len(progs))
+		}
+		for i, p := range progs {
+			caches[i].Resize(plan.Alloc[e][i] * int(blocksPerUnit))
+			start := e * epochLen
+			end := start + epochLen
+			if end > len(p.Trace) {
+				end = len(p.Trace)
+			}
+			if start >= end {
+				continue
+			}
+			seg := p.Trace[start:end]
+			res.Accesses[i] += int64(len(seg))
+			res.Misses[i] += caches[i].Run(seg)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+
+	"partitionshare/internal/epoch"
+	"partitionshare/internal/workload"
+)
+
+// EpochStudyRow compares static and per-epoch (dynamic) optimal
+// partitioning for one co-run group of phased programs.
+type EpochStudyRow struct {
+	Members []string
+	// StaticMR and DynamicMR are simulated group miss ratios under the
+	// whole-trace optimal partition and the per-epoch re-optimized one.
+	StaticMR, DynamicMR float64
+}
+
+// Gain returns the relative improvement of dynamic over static.
+func (r EpochStudyRow) Gain() float64 {
+	if r.DynamicMR == 0 {
+		return 0
+	}
+	return r.StaticMR/r.DynamicMR - 1
+}
+
+// EpochStudy quantifies the paper's §VIII random-phase caveat at suite
+// scale: for each group of phased programs, a static optimal partition
+// (the paper's method) is compared against per-epoch re-optimization,
+// both *simulated* on the actual traces with LRU repartitioning. When
+// phases synchronize, dynamic wins; the static optimum is exactly what
+// the paper's model can see.
+func EpochStudy(specs []workload.PhasedSpec, cfg workload.Config, groups [][]int, phaseLen int) ([]EpochStudyRow, error) {
+	if len(specs) == 0 || len(groups) == 0 {
+		return nil, fmt.Errorf("experiment: empty epoch study")
+	}
+	// Generate and epoch-profile every program once.
+	progs := make([]epoch.Program, len(specs))
+	for i, s := range specs {
+		tr, err := workload.GeneratePhased(s, cfg, phaseLen)
+		if err != nil {
+			return nil, err
+		}
+		progs[i], err = epoch.ProfileEpochs(s.Name, s.Rate, tr, phaseLen)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rows []EpochStudyRow
+	for _, members := range groups {
+		sub := make([]epoch.Program, len(members))
+		names := make([]string, len(members))
+		for i, m := range members {
+			if m < 0 || m >= len(progs) {
+				return nil, fmt.Errorf("experiment: invalid member %d", m)
+			}
+			sub[i] = progs[m]
+			names[i] = progs[m].Name
+		}
+		static, err := epoch.PlanStatic(sub, cfg.Units, cfg.BlocksPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		dynamic, err := epoch.PlanDynamic(sub, cfg.Units, cfg.BlocksPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		sRes, err := epoch.Simulate(sub, static, phaseLen, cfg.BlocksPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		dRes, err := epoch.Simulate(sub, dynamic, phaseLen, cfg.BlocksPerUnit)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EpochStudyRow{
+			Members:   names,
+			StaticMR:  sRes.GroupMissRatio(),
+			DynamicMR: dRes.GroupMissRatio(),
+		})
+	}
+	return rows, nil
+}

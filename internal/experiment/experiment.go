@@ -1,0 +1,195 @@
+// Package experiment reproduces the paper's evaluation (§VII): all
+// 4-program co-run groups drawn from the 16-program suite, each evaluated
+// under the six cache-allocation schemes (Equal, Natural, Equal-baseline,
+// Natural-baseline, Optimal, STTW), summarized as in Table I and Figures
+// 5–7. Groups are independent, so the harness fans out over a worker pool.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"partitionshare/internal/compose"
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/partition"
+	"partitionshare/internal/workload"
+)
+
+// Scheme identifies one of the evaluated allocation policies.
+type Scheme int
+
+// The six schemes of §VII-A, in the paper's order.
+const (
+	Equal Scheme = iota
+	Natural
+	EqualBaseline
+	NaturalBaseline
+	Optimal
+	STTW
+	NumSchemes
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Equal:
+		return "Equal"
+	case Natural:
+		return "Natural"
+	case EqualBaseline:
+		return "Equal baseline"
+	case NaturalBaseline:
+		return "Natural baseline"
+	case Optimal:
+		return "Optimal"
+	case STTW:
+		return "STTW"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// GroupResult holds one co-run group's evaluation.
+type GroupResult struct {
+	// Members are indices into the program list.
+	Members []int
+	// GroupMR[s] is the group miss ratio under scheme s.
+	GroupMR [NumSchemes]float64
+	// ProgramMR[s][i] is member i's miss ratio under scheme s.
+	ProgramMR [NumSchemes][]float64
+	// Alloc[s][i] is member i's allocation in units under scheme s.
+	Alloc [NumSchemes][]int
+}
+
+// Result is a full evaluation run.
+type Result struct {
+	Programs []workload.Program
+	Units    int
+	Groups   []GroupResult
+}
+
+// Combinations enumerates all k-subsets of {0..n-1} in lexicographic order.
+func Combinations(n, k int) [][]int {
+	if k < 0 || n < 0 || k > n {
+		panic(fmt.Sprintf("experiment: invalid Combinations(%d, %d)", n, k))
+	}
+	var out [][]int
+	idx := make([]int, k)
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if d == k {
+			cp := make([]int, k)
+			copy(cp, idx)
+			out = append(out, cp)
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[d] = i
+			rec(i+1, d+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// EvaluateGroup runs all six schemes on one co-run group.
+func EvaluateGroup(progs []workload.Program, members []int, units int, blocksPerUnit int64) (GroupResult, error) {
+	n := len(members)
+	if n == 0 {
+		return GroupResult{}, fmt.Errorf("experiment: empty group")
+	}
+	curves := make([]mrc.Curve, n)
+	comps := make([]compose.Program, n)
+	for i, m := range members {
+		if m < 0 || m >= len(progs) {
+			return GroupResult{}, fmt.Errorf("experiment: invalid member %d", m)
+		}
+		curves[i] = progs[m].Curve
+		comps[i] = compose.Program{Name: progs[m].Name, Fp: progs[m].Fp, Rate: progs[m].Rate}
+	}
+	res := GroupResult{Members: append([]int(nil), members...)}
+	pr := partition.Problem{Curves: curves, Units: units}
+
+	record := func(s Scheme, sol partition.Solution) {
+		res.GroupMR[s] = sol.GroupMissRatio
+		res.ProgramMR[s] = sol.MissRatios
+		res.Alloc[s] = sol.Alloc
+	}
+
+	// Equal: fixed even split.
+	equalAlloc := partition.EqualAllocation(n, units)
+	sol, err := partition.Evaluate(pr, equalAlloc)
+	if err != nil {
+		return GroupResult{}, fmt.Errorf("experiment: equal: %w", err)
+	}
+	record(Equal, sol)
+
+	// Natural: free-for-all sharing, modelled by the natural cache
+	// partition at unit granularity.
+	naturalAlloc := partition.Allocation(compose.NaturalPartitionUnits(comps, units, blocksPerUnit))
+	sol, err = partition.Evaluate(pr, naturalAlloc)
+	if err != nil {
+		return GroupResult{}, fmt.Errorf("experiment: natural: %w", err)
+	}
+	record(Natural, sol)
+
+	// Baseline optimizations (§VI).
+	sol, err = partition.OptimizeWithBaseline(curves, units, equalAlloc)
+	if err != nil {
+		return GroupResult{}, fmt.Errorf("experiment: equal baseline: %w", err)
+	}
+	record(EqualBaseline, sol)
+	sol, err = partition.OptimizeWithBaseline(curves, units, naturalAlloc)
+	if err != nil {
+		return GroupResult{}, fmt.Errorf("experiment: natural baseline: %w", err)
+	}
+	record(NaturalBaseline, sol)
+
+	// Optimal: unconstrained DP.
+	sol, err = partition.Optimize(pr)
+	if err != nil {
+		return GroupResult{}, fmt.Errorf("experiment: optimal: %w", err)
+	}
+	record(Optimal, sol)
+
+	// STTW: the classic greedy.
+	record(STTW, partition.STTW(curves, units))
+
+	return res, nil
+}
+
+// Run evaluates every groupSize-subset of the programs in parallel and
+// returns the results in lexicographic group order.
+func Run(progs []workload.Program, groupSize, units int, blocksPerUnit int64) (Result, error) {
+	if groupSize < 1 || groupSize > len(progs) {
+		return Result{}, fmt.Errorf("experiment: group size %d out of range for %d programs", groupSize, len(progs))
+	}
+	groups := Combinations(len(progs), groupSize)
+	res := Result{Programs: progs, Units: units, Groups: make([]GroupResult, len(groups))}
+	errs := make([]error, len(groups))
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range jobs {
+				res.Groups[g], errs[g] = EvaluateGroup(progs, groups[g], units, blocksPerUnit)
+			}
+		}()
+	}
+	for g := range groups {
+		jobs <- g
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}

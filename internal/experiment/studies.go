@@ -1,0 +1,228 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"partitionshare/internal/cachesim"
+	"partitionshare/internal/compose"
+	"partitionshare/internal/footprint"
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/partition"
+	"partitionshare/internal/stats"
+	"partitionshare/internal/trace"
+	"partitionshare/internal/workload"
+)
+
+// CorrelationResult reports the locality-performance correlation study.
+type CorrelationResult struct {
+	// Predicted[g] is group g's HOTL-predicted shared-cache miss ratio.
+	Predicted []float64
+	// SimulatedTime[g] is the group's simulated co-run execution time in
+	// cycles: one cycle per access plus missPenalty per simulated miss.
+	SimulatedTime []float64
+	// Pearson is the correlation coefficient between the two.
+	Pearson float64
+}
+
+// CorrelationStudy reproduces the §VIII "Locality-performance
+// Correlation" argument (Wang et al. measured r = 0.938 between predicted
+// miss ratio and execution time over all 1820 groups): for each given
+// group, the co-run is simulated on a shared LRU cache and its execution
+// time modelled as accesses + missPenalty·misses, then correlated with
+// the composition-predicted miss ratio. Groups are simulated in parallel.
+func CorrelationStudy(specs []workload.Spec, cfg workload.Config, groups [][]int, missPenalty float64) (CorrelationResult, error) {
+	if len(groups) < 2 {
+		return CorrelationResult{}, fmt.Errorf("experiment: need at least 2 groups to correlate")
+	}
+	if missPenalty <= 0 {
+		return CorrelationResult{}, fmt.Errorf("experiment: non-positive miss penalty %v", missPenalty)
+	}
+	// Generate and profile each program once.
+	traces := make([]trace.Trace, len(specs))
+	fps := make([]footprint.Footprint, len(specs))
+	{
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, s := range specs {
+			wg.Add(1)
+			go func(i int, s workload.Spec) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				gen := s.Build(uint32(cfg.CacheBlocks()), cfg.Seed*0x9e3779b9^uint64(i))
+				traces[i] = trace.Generate(gen, cfg.TraceLen)
+				fps[i] = footprint.FromTrace(traces[i])
+			}(i, s)
+		}
+		wg.Wait()
+	}
+	res := CorrelationResult{
+		Predicted:     make([]float64, len(groups)),
+		SimulatedTime: make([]float64, len(groups)),
+	}
+	capacity := int(cfg.CacheBlocks())
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errs := make([]error, len(groups))
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range jobs {
+				members := groups[g]
+				progs := make([]compose.Program, 0, len(members))
+				subTraces := make([]trace.Trace, 0, len(members))
+				rates := make([]float64, 0, len(members))
+				for _, m := range members {
+					if m < 0 || m >= len(specs) {
+						errs[g] = fmt.Errorf("experiment: invalid member %d", m)
+						continue
+					}
+					progs = append(progs, compose.Program{Name: specs[m].Name, Fp: fps[m], Rate: specs[m].Rate})
+					subTraces = append(subTraces, traces[m])
+					rates = append(rates, specs[m].Rate)
+				}
+				if errs[g] != nil {
+					continue
+				}
+				res.Predicted[g] = compose.SharedGroupMissRatio(progs, float64(capacity))
+				iv := trace.InterleaveProportional(subTraces, rates, cfg.TraceLen)
+				sim := cachesim.SimulateShared(iv, capacity, cfg.TraceLen/4)
+				var misses, accesses int64
+				for p := range sim.Misses {
+					misses += sim.Misses[p]
+					accesses += sim.Accesses[p]
+				}
+				res.SimulatedTime[g] = float64(accesses) + missPenalty*float64(misses)
+			}
+		}()
+	}
+	for g := range groups {
+		jobs <- g
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return CorrelationResult{}, err
+		}
+	}
+	res.Pearson = stats.Pearson(res.Predicted, res.SimulatedTime)
+	return res, nil
+}
+
+// GranularityPoint is one row of the granularity ablation.
+type GranularityPoint struct {
+	Units         int
+	BlocksPerUnit int64
+	// MeanGroupMR is the mean group miss ratio over the sampled groups
+	// when the partition is optimized at this granularity but evaluated
+	// at the finest one.
+	MeanGroupMR float64
+	// MeanSolveTime is the average wall time of one DP solve.
+	MeanSolveTime time.Duration
+}
+
+// GranularityStudy quantifies the paper's §VII-A cost/quality lever: the
+// DP is O(P·C²) in the unit count, and the paper picked 8 KB units to
+// keep it cheap. For each granularity, each sampled group is optimized at
+// that granularity and the resulting allocation is scored on the
+// finest-granularity curves. unitCounts must each divide the finest
+// count, which must equal cfg.Units.
+func GranularityStudy(progs []workload.Program, cfg workload.Config, groups [][]int, unitCounts []int) ([]GranularityPoint, error) {
+	if len(groups) == 0 || len(unitCounts) == 0 {
+		return nil, fmt.Errorf("experiment: empty granularity study")
+	}
+	fine := cfg.Units
+	var out []GranularityPoint
+	for _, units := range unitCounts {
+		if units <= 0 || fine%units != 0 {
+			return nil, fmt.Errorf("experiment: unit count %d does not divide %d", units, fine)
+		}
+		factor := fine / units
+		blocksPerUnit := cfg.BlocksPerUnit * int64(factor)
+		pt := GranularityPoint{Units: units, BlocksPerUnit: blocksPerUnit}
+		var totalMR float64
+		var totalSolve time.Duration
+		for _, members := range groups {
+			coarse := make([]mrc.Curve, len(members))
+			finest := make([]mrc.Curve, len(members))
+			for i, m := range members {
+				if m < 0 || m >= len(progs) {
+					return nil, fmt.Errorf("experiment: invalid member %d", m)
+				}
+				coarse[i] = mrc.FromFootprint(progs[m].Name, progs[m].Fp, units, blocksPerUnit, progs[m].Rate)
+				coarse[i].Accesses = progs[m].Curve.Accesses
+				finest[i] = progs[m].Curve
+			}
+			start := time.Now()
+			sol, err := partition.Optimize(partition.Problem{Curves: coarse, Units: units})
+			if err != nil {
+				return nil, err
+			}
+			totalSolve += time.Since(start)
+			// Scale the coarse allocation to fine units and score it on
+			// the finest curves.
+			fineAlloc := make(partition.Allocation, len(sol.Alloc))
+			for i, u := range sol.Alloc {
+				fineAlloc[i] = u * factor
+			}
+			totalMR += mrc.GroupMissRatio(finest, fineAlloc)
+		}
+		pt.MeanGroupMR = totalMR / float64(len(groups))
+		pt.MeanSolveTime = totalSolve / time.Duration(len(groups))
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PolicyRow is one program × capacity row of the replacement-policy study.
+type PolicyRow struct {
+	Program  string
+	Capacity int
+	LRU      float64 // simulated LRU miss ratio (ground truth for HOTL)
+	Clock    float64 // simulated CLOCK miss ratio
+	Random   float64 // simulated random-replacement miss ratio
+	HOTL     float64 // model-predicted miss ratio
+}
+
+// PolicyStudy quantifies the §VIII replacement-policy assumption: the
+// HOTL model targets exact LRU; CLOCK approximates it and random
+// replacement departs from it (mildly on smooth workloads, strongly on
+// thrashing loops). Each spec's trace is run through all three simulators
+// at each capacity.
+func PolicyStudy(specs []workload.Spec, cfg workload.Config, capacities []int) ([]PolicyRow, error) {
+	if len(specs) == 0 || len(capacities) == 0 {
+		return nil, fmt.Errorf("experiment: empty policy study")
+	}
+	var rows []PolicyRow
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr := trace.Generate(s.Build(uint32(cfg.CacheBlocks()), cfg.Seed*0x9e3779b9^uint64(i)), cfg.TraceLen)
+			fp := footprint.FromTrace(tr)
+			n := float64(len(tr))
+			for _, c := range capacities {
+				row := PolicyRow{Program: s.Name, Capacity: c}
+				row.LRU = float64(cachesim.NewLRU(c).Run(tr)) / n
+				row.Clock = float64(cachesim.RunPolicy(cachesim.NewClock(c), tr)) / n
+				row.Random = float64(cachesim.RunPolicy(cachesim.NewRandom(c, 7), tr)) / n
+				row.HOTL = fp.MissRatio(float64(c))
+				mu.Lock()
+				rows = append(rows, row)
+				mu.Unlock()
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return rows, nil
+}

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"testing"
+
+	"partitionshare/internal/workload"
+)
+
+// The natural partition assumption must hold on the synthetic suite: the
+// HOTL pair predictions track the simulated shared cache. The paper found
+// the prediction "accurate or nearly accurate for all but two" of 380 miss
+// ratios; here a handful of programs at reduced scale must stay within a
+// small absolute error.
+func TestNPAPairValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := workload.TestConfig()
+	specs := workload.Specs()[:6] // C(6,2)=15 pairs, 30 predictions
+	vs, err := ValidatePairs(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 30 {
+		t.Fatalf("got %d validations, want 30", len(vs))
+	}
+	sum := SummarizeValidation(vs, 0.01)
+	if sum.MeanAbsErr > 0.01 {
+		t.Errorf("mean |err| = %.4f, want <= 0.01", sum.MeanAbsErr)
+	}
+	if sum.WithinTol < 0.8 {
+		t.Errorf("only %.0f%% of predictions within 0.01", 100*sum.WithinTol)
+	}
+	for _, v := range vs {
+		if v.Predicted < 0 || v.Predicted > 1 || v.Measured < 0 || v.Measured > 1 {
+			t.Fatalf("out-of-range ratios: %+v", v)
+		}
+		if v.Err() > 0.05 {
+			t.Errorf("%s (with %s): predicted %.4f vs measured %.4f",
+				v.Program, v.Partner, v.Predicted, v.Measured)
+		}
+	}
+}
+
+func TestValidatePairsErrors(t *testing.T) {
+	if _, err := ValidatePairs(workload.Specs()[:1], workload.TestConfig()); err == nil {
+		t.Fatal("expected error for fewer than 2 programs")
+	}
+}
+
+func TestSummarizeValidationEmpty(t *testing.T) {
+	s := SummarizeValidation(nil, 0.01)
+	if s.N != 0 || s.MeanAbsErr != 0 || s.WithinTol != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestPairValidationErr(t *testing.T) {
+	v := PairValidation{Predicted: 0.2, Measured: 0.5}
+	if v.Err() != 0.3 {
+		t.Fatalf("Err = %v", v.Err())
+	}
+	v = PairValidation{Predicted: 0.5, Measured: 0.2}
+	if v.Err() != 0.3 {
+		t.Fatalf("Err = %v", v.Err())
+	}
+}

@@ -1,0 +1,233 @@
+// Package footprint implements the higher-order theory of locality (HOTL)
+// metrics of the paper's §III: the average footprint fp(w), fill time
+// ft(c) = fp⁻¹(c), inter-miss time im(c) = ft(c+1) − ft(c), and miss ratio
+// mr(c) = 1/im(c) = fp(ft(c)+1) − c.
+//
+// The average footprint is computed exactly from the reuse-time histogram
+// in closed form. For a trace of n accesses to m distinct data,
+//
+//	fp(w) = m − [ Σ_{t>w} (t−w)·freq(t)
+//	            + Σ_k max(0, f_k−w)
+//	            + Σ_k max(0, l_k−w) ] / (n−w+1)
+//
+// where freq is the reuse-time histogram, f_k the first-access time of
+// datum k, and l_k = n − last_k + 1 its reverse last-access time. The three
+// sums are answered in O(log n) by reuse.TailSum, so a full miss-ratio
+// curve costs O(C log² n) instead of the O(n·C) of direct window counting.
+package footprint
+
+import (
+	"fmt"
+	"math"
+
+	"partitionshare/internal/reuse"
+	"partitionshare/internal/trace"
+)
+
+// Footprint evaluates the HOTL metrics of one program's trace. The zero
+// value is not usable; build one with New or FromTrace.
+type Footprint struct {
+	p reuse.Profile
+}
+
+// New wraps a reuse profile for footprint evaluation.
+func New(p reuse.Profile) Footprint {
+	if p.N <= 0 {
+		panic("footprint: profile has no accesses")
+	}
+	return Footprint{p: p}
+}
+
+// FromTrace profiles the trace and wraps it.
+func FromTrace(t trace.Trace) Footprint { return New(reuse.Collect(t)) }
+
+// N returns the trace length.
+func (f Footprint) N() int64 { return f.p.N }
+
+// M returns the number of distinct data (the footprint of the whole trace).
+func (f Footprint) M() int64 { return f.p.M }
+
+// AtInt returns fp(w) for an integer window length. fp(0) = 0,
+// fp(w >= n) = m.
+func (f Footprint) AtInt(w int64) float64 {
+	switch {
+	case w <= 0:
+		return 0
+	case w >= f.p.N:
+		return float64(f.p.M)
+	}
+	deficit := f.p.Reuse.Excess(w) + f.p.First.Excess(w) + f.p.Last.Excess(w)
+	return float64(f.p.M) - float64(deficit)/float64(f.p.N-w+1)
+}
+
+// At returns fp(w) for a real-valued window length, linearly interpolating
+// between integer window lengths. Fractional windows arise from footprint
+// stretching in co-run composition (paper Eq. 9).
+func (f Footprint) At(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	if w >= float64(f.p.N) {
+		return float64(f.p.M)
+	}
+	lo := math.Floor(w)
+	frac := w - lo
+	flo := f.AtInt(int64(lo))
+	if frac == 0 {
+		return flo
+	}
+	fhi := f.AtInt(int64(lo) + 1)
+	return flo + frac*(fhi-flo)
+}
+
+// FillTime returns ft(c), the (real-valued) window length at which the
+// average footprint reaches c blocks: the smallest w with fp(w) = c, using
+// linear interpolation. It panics if c is negative and returns +Inf when
+// c exceeds the total footprint m.
+func (f Footprint) FillTime(c float64) float64 {
+	if c < 0 {
+		panic(fmt.Sprintf("footprint: negative cache size %v", c))
+	}
+	if c == 0 {
+		return 0
+	}
+	if c > float64(f.p.M) {
+		return math.Inf(1)
+	}
+	// Binary search for the smallest integer w with fp(w) >= c.
+	lo, hi := int64(0), f.p.N
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.AtInt(mid) >= c {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	flo := f.AtInt(lo - 1)
+	fhi := f.AtInt(lo)
+	if fhi <= flo {
+		return float64(lo)
+	}
+	return float64(lo-1) + (c-flo)/(fhi-flo)
+}
+
+// MissRatio returns the HOTL miss ratio mr(c) = fp(ft(c)+1) − c for a
+// fully-associative LRU cache of c blocks (paper Eq. 10). For c at or above
+// the total footprint m the only misses are cold, so mr = m/n; this matches
+// the stack-distance (ground-truth) curve, which counts cold misses.
+func (f Footprint) MissRatio(c float64) float64 {
+	if c < 0 {
+		panic(fmt.Sprintf("footprint: negative cache size %v", c))
+	}
+	if c >= float64(f.p.M) {
+		return float64(f.p.M) / float64(f.p.N)
+	}
+	w := f.FillTime(c)
+	mr := f.At(w+1) - c
+	if mr < 0 {
+		return 0
+	}
+	if mr > 1 {
+		return 1
+	}
+	return mr
+}
+
+// InterMissTime returns im(c) = ft(c+1) − ft(c), the expected number of
+// accesses between consecutive misses at cache size c (paper Eq. 7). It is
+// +Inf when c+1 exceeds the total footprint.
+func (f Footprint) InterMissTime(c float64) float64 {
+	return f.FillTime(c+1) - f.FillTime(c)
+}
+
+// MissRatioWindow returns the miss ratio averaged over the cache-size
+// window [c−dc/2, c+dc/2]: (hi−lo)/(ft(hi)−ft(lo)), the harmonic-mean
+// smoothing of mr over dc blocks. For an exact full-trace profile and
+// small dc it coincides with MissRatio; for sampled profiles — whose
+// footprint is a staircase with steps the size of the inverse sampling
+// rate — the windowed secant is the meaningful local derivative. dc <= 0
+// falls back to MissRatio.
+func (f Footprint) MissRatioWindow(c, dc float64) float64 {
+	if dc <= 0 {
+		return f.MissRatio(c)
+	}
+	if c < 0 {
+		panic(fmt.Sprintf("footprint: negative cache size %v", c))
+	}
+	m := float64(f.p.M)
+	if c >= m {
+		return f.MissRatio(c)
+	}
+	lo := c - dc/2
+	if lo < 0 {
+		lo = 0
+	}
+	hi := c + dc/2
+	if hi > m {
+		hi = m
+	}
+	if hi-lo < 1e-12 {
+		return f.MissRatio(c)
+	}
+	w1, w2 := f.FillTime(lo), f.FillTime(hi)
+	if math.IsInf(w2, 1) || w2 <= w1 {
+		return f.MissRatio(c)
+	}
+	mr := (hi - lo) / (w2 - w1)
+	if mr < 0 {
+		return 0
+	}
+	if mr > 1 {
+		return 1
+	}
+	return mr
+}
+
+// MissRatioCurve samples mr at integer cache sizes 0..maxC in steps of
+// step blocks, returning a slice r with r[i] = mr(i*step). It panics if
+// step or maxC is not positive.
+func (f Footprint) MissRatioCurve(maxC, step int64) []float64 {
+	if step <= 0 || maxC <= 0 {
+		panic(fmt.Sprintf("footprint: invalid curve parameters maxC=%d step=%d", maxC, step))
+	}
+	out := make([]float64, maxC/step+1)
+	for i := range out {
+		out[i] = f.MissRatio(float64(int64(i) * step))
+	}
+	return out
+}
+
+// BruteForceFp computes the exact average footprint fp(w) of a trace by
+// direct enumeration of all n−w+1 windows using a sliding window, in O(n)
+// per window length. It exists to validate the closed-form formula and is
+// exported for tests and examples only.
+func BruteForceFp(t trace.Trace, w int) float64 {
+	n := len(t)
+	if w <= 0 {
+		return 0
+	}
+	if w >= n {
+		return float64(trace.Trace(t).DistinctData())
+	}
+	counts := make(map[uint32]int, 1024)
+	distinct := 0
+	var total int64
+	for i, d := range t {
+		if counts[d] == 0 {
+			distinct++
+		}
+		counts[d]++
+		if i >= w {
+			old := t[i-w]
+			counts[old]--
+			if counts[old] == 0 {
+				distinct--
+			}
+		}
+		if i >= w-1 {
+			total += int64(distinct)
+		}
+	}
+	return float64(total) / float64(n-w+1)
+}

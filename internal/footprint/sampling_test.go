@@ -1,0 +1,82 @@
+package footprint
+
+import (
+	"math"
+	"testing"
+
+	"partitionshare/internal/reuse"
+	"partitionshare/internal/trace"
+)
+
+// A miss-ratio curve derived from a 10%-sampled profile must track the
+// full-trace curve — the accuracy/cost trade the paper discusses for
+// sampled footprint profiling (§VII-A).
+func TestSampledProfileMRCAccuracy(t *testing.T) {
+	// Spatial sampling keeps rate·M data, so its noise is ~1/sqrt(rate·M):
+	// the method targets real traces with 10^5+ distinct blocks. Use
+	// pools large enough that a 10% sample keeps a few thousand data.
+	const n = 300000
+	traces := []trace.Trace{
+		randomTrace(21, n, 20000),
+		trace.Generate(trace.NewZipf(30000, 0.8, 5), n),
+		trace.Generate(trace.NewDeterministicMix(
+			[]trace.Generator{
+				trace.NewSawtooth(15000),
+				trace.Region{Gen: trace.NewStreaming(8), Base: 1 << 24},
+			},
+			[]float64{0.7, 0.3}), n),
+	}
+	seeds := []uint64{17, 31, 43, 59, 71}
+	for ti, tr := range traces {
+		full := New(reuse.Collect(tr))
+		var sampled []Footprint
+		for _, seed := range seeds {
+			sampled = append(sampled, New(reuse.CollectSampled(tr, 0.1, seed)))
+		}
+		for _, c := range []float64{1000, 4000, 10000, 18000} {
+			f := full.MissRatio(c)
+			mean := 0.0
+			for si, s := range sampled {
+				// A 10% sample's footprint moves in steps of ~10 blocks;
+				// evaluate the windowed miss ratio (as mrc.FromFootprint
+				// does per unit).
+				v := s.MissRatioWindow(c, 400)
+				mean += v
+				// Per-seed bound is loose for the Zipf trace: its
+				// heavy-tailed per-datum weights inflate sampling
+				// variance; the mean bound below is the real check.
+				if math.Abs(f-v) > 0.08 {
+					t.Errorf("trace %d c=%v seed %d: full mr %.4f vs sampled mr %.4f", ti, c, seeds[si], f, v)
+				}
+			}
+			mean /= float64(len(sampled))
+			if math.Abs(f-mean) > 0.02 {
+				t.Errorf("trace %d c=%v: full mr %.4f vs mean sampled mr %.4f", ti, c, f, mean)
+			}
+		}
+	}
+}
+
+// Sampling must also preserve the footprint function itself within a few
+// percent of the data size.
+func TestSampledProfileFpAccuracy(t *testing.T) {
+	tr := randomTrace(23, 300000, 20000)
+	full := New(reuse.Collect(tr))
+	seeds := []uint64{19, 29, 41, 53, 67}
+	for _, w := range []int64{1000, 10000, 50000, 150000} {
+		f := full.AtInt(w)
+		denom := math.Max(f, 1)
+		mean := 0.0
+		for _, seed := range seeds {
+			s := New(reuse.CollectSampled(tr, 0.1, seed)).AtInt(w)
+			mean += s
+			if math.Abs(f-s)/denom > 0.10 {
+				t.Errorf("w=%d seed=%d: full fp %.1f vs sampled fp %.1f", w, seed, f, s)
+			}
+		}
+		mean /= float64(len(seeds))
+		if math.Abs(f-mean)/denom > 0.04 {
+			t.Errorf("w=%d: full fp %.1f vs mean sampled fp %.1f", w, f, mean)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"partitionshare/internal/mrc"
+)
+
+// Incremental maintains the optimal-partition DP as programs join and
+// leave, reusing all unchanged layers. Adding a program costs one O(C²)
+// layer; removing the most recently added program is O(1). This serves the
+// scheduling scenario the paper motivates in §IV (choosing among many
+// candidate co-run groups): a scheduler can push and pop candidates
+// instead of re-running the full DP per group.
+//
+// Only Sum objectives over miss counts are supported; the zero value is
+// not usable — construct with NewIncremental.
+type Incremental struct {
+	units  int
+	layers []incLayer
+}
+
+type incLayer struct {
+	curve  mrc.Curve
+	dp     []float64 // dp[k]: best miss count for programs so far, exactly k units
+	choice []int32
+}
+
+// NewIncremental returns an empty optimizer for a cache of units units.
+func NewIncremental(units int) *Incremental {
+	if units <= 0 {
+		panic(fmt.Sprintf("partition: invalid cache size %d", units))
+	}
+	return &Incremental{units: units}
+}
+
+// Len returns the number of programs currently in the group.
+func (inc *Incremental) Len() int { return len(inc.layers) }
+
+// Push adds a program, extending the DP by one layer.
+func (inc *Incremental) Push(c mrc.Curve) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	C := inc.units
+	const inf = math.MaxFloat64
+	layer := incLayer{
+		curve:  c,
+		dp:     make([]float64, C+1),
+		choice: make([]int32, C+1),
+	}
+	var prev []float64
+	if n := len(inc.layers); n > 0 {
+		prev = inc.layers[n-1].dp
+	}
+	for t := 0; t <= C; t++ {
+		best := inf
+		bestU := int32(0)
+		if prev == nil {
+			// First program takes all t units (exact-sum semantics).
+			best = c.MissCount(t)
+			bestU = int32(t)
+		} else {
+			for u := 0; u <= t; u++ {
+				if prev[t-u] == inf {
+					continue
+				}
+				if cand := prev[t-u] + c.MissCount(u); cand < best {
+					best = cand
+					bestU = int32(u)
+				}
+			}
+		}
+		layer.dp[t] = best
+		layer.choice[t] = bestU
+	}
+	inc.layers = append(inc.layers, layer)
+	return nil
+}
+
+// Pop removes the most recently added program in O(1).
+func (inc *Incremental) Pop() error {
+	if len(inc.layers) == 0 {
+		return fmt.Errorf("partition: Pop on empty group")
+	}
+	inc.layers = inc.layers[:len(inc.layers)-1]
+	return nil
+}
+
+// Solve reconstructs the optimal allocation for the current group.
+func (inc *Incremental) Solve() (Solution, error) {
+	n := len(inc.layers)
+	if n == 0 {
+		return Solution{}, fmt.Errorf("partition: Solve on empty group")
+	}
+	curves := make([]mrc.Curve, n)
+	for i, l := range inc.layers {
+		curves[i] = l.curve
+	}
+	alloc := make(Allocation, n)
+	k := inc.units
+	for p := n - 1; p >= 0; p-- {
+		u := int(inc.layers[p].choice[k])
+		alloc[p] = u
+		k -= u
+	}
+	if k != 0 {
+		return Solution{}, fmt.Errorf("partition: reconstruction leftover %d units (internal)", k)
+	}
+	pr := Problem{Curves: curves, Units: inc.units}
+	return pr.solution(alloc, inc.layers[n-1].dp[inc.units]), nil
+}

@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// OptimizeParallel computes the same optimum as Optimize but parallelizes
+// each DP layer across CPUs. Within one layer (one program), the cell
+// next[t] = min over u of combine(dp[t−u], cost(u)) depends only on the
+// previous layer, so targets t are embarrassingly parallel; layers remain
+// sequential. Useful at fine granularity (large C), where the O(P·C²) DP
+// dominates: the paper chose 8 KB units specifically to keep this cost
+// down (§VII-A) — parallelism is the other lever.
+//
+// The objective value is identical to Optimize's; when several allocations
+// tie, the two may return different (equally optimal) allocations.
+func OptimizeParallel(pr Problem, workers int) (Solution, error) {
+	if err := pr.validate(); err != nil {
+		return Solution{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n, C := len(pr.Curves), pr.Units
+
+	const inf = math.MaxFloat64
+	dp := make([]float64, C+1)
+	next := make([]float64, C+1)
+	choice := make([][]int32, n)
+	for k := range dp {
+		dp[k] = inf
+	}
+	if pr.Combine == Minimax {
+		dp[0] = math.Inf(-1)
+	} else {
+		dp[0] = 0
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		choice[p] = make([]int32, C+1)
+		lo, hi := pr.bounds(p)
+		costs := make([]float64, hi-lo+1)
+		for u := lo; u <= hi; u++ {
+			costs[u-lo] = pr.cost(p, u)
+		}
+		ch := choice[p]
+		minimax := pr.Combine == Minimax
+		chunk := (C + workers) / workers
+		for w := 0; w < workers; w++ {
+			tLo := w * chunk
+			tHi := tLo + chunk - 1
+			if tHi > C {
+				tHi = C
+			}
+			if tLo > C {
+				break
+			}
+			wg.Add(1)
+			go func(tLo, tHi int) {
+				defer wg.Done()
+				for t := tLo; t <= tHi; t++ {
+					best := inf
+					bestU := int32(0)
+					for u := lo; u <= hi && u <= t; u++ {
+						prev := dp[t-u]
+						if prev == inf {
+							continue
+						}
+						var cand float64
+						if minimax {
+							cand = math.Max(prev, costs[u-lo])
+						} else {
+							cand = prev + costs[u-lo]
+						}
+						if cand < best {
+							best = cand
+							bestU = int32(u)
+						}
+					}
+					next[t] = best
+					ch[t] = bestU
+				}
+			}(tLo, tHi)
+		}
+		wg.Wait()
+		dp, next = next, dp
+	}
+
+	if dp[C] == inf {
+		return Solution{}, fmt.Errorf("partition: no feasible allocation (internal)")
+	}
+	alloc := make(Allocation, n)
+	k := C
+	for p := n - 1; p >= 0; p-- {
+		u := int(choice[p][k])
+		alloc[p] = u
+		k -= u
+	}
+	if k != 0 {
+		return Solution{}, fmt.Errorf("partition: reconstruction leftover %d units (internal)", k)
+	}
+	return pr.solution(alloc, dp[C]), nil
+}

@@ -1,0 +1,293 @@
+// Package partition implements the paper's core contribution (§V-B, §VI):
+// optimal cache partitioning by dynamic programming over arbitrary
+// miss-ratio curves and objective functions, baseline-constrained (fair)
+// optimization, and the classic Stone–Thiebaut–Turek–Wolf (STTW) greedy
+// partitioner used as the comparison baseline.
+//
+// The optimizer assigns whole cache units to programs so that the combined
+// objective is minimized and the units sum exactly to the cache size
+// (Eq. 15). The dynamic program adds one program at a time (Eq. 16): the
+// optimal split of k units among the first i programs extends the optimal
+// splits of k−cᵢ units among the first i−1. Time O(P·C²), space O(P·C).
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"partitionshare/internal/mrc"
+)
+
+// Allocation assigns cache units to each program.
+type Allocation []int
+
+// Total returns the number of units allocated.
+func (a Allocation) Total() int {
+	t := 0
+	for _, u := range a {
+		t += u
+	}
+	return t
+}
+
+// Combine selects how per-program costs aggregate into the objective.
+type Combine int
+
+const (
+	// Sum minimizes the total cost — with the default miss-count cost,
+	// the group miss ratio (the paper's primary objective).
+	Sum Combine = iota
+	// Minimax minimizes the worst per-program cost — a pure fairness
+	// objective, demonstrating the DP's objective generality (§V-B).
+	Minimax
+)
+
+// Problem describes one partitioning instance.
+type Problem struct {
+	// Curves holds one miss-ratio curve per program.
+	Curves []mrc.Curve
+	// Units is the cache size C in partition units.
+	Units int
+	// MinAlloc and MaxAlloc bound each program's allocation (inclusive).
+	// nil means 0 and C respectively. Baseline-constrained optimization
+	// (§VI) sets MinAlloc.
+	MinAlloc, MaxAlloc []int
+	// Cost gives program p's cost at u units. nil means miss count,
+	// Curves[p].MissCount(u). Any function is legal: the optimizer makes
+	// no convexity or monotonicity assumption.
+	Cost func(p, u int) float64
+	// Combine selects the aggregation (default Sum).
+	Combine Combine
+}
+
+func (pr *Problem) cost(p, u int) float64 {
+	if pr.Cost != nil {
+		return pr.Cost(p, u)
+	}
+	return pr.Curves[p].MissCount(u)
+}
+
+func (pr *Problem) bounds(p int) (lo, hi int) {
+	lo, hi = 0, pr.Units
+	if pr.MinAlloc != nil {
+		lo = pr.MinAlloc[p]
+	}
+	if pr.MaxAlloc != nil && pr.MaxAlloc[p] < hi {
+		hi = pr.MaxAlloc[p]
+	}
+	return lo, hi
+}
+
+func (pr *Problem) validate() error {
+	n := len(pr.Curves)
+	if n == 0 {
+		return fmt.Errorf("partition: no programs")
+	}
+	if pr.Units <= 0 {
+		return fmt.Errorf("partition: non-positive cache size %d", pr.Units)
+	}
+	if pr.MinAlloc != nil && len(pr.MinAlloc) != n {
+		return fmt.Errorf("partition: MinAlloc has %d entries for %d programs", len(pr.MinAlloc), n)
+	}
+	if pr.MaxAlloc != nil && len(pr.MaxAlloc) != n {
+		return fmt.Errorf("partition: MaxAlloc has %d entries for %d programs", len(pr.MaxAlloc), n)
+	}
+	minSum := 0
+	for p := 0; p < n; p++ {
+		lo, hi := pr.bounds(p)
+		if lo < 0 || hi < lo {
+			return fmt.Errorf("partition: program %d has invalid bounds [%d,%d]", p, lo, hi)
+		}
+		minSum += lo
+	}
+	if minSum > pr.Units {
+		return fmt.Errorf("partition: lower bounds sum to %d > cache size %d", minSum, pr.Units)
+	}
+	maxSum := 0
+	for p := 0; p < n; p++ {
+		_, hi := pr.bounds(p)
+		maxSum += hi
+	}
+	if maxSum < pr.Units {
+		return fmt.Errorf("partition: upper bounds sum to %d < cache size %d", maxSum, pr.Units)
+	}
+	return nil
+}
+
+// Solution is the result of an optimization.
+type Solution struct {
+	Alloc Allocation
+	// Objective is the combined objective value (total miss count for
+	// the default Sum objective).
+	Objective float64
+	// GroupMissRatio is total misses over total accesses under Alloc,
+	// independent of the objective used.
+	GroupMissRatio float64
+	// MissRatios holds each program's miss ratio under Alloc.
+	MissRatios []float64
+}
+
+func (pr *Problem) solution(alloc Allocation, obj float64) Solution {
+	s := Solution{
+		Alloc:          alloc,
+		Objective:      obj,
+		GroupMissRatio: mrc.GroupMissRatio(pr.Curves, alloc),
+		MissRatios:     make([]float64, len(pr.Curves)),
+	}
+	for p, c := range pr.Curves {
+		s.MissRatios[p] = c.MissRatio(alloc[p])
+	}
+	return s
+}
+
+// Optimize finds the allocation minimizing the combined objective subject
+// to the allocation summing exactly to Units and respecting the per-program
+// bounds. It examines the entire solution space by dynamic programming —
+// no convexity assumption — in O(P·C²) time and O(P·C) space.
+func Optimize(pr Problem) (Solution, error) {
+	if err := pr.validate(); err != nil {
+		return Solution{}, err
+	}
+	n, C := len(pr.Curves), pr.Units
+
+	const inf = math.MaxFloat64
+	// dp[k]: best objective for the programs seen so far using exactly k
+	// units. choice[p][k]: units given to program p in that optimum.
+	dp := make([]float64, C+1)
+	next := make([]float64, C+1)
+	choice := make([][]int32, n)
+
+	for k := range dp {
+		dp[k] = inf
+	}
+	// The empty-set objective: 0 for Sum, -Inf for Minimax (the identity
+	// of max), so the first program's cost passes through unchanged even
+	// if negative.
+	if pr.Combine == Minimax {
+		dp[0] = math.Inf(-1)
+	} else {
+		dp[0] = 0
+	}
+
+	for p := 0; p < n; p++ {
+		choice[p] = make([]int32, C+1)
+		lo, hi := pr.bounds(p)
+		costs := make([]float64, hi-lo+1)
+		for u := lo; u <= hi; u++ {
+			costs[u-lo] = pr.cost(p, u)
+		}
+		for k := range next {
+			next[k] = inf
+		}
+		for k := 0; k <= C; k++ {
+			if dp[k] == inf {
+				continue
+			}
+			for u := lo; u <= hi && k+u <= C; u++ {
+				var cand float64
+				if pr.Combine == Minimax {
+					cand = math.Max(dp[k], costs[u-lo])
+				} else {
+					cand = dp[k] + costs[u-lo]
+				}
+				if cand < next[k+u] {
+					next[k+u] = cand
+					choice[p][k+u] = int32(u)
+				}
+			}
+		}
+		dp, next = next, dp
+	}
+
+	if dp[C] == inf {
+		return Solution{}, fmt.Errorf("partition: no feasible allocation (internal)")
+	}
+	alloc := make(Allocation, n)
+	k := C
+	for p := n - 1; p >= 0; p-- {
+		u := int(choice[p][k])
+		alloc[p] = u
+		k -= u
+	}
+	if k != 0 {
+		return Solution{}, fmt.Errorf("partition: reconstruction leftover %d units (internal)", k)
+	}
+	return pr.solution(alloc, dp[C]), nil
+}
+
+// Evaluate builds a Solution for a fixed allocation without optimizing,
+// using the problem's cost and combine rules. The allocation must respect
+// the problem's size.
+func Evaluate(pr Problem, alloc Allocation) (Solution, error) {
+	if len(alloc) != len(pr.Curves) {
+		return Solution{}, fmt.Errorf("partition: allocation for %d programs, want %d", len(alloc), len(pr.Curves))
+	}
+	if err := pr.validate(); err != nil {
+		return Solution{}, err
+	}
+	var obj float64
+	for p := range pr.Curves {
+		c := pr.cost(p, alloc[p])
+		if pr.Combine == Minimax {
+			obj = math.Max(obj, c)
+		} else {
+			obj += c
+		}
+	}
+	return pr.solution(alloc, obj), nil
+}
+
+// BruteForce enumerates every allocation of Units units among the programs
+// (respecting bounds) and returns the best. Exponential; exported for
+// cross-checking the DP in tests and for the exhaustive partition-sharing
+// study on tiny instances.
+func BruteForce(pr Problem) (Solution, error) {
+	if err := pr.validate(); err != nil {
+		return Solution{}, err
+	}
+	n, C := len(pr.Curves), pr.Units
+	best := Solution{Objective: math.Inf(1)}
+	alloc := make(Allocation, n)
+	var rec func(p, left int, acc float64)
+	rec = func(p, left int, acc float64) {
+		if p == n-1 {
+			lo, hi := pr.bounds(p)
+			if left < lo || left > hi {
+				return
+			}
+			alloc[p] = left
+			c := pr.cost(p, left)
+			var obj float64
+			if pr.Combine == Minimax {
+				obj = math.Max(acc, c)
+			} else {
+				obj = acc + c
+			}
+			if obj < best.Objective {
+				cp := make(Allocation, n)
+				copy(cp, alloc)
+				best = pr.solution(cp, obj)
+			}
+			return
+		}
+		lo, hi := pr.bounds(p)
+		for u := lo; u <= hi && u <= left; u++ {
+			alloc[p] = u
+			c := pr.cost(p, u)
+			if pr.Combine == Minimax {
+				rec(p+1, left-u, math.Max(acc, c))
+			} else {
+				rec(p+1, left-u, acc+c)
+			}
+		}
+	}
+	start := 0.0
+	if pr.Combine == Minimax {
+		start = math.Inf(-1)
+	}
+	rec(0, C, start)
+	if math.IsInf(best.Objective, 1) {
+		return Solution{}, fmt.Errorf("partition: no feasible allocation")
+	}
+	return best, nil
+}

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"partitionshare/internal/mrc"
+)
+
+// QoSMinAlloc returns, for each program, the smallest allocation meeting
+// its miss-ratio ceiling (quality-of-service target). A NaN or +Inf entry
+// means "no target". It returns an error naming the first program whose
+// target is unreachable even with the whole cache.
+func QoSMinAlloc(curves []mrc.Curve, maxMR []float64) ([]int, error) {
+	if len(curves) != len(maxMR) {
+		return nil, fmt.Errorf("partition: %d curves but %d QoS targets", len(curves), len(maxMR))
+	}
+	mins := make([]int, len(curves))
+	for p, c := range curves {
+		target := maxMR[p]
+		switch {
+		case target < 0:
+			return nil, fmt.Errorf("partition: program %q has negative QoS target %v", c.Name, target)
+		case math.IsNaN(target) || target >= 1:
+			mins[p] = 0
+			continue
+		}
+		u := 0
+		for ; u <= c.Units(); u++ {
+			if c.MissRatio(u) <= target+1e-15 {
+				break
+			}
+		}
+		if u > c.Units() {
+			return nil, fmt.Errorf("partition: program %q cannot reach miss ratio %v even with the whole cache (best %v)",
+				c.Name, target, c.MissRatio(c.Units()))
+		}
+		mins[p] = u
+	}
+	return mins, nil
+}
+
+// OptimizeElastic implements elastic cache utility (the RECU approach the
+// paper cites [18]): each program is guaranteed to perform no worse than
+// it would with a lambda-fraction of its equal share (lambda in [0,1]).
+// lambda = 1 is the paper's Equal baseline; lambda = 0 is unconstrained
+// Optimal; values between trade fairness for throughput smoothly.
+func OptimizeElastic(curves []mrc.Curve, units int, lambda float64) (Solution, error) {
+	if lambda < 0 || lambda > 1 {
+		return Solution{}, fmt.Errorf("partition: elastic lambda %v outside [0,1]", lambda)
+	}
+	equal := EqualAllocation(len(curves), units)
+	shrunk := make(Allocation, len(curves))
+	for p, u := range equal {
+		shrunk[p] = int(lambda * float64(u))
+	}
+	return Optimize(Problem{
+		Curves:   curves,
+		Units:    units,
+		MinAlloc: BaselineMinAlloc(curves, shrunk, DefaultBaselineTolerance),
+	})
+}
+
+// OptimizeWithQoS minimizes the group miss count subject to each program
+// meeting its miss-ratio ceiling (paper §V-B: the DP "can optimize for any
+// objective function, for example, fairness and quality of service"). An
+// entry of NaN or >= 1 in maxMR leaves that program unconstrained. It
+// returns an error when the ceilings are individually unreachable or
+// jointly exceed the cache.
+func OptimizeWithQoS(curves []mrc.Curve, units int, maxMR []float64) (Solution, error) {
+	mins, err := QoSMinAlloc(curves, maxMR)
+	if err != nil {
+		return Solution{}, err
+	}
+	sum := 0
+	for _, m := range mins {
+		sum += m
+	}
+	if sum > units {
+		return Solution{}, fmt.Errorf("partition: QoS targets need %d units but the cache has %d", sum, units)
+	}
+	return Optimize(Problem{Curves: curves, Units: units, MinAlloc: mins})
+}

@@ -1,0 +1,153 @@
+package partition
+
+import (
+	"container/heap"
+	"fmt"
+
+	"partitionshare/internal/mrc"
+)
+
+// EqualAllocation splits C units evenly among n programs, giving the
+// remainder one unit each to the lowest-indexed programs (the paper's Equal
+// scheme; its configuration has C divisible by n so the remainder is zero).
+func EqualAllocation(n, units int) Allocation {
+	if n <= 0 || units < 0 {
+		panic(fmt.Sprintf("partition: invalid EqualAllocation(%d, %d)", n, units))
+	}
+	alloc := make(Allocation, n)
+	base, rem := units/n, units%n
+	for p := range alloc {
+		alloc[p] = base
+		if p < rem {
+			alloc[p]++
+		}
+	}
+	return alloc
+}
+
+// DefaultBaselineTolerance is the relative slack used by baseline
+// optimization: a program counts as "no worse than its baseline" while its
+// miss ratio stays within this fraction of the baseline miss ratio. Real
+// miss-ratio curves have flat regions where cache can be shed exactly for
+// free; measured or model-derived curves are strictly decreasing at
+// floating-point granularity, so a literal zero tolerance would leave the
+// optimizer no room at all. Half a percent is well inside the HOTL
+// prediction error the paper accepts (§VII-C).
+const DefaultBaselineTolerance = 0.005
+
+// BaselineMinAlloc computes, for each program, the smallest allocation
+// whose miss ratio does not exceed the program's miss ratio under the given
+// baseline allocation (within the relative tolerance tol). Using these as
+// DP lower bounds yields the paper's baseline optimization (§VI): group
+// misses are minimized subject to no program doing (meaningfully) worse
+// than its baseline. Curves must be non-increasing (repair with
+// MonotoneRepair first).
+func BaselineMinAlloc(curves []mrc.Curve, baseline Allocation, tol float64) []int {
+	if len(curves) != len(baseline) {
+		panic(fmt.Sprintf("partition: %d curves but %d baseline entries", len(curves), len(baseline)))
+	}
+	if tol < 0 {
+		panic(fmt.Sprintf("partition: negative baseline tolerance %v", tol))
+	}
+	mins := make([]int, len(curves))
+	for p, c := range curves {
+		target := c.MissRatio(baseline[p]) * (1 + tol)
+		u := 0
+		for ; u <= c.Units(); u++ {
+			if c.MissRatio(u) <= target+1e-15 {
+				break
+			}
+		}
+		if u > baseline[p] {
+			// Monotone curves guarantee u <= baseline[p]; guard against
+			// non-monotone input so the bound never exceeds the baseline
+			// (which must stay feasible).
+			u = baseline[p]
+		}
+		mins[p] = u
+	}
+	return mins
+}
+
+// OptimizeWithBaseline minimizes the group miss count subject to every
+// program performing at least as well as under the baseline allocation,
+// within DefaultBaselineTolerance.
+func OptimizeWithBaseline(curves []mrc.Curve, units int, baseline Allocation) (Solution, error) {
+	return Optimize(Problem{
+		Curves:   curves,
+		Units:    units,
+		MinAlloc: BaselineMinAlloc(curves, baseline, DefaultBaselineTolerance),
+	})
+}
+
+// sttwItem is a heap entry: the marginal miss-count reduction program p
+// would get from one more unit.
+type sttwItem struct {
+	p    int
+	gain float64
+}
+
+type sttwHeap []sttwItem
+
+func (h sttwHeap) Len() int            { return len(h) }
+func (h sttwHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h sttwHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sttwHeap) Push(x interface{}) { *h = append(*h, x.(sttwItem)) }
+func (h *sttwHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// STTW computes the Stone–Thiebaut–Turek–Wolf partition: starting from
+// empty allocations, it repeatedly grants one unit to the program with the
+// highest marginal miss-count reduction, which equalizes the (access-
+// weighted) miss-ratio derivatives — Eq. 13–14. The result minimizes group
+// misses iff every curve is convex; on curves with working-set cliffs the
+// greedy stalls before the cliff and can do much worse than Optimize
+// (paper §VII-B, Figure 7).
+func STTW(curves []mrc.Curve, units int) Solution {
+	if len(curves) == 0 || units <= 0 {
+		panic(fmt.Sprintf("partition: invalid STTW instance (%d programs, %d units)", len(curves), units))
+	}
+	alloc := make(Allocation, len(curves))
+	h := make(sttwHeap, 0, len(curves))
+	gain := func(p, u int) float64 {
+		return curves[p].MissCount(u) - curves[p].MissCount(u+1)
+	}
+	for p := range curves {
+		h = append(h, sttwItem{p, gain(p, 0)})
+	}
+	heap.Init(&h)
+	for granted := 0; granted < units; granted++ {
+		it := heap.Pop(&h).(sttwItem)
+		alloc[it.p]++
+		heap.Push(&h, sttwItem{it.p, gain(it.p, alloc[it.p])})
+	}
+	pr := Problem{Curves: curves, Units: units}
+	sol, err := Evaluate(pr, alloc)
+	if err != nil {
+		panic(fmt.Sprintf("partition: STTW produced invalid allocation: %v", err))
+	}
+	return sol
+}
+
+// STTWOnConvexHull runs STTW on the convex minorants of the curves but
+// evaluates the resulting allocation on the true curves. This is the
+// classical remedy for non-convex curves (Suh et al. §IX) and an ablation
+// point: it repairs some of STTW's losses but still cannot beat the DP.
+func STTWOnConvexHull(curves []mrc.Curve, units int) Solution {
+	hulls := make([]mrc.Curve, len(curves))
+	for i, c := range curves {
+		hulls[i] = c.ConvexMinorant()
+	}
+	hullSol := STTW(hulls, units)
+	pr := Problem{Curves: curves, Units: units}
+	sol, err := Evaluate(pr, hullSol.Alloc)
+	if err != nil {
+		panic(fmt.Sprintf("partition: hull STTW produced invalid allocation: %v", err))
+	}
+	return sol
+}

@@ -1,0 +1,170 @@
+// Package profileio reads and writes program locality profiles — the
+// counterpart of the paper's per-program "footprint files" (§VII-A, 242 KB
+// to 375 KB of ASCII per program) that the optimizer consumes.
+//
+// A profile stores the reuse-time, first-access, and last-access histograms
+// plus the trace length, distinct-data count, and access rate. That is
+// exactly the information the HOTL footprint formula needs, so the full
+// footprint function (and from it any miss-ratio curve and any composition)
+// is reconstructed losslessly.
+//
+// Format (ASCII, line oriented):
+//
+//	hotlprof v1
+//	name <string>
+//	rate <float>
+//	n <int> m <int>
+//	reuse <k>
+//	<value> <count>     (k lines, ascending value)
+//	first <k>
+//	...
+//	last <k>
+//	...
+package profileio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"partitionshare/internal/footprint"
+	"partitionshare/internal/reuse"
+)
+
+// Profile is the serializable form of one program's locality profile.
+type Profile struct {
+	Name  string
+	Rate  float64
+	Reuse reuse.Profile
+}
+
+// Footprint wraps the profile for HOTL evaluation.
+func (p Profile) Footprint() footprint.Footprint { return footprint.New(p.Reuse) }
+
+// Write serializes the profile.
+func Write(w io.Writer, p Profile) error {
+	bw := bufio.NewWriter(w)
+	if strings.ContainsAny(p.Name, " \t\n") {
+		return fmt.Errorf("profileio: name %q contains whitespace", p.Name)
+	}
+	fmt.Fprintln(bw, "hotlprof v1")
+	fmt.Fprintf(bw, "name %s\n", p.Name)
+	fmt.Fprintf(bw, "rate %g\n", p.Rate)
+	fmt.Fprintf(bw, "n %d m %d\n", p.Reuse.N, p.Reuse.M)
+	writeHist := func(label string, ts reuse.TailSum) {
+		fmt.Fprintf(bw, "%s %d\n", label, ts.Len())
+		ts.Each(func(v, c int64) {
+			fmt.Fprintf(bw, "%d %d\n", v, c)
+		})
+	}
+	writeHist("reuse", p.Reuse.Reuse)
+	writeHist("first", p.Reuse.First)
+	writeHist("last", p.Reuse.Last)
+	return bw.Flush()
+}
+
+// Read parses a profile written by Write.
+func Read(r io.Reader) (Profile, error) {
+	br := bufio.NewReader(r)
+	var p Profile
+	var magic, version string
+	if _, err := fmt.Fscan(br, &magic, &version); err != nil {
+		return p, fmt.Errorf("profileio: bad header: %w", err)
+	}
+	if magic != "hotlprof" || version != "v1" {
+		return p, fmt.Errorf("profileio: unsupported header %q %q", magic, version)
+	}
+	var key string
+	if _, err := fmt.Fscan(br, &key, &p.Name); err != nil || key != "name" {
+		return p, fmt.Errorf("profileio: expected name line (err %v)", err)
+	}
+	if _, err := fmt.Fscan(br, &key, &p.Rate); err != nil || key != "rate" {
+		return p, fmt.Errorf("profileio: expected rate line (err %v)", err)
+	}
+	if p.Rate <= 0 {
+		return p, fmt.Errorf("profileio: non-positive rate %v", p.Rate)
+	}
+	var n, m int64
+	var mkey string
+	if _, err := fmt.Fscan(br, &key, &n, &mkey, &m); err != nil || key != "n" || mkey != "m" {
+		return p, fmt.Errorf("profileio: expected n/m line (err %v)", err)
+	}
+	if n <= 0 || m <= 0 || m > n {
+		return p, fmt.Errorf("profileio: invalid n=%d m=%d", n, m)
+	}
+	readHist := func(label string) (reuse.TailSum, error) {
+		var got string
+		var k int
+		if _, err := fmt.Fscan(br, &got, &k); err != nil || got != label {
+			return reuse.TailSum{}, fmt.Errorf("profileio: expected %s histogram (got %q, err %v)", label, got, err)
+		}
+		if k < 0 {
+			return reuse.TailSum{}, fmt.Errorf("profileio: negative histogram size %d", k)
+		}
+		hist := make(map[int64]int64, k)
+		for i := 0; i < k; i++ {
+			var v, c int64
+			if _, err := fmt.Fscan(br, &v, &c); err != nil {
+				return reuse.TailSum{}, fmt.Errorf("profileio: truncated %s histogram: %w", label, err)
+			}
+			if v <= 0 || c <= 0 {
+				return reuse.TailSum{}, fmt.Errorf("profileio: invalid %s entry %d %d", label, v, c)
+			}
+			hist[v] += c
+		}
+		return reuse.NewTailSum(hist), nil
+	}
+	var err error
+	p.Reuse.N, p.Reuse.M = n, m
+	if p.Reuse.Reuse, err = readHist("reuse"); err != nil {
+		return p, err
+	}
+	if p.Reuse.First, err = readHist("first"); err != nil {
+		return p, err
+	}
+	if p.Reuse.Last, err = readHist("last"); err != nil {
+		return p, err
+	}
+	// Full-trace profiles have exactly n−m reuse pairs; sampled profiles
+	// (reuse.CollectSampled) scale counts uniformly and may land a few
+	// percent off in either direction, so allow 10% slack over n−m.
+	if got := p.Reuse.Reuse.Total(); got > n-m+(n-m)/10+1 {
+		return p, fmt.Errorf("profileio: reuse histogram total %d far exceeds n-m = %d", got, n-m)
+	}
+	if got := p.Reuse.First.Total(); got != m {
+		return p, fmt.Errorf("profileio: first histogram total %d, want m = %d", got, m)
+	}
+	if got := p.Reuse.Last.Total(); got != m {
+		return p, fmt.Errorf("profileio: last histogram total %d, want m = %d", got, m)
+	}
+	return p, nil
+}
+
+// WriteFile serializes the profile to path.
+func WriteFile(path string, p Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses the profile at path.
+func ReadFile(path string) (Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	defer f.Close()
+	p, err := Read(f)
+	if err != nil {
+		return Profile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,68 @@
+package reuse
+
+import (
+	"fmt"
+
+	"partitionshare/internal/trace"
+)
+
+// CRD holds concurrent reuse distances (§IX related work): the LRU stack
+// distances of an *interleaved* multi-program trace, attributed to the
+// issuing programs. CRD predicts shared-cache performance exactly (an
+// access hits a shared LRU cache of c blocks iff its concurrent distance
+// is <= c), but — as the paper argues — it is specific to one co-run
+// group and interleaving: unlike footprint composition it cannot be
+// reused when the group changes, which is why the paper builds on
+// composable footprints instead.
+type CRD struct {
+	// PerProgram[p] is program p's histogram of concurrent distances.
+	PerProgram []DistanceHistogram
+	// Combined is the whole interleaved trace's histogram.
+	Combined DistanceHistogram
+}
+
+// ConcurrentDistances computes the CRD of an interleaved trace.
+func ConcurrentDistances(iv trace.Interleaved) CRD {
+	nprogs := len(iv.Counts)
+	if nprogs == 0 {
+		panic("reuse: interleaved trace has no programs")
+	}
+	if len(iv.Trace) != len(iv.Owner) {
+		panic(fmt.Sprintf("reuse: trace/owner length mismatch %d/%d", len(iv.Trace), len(iv.Owner)))
+	}
+	dists := StackDistances(iv.Trace)
+	var maxD int64
+	for _, d := range dists {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	crd := CRD{PerProgram: make([]DistanceHistogram, nprogs)}
+	for p := range crd.PerProgram {
+		crd.PerProgram[p] = DistanceHistogram{Counts: make([]int64, maxD+1)}
+	}
+	crd.Combined = DistanceHistogram{Counts: make([]int64, maxD+1), N: int64(len(dists))}
+	for i, d := range dists {
+		p := int(iv.Owner[i])
+		crd.PerProgram[p].N++
+		if d == ColdMiss {
+			crd.PerProgram[p].Cold++
+			crd.Combined.Cold++
+		} else {
+			crd.PerProgram[p].Counts[d]++
+			crd.Combined.Counts[d]++
+		}
+	}
+	return crd
+}
+
+// SharedMissRatio returns program p's miss ratio in a shared LRU cache of
+// c blocks, computed exactly from the concurrent distances.
+func (crd CRD) SharedMissRatio(p int, c int64) float64 {
+	return crd.PerProgram[p].MissRatio(c)
+}
+
+// GroupMissRatio returns the group's shared-cache miss ratio at c blocks.
+func (crd CRD) GroupMissRatio(c int64) float64 {
+	return crd.Combined.MissRatio(c)
+}

@@ -1,0 +1,84 @@
+package reuse
+
+import (
+	"testing"
+
+	"partitionshare/internal/trace"
+)
+
+// CRD must agree EXACTLY with a shared-cache LRU simulation at every
+// cache size — two independent implementations of the same semantics
+// (stack property of LRU). This is the strongest cross-validation in the
+// repository: reuse.ConcurrentDistances shares no code with the
+// simulator's linked-list LRU.
+func TestCRDMatchesSharedSimulationExactly(t *testing.T) {
+	a := randomTrace(31, 3000, 150)
+	b := trace.Generate(trace.NewLoop(80, 1), 3000)
+	c := trace.Generate(trace.NewStreaming(3), 3000)
+	iv := trace.InterleaveProportional([]trace.Trace{a, b, c}, []float64{2, 1, 1}, 9000)
+	crd := ConcurrentDistances(iv)
+	for _, capacity := range []int{1, 10, 50, 150, 400} {
+		// Simulate the same interleaved trace with a real LRU cache,
+		// charging misses per program.
+		cache := newSetAssocForTest(1, capacity) // 1 set = fully assoc
+		misses := make([]int64, 3)
+		accesses := make([]int64, 3)
+		for i, d := range iv.Trace {
+			p := iv.Owner[i]
+			accesses[p]++
+			if !cache.access(d) {
+				misses[p]++
+			}
+		}
+		for p := 0; p < 3; p++ {
+			want := float64(misses[p]) / float64(accesses[p])
+			got := crd.SharedMissRatio(p, int64(capacity))
+			if got != want {
+				t.Fatalf("cap %d program %d: CRD mr %v vs simulated %v", capacity, p, got, want)
+			}
+		}
+		wantGroup := float64(misses[0]+misses[1]+misses[2]) / 9000
+		if got := crd.GroupMissRatio(int64(capacity)); got != wantGroup {
+			t.Fatalf("cap %d: CRD group mr %v vs simulated %v", capacity, got, wantGroup)
+		}
+	}
+}
+
+func TestCRDPerProgramCounts(t *testing.T) {
+	a := trace.Generate(trace.NewLoop(10, 1), 100)
+	b := trace.Generate(trace.NewLoop(10, 1), 100)
+	iv := trace.InterleaveProportional([]trace.Trace{a, b}, []float64{3, 1}, 400)
+	crd := ConcurrentDistances(iv)
+	if crd.PerProgram[0].N != 300 || crd.PerProgram[1].N != 100 {
+		t.Fatalf("per-program Ns = %d/%d", crd.PerProgram[0].N, crd.PerProgram[1].N)
+	}
+	if crd.Combined.N != 400 {
+		t.Fatalf("combined N = %d", crd.Combined.N)
+	}
+	// Per-program cold counts sum to the combined cold count.
+	if crd.PerProgram[0].Cold+crd.PerProgram[1].Cold != crd.Combined.Cold {
+		t.Fatal("cold counts inconsistent")
+	}
+}
+
+func TestCRDPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { ConcurrentDistances(trace.Interleaved{}) },
+		func() {
+			ConcurrentDistances(trace.Interleaved{
+				Trace:  trace.Trace{1, 2},
+				Owner:  []uint8{0},
+				Counts: []int{2},
+			})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

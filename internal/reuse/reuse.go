@@ -1,0 +1,143 @@
+// Package reuse measures the time-based and distance-based reuse metrics of
+// a memory trace: the reuse-time histogram that drives the HOTL footprint
+// formula (paper §III), and exact LRU stack distances (reuse distances) that
+// give the ground-truth miss-ratio curve of a fully-associative LRU cache.
+package reuse
+
+import (
+	"fmt"
+	"sort"
+
+	"partitionshare/internal/trace"
+)
+
+// TailSum answers queries of the form Q(w) = Σ_v max(0, v-w)·count(v) and
+// N(w) = Σ_{v>w} count(v) over a multiset of positive integer values, in
+// O(log k) per query after O(k log k) construction. The HOTL footprint
+// formula is three such queries: over reuse times, first-access times, and
+// reverse last-access times.
+type TailSum struct {
+	values []int64 // sorted ascending, unique
+	counts []int64 // counts[i] = multiplicity of values[i]
+	sufCnt []int64 // sufCnt[i] = Σ_{j>=i} counts[j]
+	sufSum []int64 // sufSum[i] = Σ_{j>=i} values[j]*counts[j]
+}
+
+// NewTailSum builds a TailSum from a value→count histogram.
+func NewTailSum(hist map[int64]int64) TailSum {
+	ts := TailSum{}
+	ts.values = make([]int64, 0, len(hist))
+	for v, c := range hist {
+		if c == 0 {
+			continue
+		}
+		if v <= 0 {
+			panic(fmt.Sprintf("reuse: TailSum values must be positive, got %d", v))
+		}
+		if c < 0 {
+			panic(fmt.Sprintf("reuse: negative count %d for value %d", c, v))
+		}
+		ts.values = append(ts.values, v)
+	}
+	sort.Slice(ts.values, func(i, j int) bool { return ts.values[i] < ts.values[j] })
+	ts.counts = make([]int64, len(ts.values))
+	for i, v := range ts.values {
+		ts.counts[i] = hist[v]
+	}
+	ts.sufCnt = make([]int64, len(ts.values)+1)
+	ts.sufSum = make([]int64, len(ts.values)+1)
+	for i := len(ts.values) - 1; i >= 0; i-- {
+		ts.sufCnt[i] = ts.sufCnt[i+1] + ts.counts[i]
+		ts.sufSum[i] = ts.sufSum[i+1] + ts.values[i]*ts.counts[i]
+	}
+	return ts
+}
+
+// Total returns the total multiplicity of the multiset.
+func (ts TailSum) Total() int64 {
+	if len(ts.sufCnt) == 0 {
+		return 0
+	}
+	return ts.sufCnt[0]
+}
+
+// Excess returns Σ_v max(0, v-w)·count(v).
+func (ts TailSum) Excess(w int64) int64 {
+	i := sort.Search(len(ts.values), func(i int) bool { return ts.values[i] > w })
+	return ts.sufSum[i] - w*ts.sufCnt[i]
+}
+
+// CountGreater returns Σ_{v>w} count(v).
+func (ts TailSum) CountGreater(w int64) int64 {
+	i := sort.Search(len(ts.values), func(i int) bool { return ts.values[i] > w })
+	return ts.sufCnt[i]
+}
+
+// Each calls fn for every (value, count) pair in ascending value order.
+// It is the export half of NewTailSum, used to serialize profiles.
+func (ts TailSum) Each(fn func(value, count int64)) {
+	for i, v := range ts.values {
+		fn(v, ts.counts[i])
+	}
+}
+
+// Len returns the number of distinct values.
+func (ts TailSum) Len() int { return len(ts.values) }
+
+// Max returns the largest value in the multiset, or 0 if empty.
+func (ts TailSum) Max() int64 {
+	if len(ts.values) == 0 {
+		return 0
+	}
+	return ts.values[len(ts.values)-1]
+}
+
+// Profile holds the per-trace reuse statistics the HOTL theory consumes.
+type Profile struct {
+	N int64 // trace length
+	M int64 // number of distinct data
+
+	// Reuse is the histogram of reuse times. The reuse time of a pair of
+	// consecutive accesses to the same datum at positions p < q (1-based)
+	// is q-p, the time gap. A trace with n accesses to m distinct data
+	// has exactly n-m reuse pairs.
+	Reuse TailSum
+	// First is the histogram of first-access times f_k (1-based position
+	// of each datum's first access).
+	First TailSum
+	// Last is the histogram of reverse last-access times l_k = n-p+1
+	// where p is the datum's last access position.
+	Last TailSum
+}
+
+// Collect scans the trace once and builds its reuse Profile. It panics on
+// an empty trace.
+func Collect(t trace.Trace) Profile {
+	if len(t) == 0 {
+		panic("reuse: cannot profile an empty trace")
+	}
+	n := int64(len(t))
+	lastPos := make(map[uint32]int64, 1024)
+	reuseHist := make(map[int64]int64)
+	firstHist := make(map[int64]int64)
+	for i, d := range t {
+		pos := int64(i) + 1
+		if p, ok := lastPos[d]; ok {
+			reuseHist[pos-p]++
+		} else {
+			firstHist[pos]++
+		}
+		lastPos[d] = pos
+	}
+	lastHist := make(map[int64]int64)
+	for _, p := range lastPos {
+		lastHist[n-p+1]++
+	}
+	return Profile{
+		N:     n,
+		M:     int64(len(lastPos)),
+		Reuse: NewTailSum(reuseHist),
+		First: NewTailSum(firstHist),
+		Last:  NewTailSum(lastHist),
+	}
+}

@@ -1,0 +1,124 @@
+package reuse
+
+import (
+	"math"
+	"testing"
+
+	"partitionshare/internal/trace"
+)
+
+func TestCollectSampledRateOneMatchesFull(t *testing.T) {
+	tr := randomTrace(3, 5000, 200)
+	full := Collect(tr)
+	sampled := CollectSampled(tr, 1.0, 7)
+	if sampled.N != full.N || sampled.M != full.M {
+		t.Fatalf("rate 1: n/m = %d/%d, want %d/%d", sampled.N, sampled.M, full.N, full.M)
+	}
+	if sampled.Reuse.Total() != full.Reuse.Total() {
+		t.Errorf("reuse totals differ: %d vs %d", sampled.Reuse.Total(), full.Reuse.Total())
+	}
+	for w := int64(1); w < 5000; w += 97 {
+		if sampled.Reuse.Excess(w) != full.Reuse.Excess(w) {
+			t.Fatalf("excess(%d) differs", w)
+		}
+	}
+}
+
+func TestCollectSampledInvariants(t *testing.T) {
+	tr := randomTrace(5, 20000, 800)
+	for _, rate := range []float64{0.05, 0.1, 0.3, 0.7} {
+		p := CollectSampled(tr, rate, 11)
+		if p.N != int64(len(tr)) {
+			t.Fatalf("rate %v: N = %d", rate, p.N)
+		}
+		// Counts are scaled uniformly (deliberately not rebalanced), so
+		// the pair total matches the trace's pair budget only within
+		// sampling noise.
+		if got := p.Reuse.Total(); math.Abs(float64(got)-float64(p.N-p.M)) > 0.1*float64(p.N-p.M) {
+			t.Errorf("rate %v: reuse total %d far from n-m %d", rate, got, p.N-p.M)
+		}
+		if p.First.Total() != p.M || p.Last.Total() != p.M {
+			t.Errorf("rate %v: first/last totals %d/%d != m %d", rate, p.First.Total(), p.Last.Total(), p.M)
+		}
+		// The value identity that pins small-window footprints:
+		// Σ v·count across the three histograms ≈ m(n+1).
+		sum := p.Reuse.Excess(0) + p.First.Excess(0) + p.Last.Excess(0)
+		want := float64(p.M) * float64(p.N+1)
+		if rel := (float64(sum) - want) / want; rel > 0.02 || rel < -0.02 {
+			t.Errorf("rate %v: value identity off by %.2f%%", rate, rel*100)
+		}
+	}
+}
+
+func TestCollectSampledEstimatesM(t *testing.T) {
+	tr := randomTrace(9, 30000, 1000)
+	full := Collect(tr)
+	p := CollectSampled(tr, 0.2, 13)
+	rel := math.Abs(float64(p.M-full.M)) / float64(full.M)
+	if rel > 0.15 {
+		t.Errorf("sampled m = %d vs true %d (%.0f%% off)", p.M, full.M, rel*100)
+	}
+}
+
+func TestCollectSampledDegenerate(t *testing.T) {
+	// A single-datum trace at a tiny rate may sample nothing; the
+	// fallback must still produce a valid profile.
+	tr := make(trace.Trace, 100)
+	p := CollectSampled(tr, 0.0001, 1)
+	if p.N <= 0 || p.M <= 0 {
+		t.Fatalf("degenerate profile: %+v", p)
+	}
+}
+
+func TestCollectSampledPanics(t *testing.T) {
+	tr := trace.Trace{0, 1}
+	for i, f := range []func(){
+		func() { CollectSampled(nil, 0.5, 1) },
+		func() { CollectSampled(tr, 0, 1) },
+		func() { CollectSampled(tr, 1.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRetotal(t *testing.T) {
+	h := map[int64]int64{1: 10, 5: 20, 9: 30}
+	out := retotal(h, 90)
+	if total(out) != 90 {
+		t.Fatalf("retotal sum = %d, want 90", total(out))
+	}
+	out = retotal(h, 60)
+	if total(out) != 60 {
+		t.Fatalf("retotal (same) sum = %d", total(out))
+	}
+	out = retotal(map[int64]int64{}, 5)
+	if total(out) != 5 {
+		t.Fatalf("retotal from empty = %d", total(out))
+	}
+	if len(retotal(h, 0)) != 0 {
+		t.Fatal("retotal to zero should be empty")
+	}
+}
+
+func BenchmarkCollectFull(b *testing.B) {
+	tr := randomTrace(1, 1<<20, 1<<15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Collect(tr)
+	}
+}
+
+func BenchmarkCollectSampled10(b *testing.B) {
+	tr := randomTrace(1, 1<<20, 1<<15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CollectSampled(tr, 0.1, 3)
+	}
+}

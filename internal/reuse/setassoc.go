@@ -1,0 +1,62 @@
+package reuse
+
+import (
+	"fmt"
+	"math"
+)
+
+// SetAssocMissRatio estimates the miss ratio of a set-associative LRU
+// cache (sets × ways) from the fully-associative stack-distance histogram,
+// using Smith's statistical model (paper §VIII, citing Smith 1976): under
+// random block-to-set mapping, an access with stack distance d hits iff
+// fewer than `ways` of its d−1 intervening distinct blocks fall in its own
+// set, a Binomial(d−1, 1/sets) tail event.
+//
+// The fully-associative curve is recovered exactly at sets = 1.
+func SetAssocMissRatio(h DistanceHistogram, sets, ways int) float64 {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("reuse: invalid geometry sets=%d ways=%d", sets, ways))
+	}
+	if h.N == 0 {
+		return 0
+	}
+	p := 1.0 / float64(sets)
+	q := 1 - p
+	misses := float64(h.Cold)
+	for d := int64(1); d < int64(len(h.Counts)); d++ {
+		cnt := h.Counts[d]
+		if cnt == 0 {
+			continue
+		}
+		misses += float64(cnt) * (1 - binomialCDF(d-1, p, q, ways-1))
+	}
+	return misses / float64(h.N)
+}
+
+// binomialCDF returns P(X <= kMax) for X ~ Binomial(n, p), computed by
+// iterating terms from k = 0. Underflow of the first term is handled in
+// log space.
+func binomialCDF(n int64, p, q float64, kMax int) float64 {
+	if n <= int64(kMax) {
+		return 1
+	}
+	if p == 1 {
+		return 0
+	}
+	// t0 = q^n via logs to survive large n.
+	logT := float64(n) * math.Log(q)
+	sum := 0.0
+	t := math.Exp(logT)
+	for k := 0; ; k++ {
+		sum += t
+		if k == kMax {
+			break
+		}
+		// t_{k+1} = t_k * (n-k)/(k+1) * p/q
+		t *= float64(n-int64(k)) / float64(k+1) * p / q
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

@@ -1,0 +1,153 @@
+package reuse
+
+import (
+	"math"
+	"testing"
+
+	"partitionshare/internal/trace"
+)
+
+func TestSetAssocDegeneratesToFullyAssoc(t *testing.T) {
+	tr := randomTrace(3, 5000, 300)
+	h := HistogramDistances(StackDistances(tr))
+	for _, ways := range []int{4, 16, 64} {
+		model := SetAssocMissRatio(h, 1, ways)
+		exact := h.MissRatio(int64(ways))
+		if math.Abs(model-exact) > 1e-9 {
+			t.Errorf("sets=1 ways=%d: model %v vs exact %v", ways, model, exact)
+		}
+	}
+}
+
+func TestSetAssocNearFullyAssocAtHighWays(t *testing.T) {
+	// At equal capacity the model tracks the fully-associative curve,
+	// approaching it as associativity grows. (It is not bounded below by
+	// it: under random mapping a far reuse can luckily find its set
+	// under-subscribed, so low-associativity estimates can dip slightly
+	// under the stack curve as well as above it.)
+	tr := randomTrace(5, 8000, 500)
+	h := HistogramDistances(StackDistances(tr))
+	for _, g := range []struct{ sets, ways int }{{2, 32}, {8, 8}, {32, 2}, {64, 1}} {
+		model := SetAssocMissRatio(h, g.sets, g.ways)
+		fa := h.MissRatio(int64(g.sets * g.ways))
+		if model > 1 || model < 0 {
+			t.Errorf("%dx%d: model %v out of range", g.sets, g.ways, model)
+		}
+		if math.Abs(model-fa) > 0.1 {
+			t.Errorf("%dx%d: model %v far from fully-assoc %v", g.sets, g.ways, model, fa)
+		}
+	}
+	// High associativity: conflict effects vanish.
+	m := SetAssocMissRatio(h, 2, 128)
+	fa := h.MissRatio(256)
+	if math.Abs(m-fa) > 0.01 {
+		t.Errorf("2x128: model %v should be close to fully-assoc %v", m, fa)
+	}
+}
+
+func TestSetAssocMoreWaysNeverWorse(t *testing.T) {
+	tr := randomTrace(7, 8000, 400)
+	h := HistogramDistances(StackDistances(tr))
+	prev := 1.0
+	for _, ways := range []int{1, 2, 4, 8, 16} {
+		mr := SetAssocMissRatio(h, 16, ways)
+		if mr > prev+1e-12 {
+			t.Errorf("16 sets: mr rose from %v to %v at %d ways", prev, mr, ways)
+		}
+		prev = mr
+	}
+}
+
+// The model must track an actual set-associative simulation on random
+// traces (where the random-mapping assumption holds).
+func TestSetAssocModelMatchesSimulation(t *testing.T) {
+	tr := randomTrace(11, 40000, 600)
+	h := HistogramDistances(StackDistances(tr))
+	for _, g := range []struct{ sets, ways int }{{16, 8}, {32, 8}, {64, 4}} {
+		model := SetAssocMissRatio(h, g.sets, g.ways)
+		sim := trace.Trace(tr)
+		c := 0.0
+		{
+			cache := newSetAssocForTest(g.sets, g.ways)
+			var misses int64
+			for _, d := range sim {
+				if !cache.access(d) {
+					misses++
+				}
+			}
+			c = float64(misses) / float64(len(sim))
+		}
+		if math.Abs(model-c) > 0.02 {
+			t.Errorf("%dx%d: model %v vs simulated %v", g.sets, g.ways, model, c)
+		}
+	}
+}
+
+// newSetAssocForTest is a minimal local set-associative LRU (a copy of the
+// cachesim logic; importing cachesim here would create an import cycle in
+// spirit — reuse is below cachesim in the layering).
+type testSetAssoc struct {
+	sets [][]uint32
+	ways int
+}
+
+func newSetAssocForTest(sets, ways int) *testSetAssoc {
+	return &testSetAssoc{sets: make([][]uint32, sets), ways: ways}
+}
+
+func (c *testSetAssoc) access(d uint32) bool {
+	s := d % uint32(len(c.sets))
+	set := c.sets[s]
+	for i, b := range set {
+		if b == d {
+			copy(set[1:i+1], set[:i])
+			set[0] = d
+			return true
+		}
+	}
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = d
+	c.sets[s] = set
+	return false
+}
+
+func TestSetAssocPanicsOnBadGeometry(t *testing.T) {
+	h := HistogramDistances(StackDistances(randomTrace(1, 100, 10)))
+	for i, f := range []func(){
+		func() { SetAssocMissRatio(h, 0, 4) },
+		func() { SetAssocMissRatio(h, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSetAssocEmptyHistogram(t *testing.T) {
+	if got := SetAssocMissRatio(DistanceHistogram{}, 4, 4); got != 0 {
+		t.Fatalf("empty histogram mr = %v", got)
+	}
+}
+
+func TestBinomialCDF(t *testing.T) {
+	// Binomial(4, 0.5): P(X<=1) = (1+4)/16 = 0.3125.
+	if got := binomialCDF(4, 0.5, 0.5, 1); math.Abs(got-0.3125) > 1e-12 {
+		t.Errorf("CDF = %v, want 0.3125", got)
+	}
+	// n <= kMax: certain.
+	if got := binomialCDF(3, 0.5, 0.5, 5); got != 1 {
+		t.Errorf("CDF = %v, want 1", got)
+	}
+	// Huge n must not underflow to NaN.
+	if got := binomialCDF(1<<40, 1.0/1024, 1023.0/1024.0, 8); math.IsNaN(got) || got < 0 || got > 1 {
+		t.Errorf("CDF = %v for huge n", got)
+	}
+}

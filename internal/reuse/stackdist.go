@@ -1,0 +1,137 @@
+package reuse
+
+import (
+	"fmt"
+
+	"partitionshare/internal/trace"
+)
+
+// ColdMiss marks an access with no prior access to the same datum.
+const ColdMiss = int64(-1)
+
+// fenwick is a binary indexed tree over 1-based positions supporting point
+// add and prefix sum, used by the Bennett–Kruskal stack-distance algorithm.
+type fenwick struct {
+	tree []int64
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int64, n+1)} }
+
+func (f *fenwick) add(i int, delta int64) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum over positions [lo, hi].
+func (f *fenwick) rangeSum(lo, hi int) int64 {
+	if hi < lo {
+		return 0
+	}
+	return f.prefix(hi) - f.prefix(lo-1)
+}
+
+// StackDistances computes the LRU stack distance of every access using the
+// Bennett–Kruskal algorithm (a Fenwick tree over access times), in
+// O(n log n) time. The stack distance of an access is the number of
+// distinct data accessed since the previous access to the same datum,
+// counting the datum itself — the convention of the paper's Figure 3, where
+// an immediately repeated access has distance 1. Cold accesses get
+// ColdMiss.
+//
+// Under a fully-associative LRU cache of capacity c blocks, an access hits
+// iff its stack distance is <= c.
+func StackDistances(t trace.Trace) []int64 {
+	dists := make([]int64, len(t))
+	ft := newFenwick(len(t))
+	lastPos := make(map[uint32]int, 1024)
+	for i, d := range t {
+		pos := i + 1
+		if p, ok := lastPos[d]; ok {
+			// Distinct data accessed strictly between p and pos are
+			// exactly the "current last access" markers in (p, pos);
+			// +1 counts d itself.
+			dists[i] = ft.rangeSum(p+1, pos-1) + 1
+			ft.add(p, -1)
+		} else {
+			dists[i] = ColdMiss
+		}
+		ft.add(pos, 1)
+		lastPos[d] = pos
+	}
+	return dists
+}
+
+// DistanceHistogram is a histogram of stack distances. Counts[d] is the
+// number of accesses with stack distance d (Counts[0] is always 0 since
+// distances start at 1); Cold counts first accesses.
+type DistanceHistogram struct {
+	Cold   int64
+	Counts []int64
+	N      int64 // total accesses
+}
+
+// HistogramDistances builds a DistanceHistogram from StackDistances output.
+func HistogramDistances(dists []int64) DistanceHistogram {
+	h := DistanceHistogram{N: int64(len(dists))}
+	var max int64
+	for _, d := range dists {
+		if d > max {
+			max = d
+		}
+	}
+	h.Counts = make([]int64, max+1)
+	for _, d := range dists {
+		if d == ColdMiss {
+			h.Cold++
+		} else if d >= 1 {
+			h.Counts[d]++
+		} else {
+			panic(fmt.Sprintf("reuse: invalid stack distance %d", d))
+		}
+	}
+	return h
+}
+
+// MissRatio returns the LRU miss ratio at cache capacity c blocks: the
+// fraction of accesses whose stack distance exceeds c, plus cold misses.
+func (h DistanceHistogram) MissRatio(c int64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	misses := h.Cold
+	for d := c + 1; d < int64(len(h.Counts)); d++ {
+		misses += h.Counts[d]
+	}
+	return float64(misses) / float64(h.N)
+}
+
+// MissRatioCurve returns the LRU miss ratios for capacities 0..maxC as a
+// slice indexed by capacity, computed in one pass.
+func (h DistanceHistogram) MissRatioCurve(maxC int64) []float64 {
+	out := make([]float64, maxC+1)
+	if h.N == 0 {
+		return out
+	}
+	// misses(c) = cold + Σ_{d>c} counts[d]; walk c upward subtracting.
+	var tail int64
+	for d := 1; d < len(h.Counts); d++ {
+		tail += h.Counts[d]
+	}
+	misses := h.Cold + tail
+	for c := int64(0); c <= maxC; c++ {
+		if c > 0 && c < int64(len(h.Counts)) {
+			misses -= h.Counts[c]
+		}
+		out[c] = float64(misses) / float64(h.N)
+	}
+	return out
+}

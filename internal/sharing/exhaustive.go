@@ -1,0 +1,146 @@
+package sharing
+
+import (
+	"fmt"
+	"math"
+
+	"partitionshare/internal/compose"
+)
+
+// Scheme is one partition-sharing arrangement: programs grouped into
+// partitions with a cache allocation per partition, in units.
+type Scheme struct {
+	// Groups[g] lists the program indices sharing partition g.
+	Groups [][]int
+	// Units[g] is partition g's size in cache units.
+	Units []int
+}
+
+// String renders the scheme compactly, e.g. "{0,1}:3 {2}:5".
+func (s Scheme) String() string {
+	out := ""
+	for g, members := range s.Groups {
+		if g > 0 {
+			out += " "
+		}
+		out += "{"
+		for i, p := range members {
+			if i > 0 {
+				out += ","
+			}
+			out += fmt.Sprint(p)
+		}
+		out += fmt.Sprintf("}:%d", s.Units[g])
+	}
+	return out
+}
+
+// Evaluation is the predicted performance of a scheme.
+type Evaluation struct {
+	Scheme Scheme
+	// MissRatios[p] is program p's predicted miss ratio: within each
+	// shared partition, the natural-partition model applies.
+	MissRatios []float64
+	// GroupMissRatio is total predicted misses over total accesses.
+	GroupMissRatio float64
+}
+
+// EvaluateScheme predicts the performance of a partition-sharing scheme
+// under the HOTL model: each shared partition behaves as its own shared
+// cache, so each program performs at its natural occupancy within its
+// partition (§V-A). blocksPerUnit converts units to blocks.
+func EvaluateScheme(progs []compose.Program, s Scheme, blocksPerUnit int64) Evaluation {
+	if len(s.Groups) != len(s.Units) {
+		panic(fmt.Sprintf("sharing: %d groups but %d unit entries", len(s.Groups), len(s.Units)))
+	}
+	ev := Evaluation{Scheme: s, MissRatios: make([]float64, len(progs))}
+	seen := make([]bool, len(progs))
+	var misses, accesses float64
+	for g, members := range s.Groups {
+		if len(members) == 0 {
+			panic(fmt.Sprintf("sharing: group %d is empty", g))
+		}
+		sub := make([]compose.Program, len(members))
+		for i, p := range members {
+			if p < 0 || p >= len(progs) {
+				panic(fmt.Sprintf("sharing: invalid program index %d", p))
+			}
+			if seen[p] {
+				panic(fmt.Sprintf("sharing: program %d appears twice", p))
+			}
+			seen[p] = true
+			sub[i] = progs[p]
+		}
+		blocks := float64(s.Units[g]) * float64(blocksPerUnit)
+		var mrs []float64
+		if len(sub) == 1 {
+			mrs = []float64{sub[0].Fp.MissRatio(blocks)}
+		} else {
+			mrs = compose.SharedMissRatios(sub, blocks)
+		}
+		for i, p := range members {
+			ev.MissRatios[p] = mrs[i]
+			misses += mrs[i] * float64(progs[p].Fp.N())
+			accesses += float64(progs[p].Fp.N())
+		}
+	}
+	for p, ok := range seen {
+		if !ok {
+			panic(fmt.Sprintf("sharing: program %d not assigned to any group", p))
+		}
+	}
+	if accesses > 0 {
+		ev.GroupMissRatio = misses / accesses
+	}
+	return ev
+}
+
+// ExhaustiveResult reports the exhaustive search over all partition-sharing
+// arrangements of a program group.
+type ExhaustiveResult struct {
+	// Best is the best arrangement over the entire space (any grouping).
+	Best Evaluation
+	// BestPartitioningOnly is the best arrangement restricted to
+	// singleton groups (strict partitioning).
+	BestPartitioningOnly Evaluation
+	// Evaluated counts the arrangements examined.
+	Evaluated int
+}
+
+// Exhaustive enumerates every grouping of the programs and every unit
+// allocation to the groups of a cache with the given units, evaluating each
+// under the HOTL model, and returns the best overall and the best
+// partitioning-only arrangement. The search space is S2 (Eq. 2): keep
+// programs and units small. Under the natural partition assumption, the two
+// results coincide up to unit-granularity rounding — the paper's reduction
+// of partition-sharing to partitioning.
+func Exhaustive(progs []compose.Program, units int, blocksPerUnit int64) ExhaustiveResult {
+	if len(progs) == 0 {
+		panic("sharing: no programs")
+	}
+	if units < 1 || blocksPerUnit < 1 {
+		panic(fmt.Sprintf("sharing: invalid geometry units=%d blocksPerUnit=%d", units, blocksPerUnit))
+	}
+	res := ExhaustiveResult{
+		Best:                 Evaluation{GroupMissRatio: math.Inf(1)},
+		BestPartitioningOnly: Evaluation{GroupMissRatio: math.Inf(1)},
+	}
+	for _, groups := range SetPartitions(len(progs)) {
+		partitioningOnly := len(groups) == len(progs)
+		Compositions(units, len(groups), func(alloc []int) {
+			u := make([]int, len(alloc))
+			copy(u, alloc)
+			g := make([][]int, len(groups))
+			copy(g, groups)
+			ev := EvaluateScheme(progs, Scheme{Groups: g, Units: u}, blocksPerUnit)
+			res.Evaluated++
+			if ev.GroupMissRatio < res.Best.GroupMissRatio {
+				res.Best = ev
+			}
+			if partitioningOnly && ev.GroupMissRatio < res.BestPartitioningOnly.GroupMissRatio {
+				res.BestPartitioningOnly = ev
+			}
+		})
+	}
+	return res
+}

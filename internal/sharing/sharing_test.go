@@ -1,0 +1,317 @@
+package sharing
+
+import (
+	"math"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"partitionshare/internal/compose"
+	"partitionshare/internal/footprint"
+	"partitionshare/internal/trace"
+)
+
+func TestStirling2KnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 1, 1}, {4, 1, 1}, {4, 2, 7}, {4, 3, 6}, {4, 4, 1},
+		{5, 2, 15}, {5, 3, 25}, {6, 3, 90}, {10, 5, 42525}, {4, 5, 0}, {3, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Stirling2(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Stirling2(%d,%d) = %v, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestStirling2RowSumsToBell(t *testing.T) {
+	// Bell numbers: B(1..8) = 1, 2, 5, 15, 52, 203, 877, 4140.
+	bell := []int64{1, 2, 5, 15, 52, 203, 877, 4140}
+	for n := 1; n <= 8; n++ {
+		sum := big.NewInt(0)
+		for k := 0; k <= n; k++ {
+			sum.Add(sum, Stirling2(n, k))
+		}
+		if sum.Cmp(big.NewInt(bell[n-1])) != 0 {
+			t.Errorf("sum of Stirling2(%d,·) = %v, want Bell %d", n, sum, bell[n-1])
+		}
+	}
+}
+
+func TestMultiset(t *testing.T) {
+	cases := []struct {
+		c, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 0}, {0, 3, 1}, {5, 1, 1}, {3, 2, 4}, {6, 3, 28},
+	}
+	for _, c := range cases {
+		if got := Multiset(c.c, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Multiset(%d,%d) = %v, want %d", c.c, c.k, got, c.want)
+		}
+	}
+}
+
+// The paper's §II worked example: 4 programs, 8MB cache in 64B units
+// (C = 131072) gives S2 = 375,368,690,761,743 and S3 = 375,317,149,057,025.
+func TestPaperSearchSpaceNumbers(t *testing.T) {
+	const c = 131072
+	s2, ok2 := new(big.Int).SetString("375368690761743", 10)
+	s3, ok3 := new(big.Int).SetString("375317149057025", 10)
+	if !ok2 || !ok3 {
+		t.Fatal("bad literals")
+	}
+	if got := SpacePartitionSharing(4, c); got.Cmp(s2) != 0 {
+		t.Errorf("S2 = %v, want %v", got, s2)
+	}
+	if got := SpacePartitioningOnly(4, c); got.Cmp(s3) != 0 {
+		t.Errorf("S3 = %v, want %v", got, s3)
+	}
+	// Partitioning-only covers 99.99% of the partition-sharing space.
+	ratio := new(big.Float).Quo(new(big.Float).SetInt(s3), new(big.Float).SetInt(s2))
+	f, _ := ratio.Float64()
+	if f < 0.9998 {
+		t.Errorf("S3/S2 = %v, want > 0.9998", f)
+	}
+}
+
+// The paper's evaluation configuration: 4 programs, 1024 units of 8KB gives
+// about 180 million partitioning-only arrangements ("(1026 choose 3)").
+func TestPaperEvaluationSpace(t *testing.T) {
+	got := SpacePartitioningOnly(4, 1023) // paper: C(1026,3) ≈ 180M
+	want := new(big.Int).Binomial(1026, 3)
+	if got.Cmp(want) != 0 {
+		t.Errorf("S3(4,1023) = %v, want C(1026,3) = %v", got, want)
+	}
+	if f, _ := new(big.Float).SetInt(want).Float64(); math.Abs(f-1.79e8) > 0.02e8 {
+		t.Errorf("C(1026,3) = %v, want ≈ 1.8e8", f)
+	}
+}
+
+func TestS1IsStirling(t *testing.T) {
+	if SpaceSharingMultipleCaches(4, 2).Cmp(big.NewInt(7)) != 0 {
+		t.Error("S1(4,2) != 7")
+	}
+}
+
+func TestSetPartitionsCounts(t *testing.T) {
+	// Bell numbers again, via explicit enumeration.
+	bell := []int{1, 2, 5, 15, 52, 203}
+	for n := 1; n <= 6; n++ {
+		parts := SetPartitions(n)
+		if len(parts) != bell[n-1] {
+			t.Errorf("SetPartitions(%d) has %d entries, want %d", n, len(parts), bell[n-1])
+		}
+		// Each partition covers every element exactly once.
+		for _, groups := range parts {
+			seen := make([]bool, n)
+			for _, g := range groups {
+				if len(g) == 0 {
+					t.Fatalf("empty group in %v", groups)
+				}
+				for _, e := range g {
+					if seen[e] {
+						t.Fatalf("duplicate element in %v", groups)
+					}
+					seen[e] = true
+				}
+			}
+			for e, ok := range seen {
+				if !ok {
+					t.Fatalf("element %d missing from %v", e, groups)
+				}
+			}
+		}
+	}
+}
+
+func TestSetPartitionsPanics(t *testing.T) {
+	for i, n := range []int{0, 13} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			SetPartitions(n)
+		}()
+	}
+}
+
+func TestCompositionsCountAndSum(t *testing.T) {
+	count := 0
+	Compositions(5, 3, func(c []int) {
+		count++
+		if c[0]+c[1]+c[2] != 5 {
+			t.Fatalf("composition %v does not sum to 5", c)
+		}
+	})
+	// C(5+3-1, 3-1) = C(7,2) = 21.
+	if count != 21 {
+		t.Errorf("count = %d, want 21", count)
+	}
+}
+
+func TestCompositionsPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Compositions(-1, 2, func([]int) {}) },
+		func() { Compositions(3, 0, func([]int) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func randomTrace(seed uint64, n, pool int) trace.Trace {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = uint32(rng.IntN(pool))
+	}
+	return tr
+}
+
+func progs3(t *testing.T) []compose.Program {
+	t.Helper()
+	return []compose.Program{
+		{Name: "a", Fp: footprint.FromTrace(randomTrace(1, 6000, 300)), Rate: 1},
+		{Name: "b", Fp: footprint.FromTrace(randomTrace(2, 6000, 150)), Rate: 1},
+		{Name: "c", Fp: footprint.FromTrace(randomTrace(3, 6000, 500)), Rate: 2},
+	}
+}
+
+func TestEvaluateSchemeSingletonMatchesSolo(t *testing.T) {
+	ps := progs3(t)
+	s := Scheme{Groups: [][]int{{0}, {1}, {2}}, Units: []int{2, 3, 3}}
+	ev := EvaluateScheme(ps, s, 64)
+	for p := range ps {
+		want := ps[p].Fp.MissRatio(float64(s.Units[p]) * 64)
+		if math.Abs(ev.MissRatios[p]-want) > 1e-12 {
+			t.Errorf("program %d: mr %v, want solo %v", p, ev.MissRatios[p], want)
+		}
+	}
+}
+
+func TestEvaluateSchemeSharedGroup(t *testing.T) {
+	ps := progs3(t)
+	s := Scheme{Groups: [][]int{{0, 1}, {2}}, Units: []int{5, 3}}
+	ev := EvaluateScheme(ps, s, 64)
+	// Programs 0 and 1 behave as a shared cache of 320 blocks.
+	want := compose.SharedMissRatios(ps[:2], 320)
+	if math.Abs(ev.MissRatios[0]-want[0]) > 1e-12 || math.Abs(ev.MissRatios[1]-want[1]) > 1e-12 {
+		t.Errorf("shared group mrs %v, want %v", ev.MissRatios[:2], want)
+	}
+	if ev.GroupMissRatio <= 0 {
+		t.Error("group miss ratio should be positive")
+	}
+}
+
+func TestEvaluateSchemePanics(t *testing.T) {
+	ps := progs3(t)
+	for i, s := range []Scheme{
+		{Groups: [][]int{{0, 1, 2}}, Units: []int{1, 2}},      // mismatch
+		{Groups: [][]int{{0, 1}, {}}, Units: []int{1, 2}},     // empty group
+		{Groups: [][]int{{0, 1}, {1, 2}}, Units: []int{1, 2}}, // duplicate
+		{Groups: [][]int{{0, 1}}, Units: []int{3}},            // missing program
+		{Groups: [][]int{{0, 9}, {1, 2}}, Units: []int{1, 2}}, // bad index
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			EvaluateScheme(ps, s, 64)
+		}()
+	}
+}
+
+// The paper's central reduction (§V-A): under the natural-partition model,
+// the best partitioning-only arrangement matches the best partition-sharing
+// arrangement (up to unit-granularity rounding, which slightly favours
+// sharing because natural occupancies are fractional).
+func TestReductionPartitioningMatchesPartitionSharing(t *testing.T) {
+	ps := progs3(t)
+	// Same 512-block cache at three partitioning granularities. At coarse
+	// granularity sharing can beat partitioning (fractional natural
+	// occupancies); the gap must shrink as the unit shrinks (§II: "We
+	// expect the solution in this space to approach the performance of
+	// the optimal partition-sharing solution ... for higher partitioning
+	// granularity").
+	var prevGap float64 = math.Inf(1)
+	for _, geom := range []struct {
+		units         int
+		blocksPerUnit int64
+	}{{8, 64}, {16, 32}, {32, 16}} {
+		res := Exhaustive(ps, geom.units, geom.blocksPerUnit)
+		if res.BestPartitioningOnly.GroupMissRatio < res.Best.GroupMissRatio-1e-12 {
+			t.Fatalf("partitioning-only (%v) better than overall best (%v) — impossible",
+				res.BestPartitioningOnly.GroupMissRatio, res.Best.GroupMissRatio)
+		}
+		gap := (res.BestPartitioningOnly.GroupMissRatio - res.Best.GroupMissRatio) / res.Best.GroupMissRatio
+		if gap > prevGap+1e-9 {
+			t.Errorf("units=%d: reduction gap %.4f grew from %.4f at coarser granularity", geom.units, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 0.02 {
+		t.Errorf("fine-granularity reduction gap %.4f, want < 2%%", prevGap)
+	}
+	// The search space size matches S2.
+	res := Exhaustive(ps, 8, 64)
+	want := SpacePartitionSharing(3, 8)
+	if big.NewInt(int64(res.Evaluated)).Cmp(want) != 0 {
+		t.Errorf("evaluated %d schemes, want S2 = %v", res.Evaluated, want)
+	}
+}
+
+func TestExhaustivePanics(t *testing.T) {
+	ps := progs3(t)
+	for i, f := range []func(){
+		func() { Exhaustive(nil, 4, 64) },
+		func() { Exhaustive(ps, 0, 64) },
+		func() { Exhaustive(ps, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	s := Scheme{Groups: [][]int{{0, 1}, {2}}, Units: []int{3, 5}}
+	if got := s.String(); got != "{0,1}:3 {2}:5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func BenchmarkSearchSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SpacePartitionSharing(4, 131072)
+	}
+}
+
+func BenchmarkExhaustive3x8(b *testing.B) {
+	ps := []compose.Program{
+		{Name: "a", Fp: footprint.FromTrace(randomTrace(1, 3000, 200)), Rate: 1},
+		{Name: "b", Fp: footprint.FromTrace(randomTrace(2, 3000, 100)), Rate: 1},
+		{Name: "c", Fp: footprint.FromTrace(randomTrace(3, 3000, 300)), Rate: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exhaustive(ps, 8, 64)
+	}
+}

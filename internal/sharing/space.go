@@ -1,0 +1,149 @@
+// Package sharing implements the partition-sharing machinery of the
+// paper's §II: the three search-space sizes (Eq. 1–3), enumeration of
+// groupings (set partitions) and cache-wall placements, and an exhaustive
+// small-case partition-sharing optimizer used to verify empirically that
+// optimal partitioning matches optimal partition-sharing under the natural
+// partition assumption (§V-A).
+package sharing
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Stirling2 returns the Stirling number of the second kind {n, k}: the
+// number of ways to partition n labelled items into k non-empty unlabelled
+// groups.
+func Stirling2(n, k int) *big.Int {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("sharing: Stirling2(%d, %d) undefined", n, k))
+	}
+	if k > n {
+		return big.NewInt(0)
+	}
+	if n == 0 && k == 0 {
+		return big.NewInt(1)
+	}
+	if k == 0 {
+		return big.NewInt(0)
+	}
+	// S(n,k) = k*S(n-1,k) + S(n-1,k-1), row by row.
+	prev := make([]*big.Int, n+1)
+	cur := make([]*big.Int, n+1)
+	for i := range prev {
+		prev[i] = big.NewInt(0)
+		cur[i] = big.NewInt(0)
+	}
+	prev[0] = big.NewInt(1) // row n=0
+	for row := 1; row <= n; row++ {
+		cur[0] = big.NewInt(0)
+		for j := 1; j <= row && j <= k; j++ {
+			t := new(big.Int).Mul(big.NewInt(int64(j)), prev[j])
+			cur[j] = t.Add(t, prev[j-1])
+		}
+		copy(prev, cur)
+	}
+	return new(big.Int).Set(prev[k])
+}
+
+// Multiset returns the number of ways to distribute c indistinguishable
+// cache units among k distinguishable partitions (stars and bars):
+// C(c+k-1, k-1).
+func Multiset(c, k int) *big.Int {
+	if c < 0 || k < 0 {
+		panic(fmt.Sprintf("sharing: Multiset(%d, %d) undefined", c, k))
+	}
+	if k == 0 {
+		if c == 0 {
+			return big.NewInt(1)
+		}
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(c+k-1), int64(k-1))
+}
+
+// SpaceSharingMultipleCaches returns S1 (Eq. 1): the number of ways to
+// split npr programs into nc non-empty shared caches — the Stirling number
+// {npr, nc}.
+func SpaceSharingMultipleCaches(npr, nc int) *big.Int {
+	return Stirling2(npr, nc)
+}
+
+// SpacePartitionSharing returns S2 (Eq. 2): the number of partition-sharing
+// arrangements of npr programs in a single cache of C units —
+// Σ_{npa=1}^{npr} {npr, npa} · C(C+npa−1, npa−1).
+func SpacePartitionSharing(npr, c int) *big.Int {
+	if npr < 1 {
+		panic(fmt.Sprintf("sharing: need at least 1 program, got %d", npr))
+	}
+	sum := big.NewInt(0)
+	for npa := 1; npa <= npr; npa++ {
+		term := new(big.Int).Mul(Stirling2(npr, npa), Multiset(c, npa))
+		sum.Add(sum, term)
+	}
+	return sum
+}
+
+// SpacePartitioningOnly returns S3 (Eq. 3): the number of ways to assign C
+// units among npr dedicated partitions — C(C+npr−1, npr−1).
+func SpacePartitioningOnly(npr, c int) *big.Int {
+	return Multiset(c, npr)
+}
+
+// SetPartitions enumerates every partition of {0,...,n-1} into non-empty
+// groups, via restricted-growth strings. The total count is the Bell
+// number B(n); callers should keep n small (n=10 gives 115975). It panics
+// for n < 1 or n > 12.
+func SetPartitions(n int) [][][]int {
+	if n < 1 || n > 12 {
+		panic(fmt.Sprintf("sharing: SetPartitions(%d) out of supported range [1,12]", n))
+	}
+	var out [][][]int
+	rgs := make([]int, n)
+	var rec func(i, max int)
+	rec = func(i, max int) {
+		if i == n {
+			ngroups := max + 1
+			groups := make([][]int, ngroups)
+			for e, g := range rgs {
+				groups[g] = append(groups[g], e)
+			}
+			out = append(out, groups)
+			return
+		}
+		for g := 0; g <= max+1; g++ {
+			rgs[i] = g
+			nm := max
+			if g > max {
+				nm = g
+			}
+			rec(i+1, nm)
+		}
+	}
+	rgs[0] = 0
+	rec(1, 0)
+	return out
+}
+
+// Compositions enumerates every way to write total as an ordered sum of
+// parts non-negative integers, calling visit with each (the slice is reused
+// between calls). There are C(total+parts-1, parts-1) compositions.
+func Compositions(total, parts int, visit func([]int)) {
+	if total < 0 || parts < 1 {
+		panic(fmt.Sprintf("sharing: Compositions(%d, %d) undefined", total, parts))
+	}
+	comp := make([]int, parts)
+	var rec func(i, left int)
+	rec = func(i, left int) {
+		if i == parts-1 {
+			comp[i] = left
+			visit(comp)
+			return
+		}
+		for v := 0; v <= left; v++ {
+			comp[i] = v
+			rec(i+1, left-v)
+		}
+	}
+	rec(0, total)
+}

@@ -1,0 +1,202 @@
+// Package stats provides the small set of summary statistics used by the
+// experiment harness: means, medians, percentiles, histograms, and the
+// "improved by at least X%" counts reported in Table I of the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary when xs is
+// empty.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted computes the percentile of an already-sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FractionAtLeast returns the fraction of xs that are >= threshold.
+func FractionAtLeast(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Improvement returns the relative improvement of new over old as a
+// fraction: (old-new)/new. This matches the paper's Table I convention,
+// where "Optimal improves Equal by 125%" means Equal's group miss ratio is
+// 2.25x Optimal's. It returns 0 when new is 0 and old is 0, and +Inf when
+// new is 0 but old is positive.
+func Improvement(old, new float64) float64 {
+	if new == 0 {
+		if old == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (old - new) / new
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a Histogram of xs with nbins bins. Values exactly at
+// Max fall in the last bin. It panics if nbins <= 0.
+func NewHistogram(xs []float64, nbins int) Histogram {
+	if nbins <= 0 {
+		panic(fmt.Sprintf("stats: nbins must be positive, got %d", nbins))
+	}
+	h := Histogram{Counts: make([]int, nbins)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	width := (h.Max - h.Min) / float64(nbins)
+	for _, x := range xs {
+		var b int
+		if width > 0 {
+			b = int((x - h.Min) / width)
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h Histogram) BinCenter(i int) float64 {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*width
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples xs and ys. It panics on mismatched lengths and returns NaN for
+// fewer than two points or zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: mismatched lengths %d vs %d", len(xs), len(ys)))
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return math.NaN()
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// WeightedMean returns the mean of xs weighted by ws. The slices must be the
+// same length; it returns NaN for empty input or zero total weight.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic(fmt.Sprintf("stats: mismatched lengths %d vs %d", len(xs), len(ws)))
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += x * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}

@@ -1,0 +1,269 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d, want 5", s.N)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Errorf("Median = %v, want 3", s.Median)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min,Max = %v,%v, want 1,5", s.Min, s.Max)
+	}
+	want := math.Sqrt(2.5)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Min != 7 || s.Max != 7 || s.StdDev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {150, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("Percentile(nil) should be NaN")
+	}
+}
+
+func TestFractionAtLeast(t *testing.T) {
+	xs := []float64{0.05, 0.10, 0.15, 0.25}
+	if got := FractionAtLeast(xs, 0.10); got != 0.75 {
+		t.Errorf("FractionAtLeast(0.10) = %v, want 0.75", got)
+	}
+	if got := FractionAtLeast(xs, 0.30); got != 0 {
+		t.Errorf("FractionAtLeast(0.30) = %v, want 0", got)
+	}
+	if got := FractionAtLeast(nil, 0); got != 0 {
+		t.Errorf("FractionAtLeast(nil) = %v, want 0", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	// Equal at 2.25x Optimal means Optimal improves Equal by 125%.
+	if got := Improvement(2.25, 1.0); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("Improvement(2.25, 1) = %v, want 1.25", got)
+	}
+	if got := Improvement(0, 0); got != 0 {
+		t.Errorf("Improvement(0,0) = %v, want 0", got)
+	}
+	if got := Improvement(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("Improvement(1,0) = %v, want +Inf", got)
+	}
+	if got := Improvement(1, 1); got != 0 {
+		t.Errorf("Improvement(1,1) = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram total = %d, want 10", total)
+	}
+	// Max value lands in the last bin.
+	if h.Counts[4] != 2 { // 8 and 9 (9 == Max)
+		t.Errorf("last bin = %d, want 2 (got %v)", h.Counts[4], h.Counts)
+	}
+}
+
+func TestHistogramConstant(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 3)
+	if h.Counts[0] != 3 {
+		t.Fatalf("constant-input histogram = %v, want all in bin 0", h.Counts)
+	}
+}
+
+func TestHistogramPanicsOnBadBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nbins=0")
+		}
+	}()
+	NewHistogram([]float64{1}, 0)
+}
+
+func TestBinCenter(t *testing.T) {
+	h := NewHistogram([]float64{0, 10}, 2)
+	if got := h.BinCenter(0); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v, want 2.5", got)
+	}
+	if got := h.BinCenter(1); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("BinCenter(1) = %v, want 7.5", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if got != 2 {
+		t.Errorf("WeightedMean = %v, want 2", got)
+	}
+	got = WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if got != 1.5 {
+		t.Errorf("WeightedMean = %v, want 1.5", got)
+	}
+	if !math.IsNaN(WeightedMean(nil, nil)) {
+		t.Error("WeightedMean(nil,nil) should be NaN")
+	}
+}
+
+func TestWeightedMeanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+// Property: the median is always between Min and Max, and the mean of a
+// shifted sample shifts by the same amount.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		if s.Median < s.Min || s.Median > s.Max {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i := range xs {
+			shifted[i] = xs[i] + 100
+		}
+		s2 := Summarize(shifted)
+		return math.Abs(s2.Mean-(s.Mean+100)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	// Perfect positive and negative correlation.
+	xs := []float64{1, 2, 3, 4}
+	if got := Pearson(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	if got := Pearson(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+	// Known value: r of (1,2,3) vs (1,3,2) = 0.5.
+	if got := Pearson([]float64{1, 2, 3}, []float64{1, 3, 2}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Pearson = %v, want 0.5", got)
+	}
+	// Degenerate cases.
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Error("single point should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{2, 3})) {
+		t.Error("zero variance should be NaN")
+	}
+}
+
+func TestPearsonPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestPearsonShiftScaleInvariant(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v)*3 + float64(i%7) // correlated with noise
+		}
+		a := Pearson(xs, ys)
+		shifted := make([]float64, len(xs))
+		for i := range xs {
+			shifted[i] = xs[i]*2 + 100
+		}
+		b := Pearson(shifted, ys)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package symbiosis solves the co-run grouping problem that motivates the
+// paper's composition theory (§IV: "For a scheduling problem with 20
+// programs that need to be scheduled on 2 processors sharing a cache, we
+// would like to predict cache performance based on 20 metrics, not
+// 20-choose-2") and the program-symbiosis study of Wang et al. the paper
+// builds on: assign programs to a set of shared caches so the total
+// predicted miss count is minimal.
+//
+// Each candidate cache's performance is predicted compositionally from
+// solo profiles (the natural partition), so evaluating a grouping costs
+// no simulation — exactly the paper's point. Exhaustive search covers
+// small instances; a swap-based local search scales to larger ones.
+package symbiosis
+
+import (
+	"fmt"
+	"math"
+
+	"partitionshare/internal/compose"
+	"partitionshare/internal/sharing"
+)
+
+// Grouping assigns each program (by index) to one cache.
+type Grouping struct {
+	// Caches[c] lists the program indices sharing cache c. Caches may be
+	// empty.
+	Caches [][]int
+	// MissRatio is the predicted overall miss ratio (total misses over
+	// total accesses) of the grouping.
+	MissRatio float64
+}
+
+// predict returns total predicted misses and accesses for one cache's
+// member set.
+func predict(progs []compose.Program, members []int, cacheBlocks float64) (misses, accesses float64) {
+	if len(members) == 0 {
+		return 0, 0
+	}
+	sub := make([]compose.Program, len(members))
+	for i, p := range members {
+		sub[i] = progs[p]
+	}
+	var mrs []float64
+	if len(sub) == 1 {
+		mrs = []float64{sub[0].Fp.MissRatio(cacheBlocks)}
+	} else {
+		mrs = compose.SharedMissRatios(sub, cacheBlocks)
+	}
+	for i, p := range members {
+		n := float64(progs[p].Fp.N())
+		misses += mrs[i] * n
+		accesses += n
+	}
+	return misses, accesses
+}
+
+// score computes a grouping's overall miss ratio.
+func score(progs []compose.Program, caches [][]int, cacheBlocks float64) float64 {
+	var misses, accesses float64
+	for _, members := range caches {
+		m, a := predict(progs, members, cacheBlocks)
+		misses += m
+		accesses += a
+	}
+	if accesses == 0 {
+		return 0
+	}
+	return misses / accesses
+}
+
+func validate(progs []compose.Program, caches int, cacheBlocks float64) error {
+	if len(progs) == 0 {
+		return fmt.Errorf("symbiosis: no programs")
+	}
+	if caches < 1 {
+		return fmt.Errorf("symbiosis: need at least one cache, got %d", caches)
+	}
+	if cacheBlocks <= 0 {
+		return fmt.Errorf("symbiosis: non-positive cache size %v", cacheBlocks)
+	}
+	return nil
+}
+
+// Exhaustive finds the best assignment of programs to at most caches
+// shared caches by enumerating every set partition with at most that many
+// groups. Cost grows with the Bell number of len(progs); keep programs
+// <= 10.
+func Exhaustive(progs []compose.Program, caches int, cacheBlocks float64) (Grouping, error) {
+	if err := validate(progs, caches, cacheBlocks); err != nil {
+		return Grouping{}, err
+	}
+	if len(progs) > 10 {
+		return Grouping{}, fmt.Errorf("symbiosis: %d programs too many for exhaustive search", len(progs))
+	}
+	best := Grouping{MissRatio: math.Inf(1)}
+	for _, parts := range sharing.SetPartitions(len(progs)) {
+		if len(parts) > caches {
+			continue
+		}
+		mr := score(progs, parts, cacheBlocks)
+		if mr < best.MissRatio {
+			cp := make([][]int, len(parts))
+			for i, g := range parts {
+				cp[i] = append([]int(nil), g...)
+			}
+			best = Grouping{Caches: cp, MissRatio: mr}
+		}
+	}
+	return best, nil
+}
+
+// Greedy finds a good assignment by balanced seeding followed by
+// swap/move local search: programs are dealt round-robin, then single
+// moves and pairwise swaps between caches are applied while they improve
+// the predicted miss ratio. maxRounds bounds the local-search sweeps.
+func Greedy(progs []compose.Program, caches int, cacheBlocks float64, maxRounds int) (Grouping, error) {
+	if err := validate(progs, caches, cacheBlocks); err != nil {
+		return Grouping{}, err
+	}
+	if maxRounds < 1 {
+		return Grouping{}, fmt.Errorf("symbiosis: non-positive round limit %d", maxRounds)
+	}
+	assign := make([][]int, caches)
+	for i := range progs {
+		c := i % caches
+		assign[c] = append(assign[c], i)
+	}
+	cur := score(progs, assign, cacheBlocks)
+
+	locate := func(p int) (cache, pos int) {
+		for c, members := range assign {
+			for i, q := range members {
+				if q == p {
+					return c, i
+				}
+			}
+		}
+		panic("symbiosis: program lost during search")
+	}
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		// Moves: relocate one program to another cache.
+		for p := range progs {
+			from, pos := locate(p)
+			for to := 0; to < caches; to++ {
+				if to == from {
+					continue
+				}
+				assign[from] = append(assign[from][:pos], assign[from][pos+1:]...)
+				assign[to] = append(assign[to], p)
+				if mr := score(progs, assign, cacheBlocks); mr < cur-1e-15 {
+					cur = mr
+					improved = true
+				} else {
+					// Revert.
+					assign[to] = assign[to][:len(assign[to])-1]
+					assign[from] = append(assign[from], 0)
+					copy(assign[from][pos+1:], assign[from][pos:])
+					assign[from][pos] = p
+				}
+				from, pos = locate(p)
+			}
+		}
+		// Swaps: exchange two programs between caches.
+		for p := 0; p < len(progs); p++ {
+			for q := p + 1; q < len(progs); q++ {
+				cp, ip := locate(p)
+				cq, iq := locate(q)
+				if cp == cq {
+					continue
+				}
+				assign[cp][ip], assign[cq][iq] = q, p
+				if mr := score(progs, assign, cacheBlocks); mr < cur-1e-15 {
+					cur = mr
+					improved = true
+				} else {
+					assign[cp][ip], assign[cq][iq] = p, q
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return Grouping{Caches: assign, MissRatio: cur}, nil
+}

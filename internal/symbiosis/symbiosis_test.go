@@ -1,0 +1,149 @@
+package symbiosis
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"partitionshare/internal/compose"
+	"partitionshare/internal/footprint"
+	"partitionshare/internal/trace"
+)
+
+func prog(name string, g trace.Generator, n int, rate float64) compose.Program {
+	return compose.Program{Name: name, Fp: footprint.FromTrace(trace.Generate(g, n)), Rate: rate}
+}
+
+// streamers and loopers: the loopers need protection from the streamers,
+// so the best 2-cache grouping separates them.
+func mixedQuartet() []compose.Program {
+	return []compose.Program{
+		prog("stream1", trace.NewStreaming(1), 20000, 2),
+		prog("stream2", trace.NewStreaming(1), 20000, 2),
+		prog("loop1", trace.NewLoop(300, 1), 20000, 1),
+		prog("loop2", trace.NewLoop(350, 1), 20000, 1),
+	}
+}
+
+func TestExhaustiveSeparatesStreamersFromLoopers(t *testing.T) {
+	progs := mixedQuartet()
+	best, err := Exhaustive(progs, 2, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loopers (2,3) fit together in one 800-block cache; putting a
+	// streamer with a looper would thrash it. Expect {0,1} | {2,3}.
+	got := map[int]int{}
+	for c, members := range best.Caches {
+		for _, p := range members {
+			got[p] = c
+		}
+	}
+	if got[0] != got[1] || got[2] != got[3] || got[0] == got[2] {
+		t.Errorf("grouping %v should pair the streamers and pair the loopers", best.Caches)
+	}
+	if best.MissRatio <= 0 || best.MissRatio > 1 {
+		t.Errorf("miss ratio %v", best.MissRatio)
+	}
+}
+
+func TestGreedyMatchesExhaustiveSmall(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	for trial := 0; trial < 5; trial++ {
+		var progs []compose.Program
+		for i := 0; i < 6; i++ {
+			pool := uint32(rng.IntN(500) + 50)
+			progs = append(progs, prog("p", trace.NewZipf(pool, 0.6, rng.Uint64()), 10000, 1))
+		}
+		ex, err := Exhaustive(progs, 2, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := Greedy(progs, 2, 400, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Local search may stop at a local optimum, but must stay close.
+		if gr.MissRatio > ex.MissRatio*1.10+1e-12 {
+			t.Errorf("trial %d: greedy %.5f vs exhaustive %.5f", trial, gr.MissRatio, ex.MissRatio)
+		}
+		if gr.MissRatio < ex.MissRatio-1e-12 {
+			t.Errorf("trial %d: greedy %.5f beats exhaustive %.5f — impossible", trial, gr.MissRatio, ex.MissRatio)
+		}
+	}
+}
+
+func TestGreedyCoversAllPrograms(t *testing.T) {
+	progs := mixedQuartet()
+	gr, err := Greedy(progs, 3, 500, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, members := range gr.Caches {
+		for _, p := range members {
+			if seen[p] {
+				t.Fatalf("program %d assigned twice: %v", p, gr.Caches)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != len(progs) {
+		t.Fatalf("only %d of %d programs assigned", len(seen), len(progs))
+	}
+}
+
+func TestSingleCacheDegenerate(t *testing.T) {
+	progs := mixedQuartet()
+	ex, err := Exhaustive(progs, 1, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Caches) != 1 || len(ex.Caches[0]) != 4 {
+		t.Fatalf("single cache grouping = %v", ex.Caches)
+	}
+	gr, err := Greedy(progs, 1, 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.MissRatio != ex.MissRatio {
+		t.Errorf("single-cache scores differ: %v vs %v", gr.MissRatio, ex.MissRatio)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	progs := mixedQuartet()
+	if _, err := Exhaustive(nil, 2, 100); err == nil {
+		t.Error("no programs")
+	}
+	if _, err := Exhaustive(progs, 0, 100); err == nil {
+		t.Error("no caches")
+	}
+	if _, err := Exhaustive(progs, 2, 0); err == nil {
+		t.Error("no capacity")
+	}
+	if _, err := Greedy(progs, 2, 100, 0); err == nil {
+		t.Error("no rounds")
+	}
+	big := make([]compose.Program, 11)
+	for i := range big {
+		big[i] = progs[0]
+	}
+	if _, err := Exhaustive(big, 2, 100); err == nil {
+		t.Error("too many programs for exhaustive")
+	}
+}
+
+func BenchmarkGreedy12Programs(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var progs []compose.Program
+	for i := 0; i < 12; i++ {
+		pool := uint32(rng.IntN(500) + 50)
+		progs = append(progs, prog("p", trace.NewZipf(pool, 0.6, rng.Uint64()), 10000, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(progs, 3, 400, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package textplot renders data series as ASCII line charts and CSV files
+// — the output layer for the figure-regeneration harness.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of y-values over an implicit 0..n-1 x-axis.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a multi-series ASCII line chart.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	Series []Series
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart. Series are downsampled to the chart width by
+// bucket means. Returns the multi-line string.
+func (c Chart) Render() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	var ymin, ymax float64 = math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v < ymin {
+				ymin = v
+			}
+			if v > ymax {
+				ymax = v
+			}
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for col := 0; col < width; col++ {
+			lo := col * len(s.Values) / width
+			hi := (col + 1) * len(s.Values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if lo >= len(s.Values) {
+				continue
+			}
+			if hi > len(s.Values) {
+				hi = len(s.Values)
+			}
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += s.Values[i]
+			}
+			v := sum / float64(hi-lo)
+			row := int((ymax - v) / (ymax - ymin) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, row := range grid {
+		y := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.5f |%s\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	legend := make([]string, 0, len(c.Series))
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%11s%s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// WriteCSV writes the series as columns with a header row. Shorter series
+// leave trailing cells empty. Column order follows the slice.
+func WriteCSV(w io.Writer, series []Series) error {
+	names := make([]string, len(series))
+	maxLen := 0
+	for i, s := range series {
+		names[i] = csvEscape(s.Name)
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "index,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for row := 0; row < maxLen; row++ {
+		cells := make([]string, len(series)+1)
+		cells[0] = fmt.Sprint(row)
+		for i, s := range series {
+			if row < len(s.Values) {
+				cells[i+1] = fmt.Sprintf("%g", s.Values[row])
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// SortedBy returns a copy of all series reordered by ascending value of
+// the series named key (the paper sorts Figures 6 and 7 by Optimal).
+func SortedBy(series []Series, key string) ([]Series, error) {
+	var ref []float64
+	for _, s := range series {
+		if s.Name == key {
+			ref = s.Values
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("textplot: no series named %q", key)
+	}
+	order := make([]int, len(ref))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ref[order[a]] < ref[order[b]] })
+	out := make([]Series, len(series))
+	for i, s := range series {
+		vals := make([]float64, len(s.Values))
+		for j, idx := range order {
+			if idx < len(s.Values) {
+				vals[j] = s.Values[idx]
+			}
+		}
+		out[i] = Series{Name: s.Name, Values: vals}
+	}
+	return out, nil
+}

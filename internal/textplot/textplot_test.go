@@ -1,0 +1,113 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		Width:  40,
+		Height: 10,
+		Series: []Series{
+			{Name: "up", Values: []float64{0, 1, 2, 3, 4, 5, 6, 7}},
+			{Name: "down", Values: []float64{7, 6, 5, 4, 3, 2, 1, 0}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Title + height rows + axis + legend.
+	if len(lines) < 13 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := Chart{Series: []Series{{Name: "flat", Values: []float64{2, 2, 2}}}}.Render()
+	if !strings.Contains(out, "*") {
+		t.Error("constant series should still draw")
+	}
+}
+
+func TestRenderDownsamples(t *testing.T) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	out := Chart{Width: 20, Height: 5, Series: []Series{{Name: "big", Values: vals}}}.Render()
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 120 {
+			t.Fatalf("line too long: %d chars", len(line))
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []Series{
+		{Name: "a", Values: []float64{1, 2, 3}},
+		{Name: "b,with comma", Values: []float64{4, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "index,a,\"b,with comma\"\n0,1,4\n1,2,5\n2,3,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVEscapeQuotes(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, []Series{{Name: `q"uote`, Values: []float64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"q""uote"`) {
+		t.Errorf("quote escaping wrong: %q", b.String())
+	}
+}
+
+func TestSortedBy(t *testing.T) {
+	series := []Series{
+		{Name: "key", Values: []float64{3, 1, 2}},
+		{Name: "other", Values: []float64{30, 10, 20}},
+	}
+	out, err := SortedBy(series, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Values[0] != 1 || out[0].Values[1] != 2 || out[0].Values[2] != 3 {
+		t.Errorf("key not sorted: %v", out[0].Values)
+	}
+	if out[1].Values[0] != 10 || out[1].Values[1] != 20 || out[1].Values[2] != 30 {
+		t.Errorf("other not reordered with key: %v", out[1].Values)
+	}
+	// Originals untouched.
+	if series[0].Values[0] != 3 {
+		t.Error("SortedBy mutated input")
+	}
+}
+
+func TestSortedByMissingKey(t *testing.T) {
+	if _, err := SortedBy([]Series{{Name: "a"}}, "nope"); err == nil {
+		t.Fatal("expected error for unknown key")
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Interleaved is the result of merging several program traces into one
+// shared-cache access stream.
+type Interleaved struct {
+	// Trace is the merged access stream. Datum IDs are offset so that
+	// program data spaces are disjoint.
+	Trace Trace
+	// Owner[i] is the index of the program that issued access i.
+	Owner []uint8
+	// Bases[p] is the ID offset applied to program p's data.
+	Bases []uint32
+	// Counts[p] is the number of accesses program p contributed.
+	Counts []int
+}
+
+// InterleaveProportional merges the traces deterministically in proportion
+// to the given access rates, emitting n total accesses. At every step the
+// program with the largest deficit (rate·t − emitted) goes next; ties break
+// toward the lower program index. This models the paper's assumption of
+// uniform interleaving by access rate. Program traces are cycled if they
+// are shorter than their share of n. It panics on mismatched lengths,
+// empty input, non-positive rates, or an empty component trace.
+func InterleaveProportional(traces []Trace, rates []float64, n int) Interleaved {
+	validateInterleave(traces, rates)
+	total := 0.0
+	for _, r := range rates {
+		total += r
+	}
+	bases := dataBases(traces)
+	out := Interleaved{
+		Trace:  make(Trace, 0, n),
+		Owner:  make([]uint8, 0, n),
+		Bases:  bases,
+		Counts: make([]int, len(traces)),
+	}
+	pos := make([]int, len(traces))
+	emitted := make([]float64, len(traces))
+	for t := 1; t <= n; t++ {
+		best, bestDef := 0, rates[0]/total*float64(t)-emitted[0]
+		for p := 1; p < len(traces); p++ {
+			def := rates[p]/total*float64(t) - emitted[p]
+			if def > bestDef {
+				best, bestDef = p, def
+			}
+		}
+		out.append(best, traces[best][pos[best]]+bases[best])
+		pos[best] = (pos[best] + 1) % len(traces[best])
+		emitted[best]++
+	}
+	return out
+}
+
+// InterleaveRandom merges the traces by drawing the next program at random
+// with probability proportional to its rate, seeded deterministically. This
+// models the paper's random phase-interaction assumption (§VIII). The same
+// panics as InterleaveProportional apply.
+func InterleaveRandom(seed uint64, traces []Trace, rates []float64, n int) Interleaved {
+	validateInterleave(traces, rates)
+	rng := rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+	cum := make([]float64, len(rates))
+	var sum float64
+	for i, r := range rates {
+		sum += r
+		cum[i] = sum
+	}
+	bases := dataBases(traces)
+	out := Interleaved{
+		Trace:  make(Trace, 0, n),
+		Owner:  make([]uint8, 0, n),
+		Bases:  bases,
+		Counts: make([]int, len(traces)),
+	}
+	pos := make([]int, len(traces))
+	for t := 0; t < n; t++ {
+		u := rng.Float64() * sum
+		p := 0
+		for p < len(cum)-1 && cum[p] < u {
+			p++
+		}
+		out.append(p, traces[p][pos[p]]+bases[p])
+		pos[p] = (pos[p] + 1) % len(traces[p])
+	}
+	return out
+}
+
+func (iv *Interleaved) append(p int, d uint32) {
+	iv.Trace = append(iv.Trace, d)
+	iv.Owner = append(iv.Owner, uint8(p))
+	iv.Counts[p]++
+}
+
+func validateInterleave(traces []Trace, rates []float64) {
+	if len(traces) == 0 || len(traces) != len(rates) {
+		panic(fmt.Sprintf("trace: interleave needs matching non-empty traces/rates, got %d/%d", len(traces), len(rates)))
+	}
+	if len(traces) > 256 {
+		panic(fmt.Sprintf("trace: interleave supports at most 256 programs, got %d", len(traces)))
+	}
+	for i, tr := range traces {
+		if len(tr) == 0 {
+			panic(fmt.Sprintf("trace: program %d has an empty trace", i))
+		}
+		if rates[i] <= 0 {
+			panic(fmt.Sprintf("trace: program %d has non-positive rate %v", i, rates[i]))
+		}
+	}
+}
+
+// dataBases assigns each program a disjoint ID range, with a guard gap so
+// that no two programs can alias even if a trace exceeds its declared
+// maximum.
+func dataBases(traces []Trace) []uint32 {
+	bases := make([]uint32, len(traces))
+	var next uint32
+	for i, tr := range traces {
+		bases[i] = next
+		var max uint32
+		for _, d := range tr {
+			if d > max {
+				max = d
+			}
+		}
+		next += max + 2
+	}
+	return bases
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Trace file formats:
+//
+//   - Text: one decimal block ID per line. Interoperable with standard
+//     tracing tools; large.
+//   - Binary: the magic "PSTR1\n" followed by varint-encoded deltas
+//     (zig-zag of the signed difference from the previous ID). Memory
+//     traces are strongly local, so deltas are small and the format
+//     compresses 3-5x against text.
+//
+// ReadFile auto-detects the format from the magic.
+
+const binaryMagic = "PSTR1\n"
+
+// WriteText writes the trace as one decimal ID per line.
+func WriteText(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range t {
+		if _, err := fmt.Fprintln(bw, d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses one decimal ID per line, skipping blank lines.
+func ReadText(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var t Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(txt, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t = append(t, uint32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteBinary writes the delta-varint binary format.
+func WriteBinary(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(t)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	prev := int64(0)
+	var buf [binary.MaxVarintLen64]byte
+	for _, d := range t {
+		delta := int64(d) - prev
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = int64(d)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the delta-varint binary format (after the caller has
+// consumed and verified the magic — use ReadFile for auto-detection).
+func ReadBinary(r io.ByteReader) (Trace, error) {
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad binary header: %w", err)
+	}
+	if count > 1<<34 {
+		return nil, fmt.Errorf("trace: implausible trace length %d", count)
+	}
+	t := make(Trace, 0, count)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated at access %d: %w", i, err)
+		}
+		v := prev + delta
+		if v < 0 || v > int64(^uint32(0)) {
+			return nil, fmt.Errorf("trace: access %d out of uint32 range (%d)", i, v)
+		}
+		t = append(t, uint32(v))
+		prev = v
+	}
+	return t, nil
+}
+
+// WriteFile writes the trace to path: binary when binary is true,
+// otherwise text.
+func WriteFile(path string, t Trace, binaryFormat bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if binaryFormat {
+		err = WriteBinary(f, t)
+	} else {
+		err = WriteText(f, t)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace from path, auto-detecting text vs binary by the
+// magic prefix.
+func ReadFile(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		if _, err := br.Discard(len(binaryMagic)); err != nil {
+			return nil, err
+		}
+		t, err := ReadBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return t, nil
+	}
+	t, err := ReadText(br)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

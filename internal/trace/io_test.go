@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := Generate(NewZipf(1000, 0.8, 3), 5000)
+	var b bytes.Buffer
+	if err := WriteText(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("length %d, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("access %d: %d != %d", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestReadTextSkipsBlanksAndRejectsGarbage(t *testing.T) {
+	got, err := ReadText(strings.NewReader("1\n\n2\n\n3\n"))
+	if err != nil || len(got) != 3 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	if _, err := ReadText(strings.NewReader("1\nxyz\n")); err == nil {
+		t.Fatal("expected error for garbage line")
+	}
+	if _, err := ReadText(strings.NewReader("99999999999999\n")); err == nil {
+		t.Fatal("expected error for out-of-range ID")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := Generate(NewZipf(500, 0.5, seed), 2000)
+		var b bytes.Buffer
+		if err := WriteBinary(&b, tr); err != nil {
+			return false
+		}
+		br := bufio.NewReader(&b)
+		// Skip magic.
+		if _, err := br.Discard(len(binaryMagic)); err != nil {
+			return false
+		}
+		got, err := ReadBinary(br)
+		if err != nil || len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteBinary(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&b)
+	br.Discard(len(binaryMagic))
+	got, err := ReadBinary(br)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	tr := Generate(NewLoop(100, 1), 1000)
+	var b bytes.Buffer
+	if err := WriteBinary(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := b.Bytes()[len(binaryMagic) : b.Len()/2]
+	if _, err := ReadBinary(bufio.NewReader(bytes.NewReader(data))); err == nil {
+		t.Fatal("expected error for truncated data")
+	}
+}
+
+func TestFileRoundTripAutoDetect(t *testing.T) {
+	dir := t.TempDir()
+	tr := Generate(NewSawtooth(300), 3000)
+	for _, binaryFormat := range []bool{true, false} {
+		path := filepath.Join(dir, "t")
+		if err := WriteFile(path, tr, binaryFormat); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(tr) {
+			t.Fatalf("binary=%v: length %d, want %d", binaryFormat, len(got), len(tr))
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				t.Fatalf("binary=%v: access %d differs", binaryFormat, i)
+			}
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	tr := Generate(NewSawtooth(10000), 100000) // strongly local deltas
+	dir := t.TempDir()
+	txt, bin := filepath.Join(dir, "t.txt"), filepath.Join(dir, "t.bin")
+	if err := WriteFile(txt, tr, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(bin, tr, true); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(txt)
+	sb, _ := os.Stat(bin)
+	if sb.Size()*2 >= st.Size() {
+		t.Errorf("binary %d bytes not much smaller than text %d", sb.Size(), st.Size())
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}

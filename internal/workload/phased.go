@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+
+	"partitionshare/internal/trace"
+)
+
+// PhasedSpec declares a synthetic program with explicit phase behaviour —
+// the workloads that violate the paper's random-phase assumption (§VIII)
+// and motivate partition-sharing (Figure 1) and per-epoch repartitioning
+// (internal/epoch).
+type PhasedSpec struct {
+	Name string
+	Rate float64
+	// Build returns the generator; phases align to PhaseLen accesses.
+	Build func(cacheBlocks uint32, phaseLen int, seed uint64) trace.Generator
+}
+
+// PhasedSpecs returns eight programs with strong phase behaviour:
+// antiphase pairs whose combined demand exceeds the cache in every phase
+// but whose per-phase demands complement.
+//
+// Programs 2k and 2k+1 form an antiphase pair: one sweeps a big working
+// set while the other sweeps a tiny one, swapping every phase. Pair
+// working sets grow with k so that a mix of pairs gives the partitioner
+// heterogeneous demand.
+func PhasedSpecs() []PhasedSpec {
+	mk := func(name string, rate float64, bigFrac, tinyFrac float64, bigFirst bool) PhasedSpec {
+		return PhasedSpec{
+			Name: name,
+			Rate: rate,
+			Build: func(cacheBlocks uint32, phaseLen int, seed uint64) trace.Generator {
+				big := trace.Phase{
+					Gen: trace.NewSawtooth(frac(cacheBlocks, bigFrac)),
+					Len: phaseLen,
+				}
+				tiny := trace.Phase{
+					Gen: trace.Region{
+						Gen:  trace.NewSawtooth(frac(cacheBlocks, tinyFrac)),
+						Base: 1 << 24,
+					},
+					Len: phaseLen,
+				}
+				if bigFirst {
+					return trace.NewPhased(big, tiny)
+				}
+				return trace.NewPhased(tiny, big)
+			},
+		}
+	}
+	return []PhasedSpec{
+		mk("phase-a1", 1.0, 0.45, 0.01, true),
+		mk("phase-a2", 1.0, 0.45, 0.01, false),
+		mk("phase-b1", 1.2, 0.30, 0.02, true),
+		mk("phase-b2", 1.2, 0.30, 0.02, false),
+		mk("phase-c1", 0.8, 0.55, 0.01, true),
+		mk("phase-c2", 0.8, 0.55, 0.01, false),
+		mk("phase-d1", 1.5, 0.20, 0.02, true),
+		mk("phase-d2", 1.5, 0.20, 0.02, false),
+	}
+}
+
+// GeneratePhased builds a phased program's trace with phases aligned to
+// phaseLen.
+func GeneratePhased(spec PhasedSpec, cfg Config, phaseLen int) (trace.Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if phaseLen <= 0 || phaseLen > cfg.TraceLen {
+		return nil, fmt.Errorf("workload: phase length %d out of range for trace of %d", phaseLen, cfg.TraceLen)
+	}
+	seed := cfg.Seed*0x9e3779b97f4a7c15 ^ hashName(spec.Name)
+	gen := spec.Build(uint32(cfg.CacheBlocks()), phaseLen, seed)
+	return trace.Generate(gen, cfg.TraceLen), nil
+}

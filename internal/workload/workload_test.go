@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"testing"
+
+	"partitionshare/internal/compose"
+)
+
+func TestSpecsCount(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 16 {
+		t.Fatalf("got %d specs, want 16 (the paper's SPEC selection)", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Rate <= 0 {
+			t.Errorf("%s: non-positive rate", s.Name)
+		}
+		if s.Build == nil {
+			t.Errorf("%s: nil builder", s.Name)
+		}
+	}
+	// The paper's full list.
+	for _, want := range []string{"perlbench", "bzip2", "mcf", "zeusmp", "namd",
+		"dealII", "soplex", "povray", "hmmer", "sjeng", "h264ref", "tonto",
+		"lbm", "omnetpp", "wrf", "sphinx3"} {
+		if !names[want] {
+			t.Errorf("missing program %q", want)
+		}
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	cfg := TestConfig()
+	spec := Specs()[0]
+	a, err := Profile(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fp.M() != b.Fp.M() || a.Fp.N() != b.Fp.N() {
+		t.Fatalf("profiles differ: m %d vs %d", a.Fp.M(), b.Fp.M())
+	}
+	for u := 0; u <= cfg.Units; u += 16 {
+		if a.Curve.MissRatio(u) != b.Curve.MissRatio(u) {
+			t.Fatalf("curves differ at %d units", u)
+		}
+	}
+}
+
+func TestProfileSeedChangesTrace(t *testing.T) {
+	cfg := TestConfig()
+	cfg2 := cfg
+	cfg2.Seed = 99
+	spec := Specs()[2]
+	a, _ := Profile(spec, cfg)
+	b, _ := Profile(spec, cfg2)
+	same := true
+	for u := 0; u <= cfg.Units; u += 8 {
+		if a.Curve.MissRatio(u) != b.Curve.MissRatio(u) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical curves")
+	}
+}
+
+func TestProfileAllSuite(t *testing.T) {
+	cfg := TestConfig()
+	progs, err := ProfileAll(Specs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 16 {
+		t.Fatalf("got %d programs", len(progs))
+	}
+	byName := map[string]Program{}
+	for i, p := range progs {
+		if p.Name != Specs()[i].Name {
+			t.Errorf("order not preserved: %d is %q", i, p.Name)
+		}
+		if err := p.Curve.Validate(); err != nil {
+			t.Errorf("%s: invalid curve: %v", p.Name, err)
+		}
+		if p.Curve.Units() != cfg.Units {
+			t.Errorf("%s: curve has %d units, want %d", p.Name, p.Curve.Units(), cfg.Units)
+		}
+		byName[p.Name] = p
+	}
+
+	equal := cfg.Units / 4
+	// Qualitative calibration: lbm and sphinx3 top the equal-partition
+	// miss ratios, namd and sjeng are at the bottom (paper Figure 5).
+	lbm, sphinx := byName["lbm"].Curve.MissRatio(equal), byName["sphinx3"].Curve.MissRatio(equal)
+	namd, sjeng := byName["namd"].Curve.MissRatio(equal), byName["sjeng"].Curve.MissRatio(equal)
+	for name, p := range byName {
+		mr := p.Curve.MissRatio(equal)
+		if name != "lbm" && mr > lbm {
+			t.Errorf("%s equal-mr %.4f exceeds lbm's %.4f", name, mr, lbm)
+		}
+		if name != "namd" && name != "povray" && name != "sjeng" && mr < namd {
+			t.Errorf("%s equal-mr %.4f below namd's %.4f", name, mr, namd)
+		}
+	}
+	if sphinx >= lbm {
+		t.Errorf("sphinx3 (%.4f) should be below lbm (%.4f)", sphinx, lbm)
+	}
+	if sjeng < namd {
+		t.Errorf("sjeng (%.5f) should be above namd (%.5f)", sjeng, namd)
+	}
+
+	// Every program's curve is non-increasing and at least one program is
+	// non-convex (the STTW-defeating cliffs).
+	nonConvex := 0
+	for _, p := range progs {
+		for u := 1; u <= cfg.Units; u++ {
+			if p.Curve.MissRatio(u) > p.Curve.MissRatio(u-1)+1e-12 {
+				t.Errorf("%s: miss ratio increases at %d units", p.Name, u)
+				break
+			}
+		}
+		if !p.Curve.IsConvex() {
+			nonConvex++
+		}
+	}
+	if nonConvex < 8 {
+		t.Errorf("only %d non-convex curves; want at least half the suite", nonConvex)
+	}
+}
+
+func TestGainersAndLosers(t *testing.T) {
+	cfg := TestConfig()
+	progs, err := ProfileAll(Specs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Program{}
+	for _, p := range progs {
+		byName[p.Name] = p
+	}
+	cp := func(n string) compose.Program {
+		p := byName[n]
+		return compose.Program{Name: p.Name, Fp: p.Fp, Rate: p.Rate}
+	}
+	equal := cfg.Units / 4
+
+	// lbm in a moderate group gains from sharing (natural < equal).
+	group := []compose.Program{cp("lbm"), cp("wrf"), cp("h264ref"), cp("namd")}
+	mrs := compose.SharedMissRatios(group, float64(cfg.CacheBlocks()))
+	if lbmEq := byName["lbm"].Curve.MissRatio(equal); mrs[0] >= lbmEq {
+		t.Errorf("lbm: natural %.5f should beat equal %.5f", mrs[0], lbmEq)
+	}
+	// namd in the same group loses (squeezed by the streamer).
+	if namdEq := byName["namd"].Curve.MissRatio(equal); mrs[3] <= namdEq {
+		t.Errorf("namd: natural %.5f should lose to equal %.5f", mrs[3], namdEq)
+	}
+
+	// hmmer among moderate peers gains despite its low miss ratio.
+	group = []compose.Program{cp("hmmer"), cp("povray"), cp("sjeng"), cp("namd")}
+	mrs = compose.SharedMissRatios(group, float64(cfg.CacheBlocks()))
+	if hmmerEq := byName["hmmer"].Curve.MissRatio(equal); mrs[0] >= hmmerEq {
+		t.Errorf("hmmer: natural %.5f should beat equal %.5f among moderate peers", mrs[0], hmmerEq)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Units: 0, BlocksPerUnit: 4, TraceLen: 10},
+		{Units: 4, BlocksPerUnit: 0, TraceLen: 10},
+		{Units: 4, BlocksPerUnit: 4, TraceLen: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Profile(Specs()[0], cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+		if _, err := ProfileAll(Specs(), cfg); err == nil {
+			t.Errorf("case %d: expected error from ProfileAll", i)
+		}
+	}
+}
+
+func TestCacheBlocks(t *testing.T) {
+	cfg := Config{Units: 1024, BlocksPerUnit: 4, TraceLen: 1}
+	if cfg.CacheBlocks() != 4096 {
+		t.Fatalf("CacheBlocks = %d", cfg.CacheBlocks())
+	}
+}
+
+func TestPhasedSpecs(t *testing.T) {
+	specs := PhasedSpecs()
+	if len(specs) != 8 {
+		t.Fatalf("got %d phased specs, want 8", len(specs))
+	}
+	cfg := TestConfig()
+	phaseLen := cfg.TraceLen / 8
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate phased name %q", s.Name)
+		}
+		names[s.Name] = true
+		tr, err := GeneratePhased(s, cfg, phaseLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr) != cfg.TraceLen {
+			t.Fatalf("%s: trace length %d", s.Name, len(tr))
+		}
+	}
+}
+
+func TestPhasedPairsAreAntiphase(t *testing.T) {
+	cfg := TestConfig()
+	phaseLen := cfg.TraceLen / 8
+	specs := PhasedSpecs()
+	a, err := GeneratePhased(specs[0], cfg, phaseLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePhased(specs[1], cfg, phaseLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In every aligned phase, exactly one of the pair touches many
+	// distinct blocks.
+	for p := 0; p+phaseLen <= cfg.TraceLen; p += phaseLen {
+		da := a[p : p+phaseLen].DistinctData()
+		db := b[p : p+phaseLen].DistinctData()
+		big, small := da, db
+		if db > da {
+			big, small = db, da
+		}
+		if small*10 > big {
+			t.Fatalf("phase at %d: distinct counts %d/%d not antiphase", p, da, db)
+		}
+	}
+}
+
+func TestGeneratePhasedErrors(t *testing.T) {
+	cfg := TestConfig()
+	spec := PhasedSpecs()[0]
+	if _, err := GeneratePhased(spec, cfg, 0); err == nil {
+		t.Error("bad phase length should error")
+	}
+	if _, err := GeneratePhased(spec, cfg, cfg.TraceLen*2); err == nil {
+		t.Error("oversized phase length should error")
+	}
+	if _, err := GeneratePhased(spec, Config{}, 10); err == nil {
+		t.Error("bad config should error")
+	}
+}
