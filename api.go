@@ -95,6 +95,13 @@ func ProfileTrace(t Trace) Footprint { return footprint.FromTrace(t) }
 // CollectReuse computes the reuse-time profile of a trace.
 func CollectReuse(t Trace) ReuseProfile { return reuse.Collect(t) }
 
+// CollectReuseParallel computes the same profile as CollectReuse by
+// scanning disjoint trace segments concurrently and merging exactly —
+// bit-identical results, sharded across workers (<= 0 means all CPUs).
+func CollectReuseParallel(t Trace, workers int) ReuseProfile {
+	return reuse.CollectParallel(t, workers)
+}
+
 // CollectReuseSampled computes an approximate reuse profile by spatial
 // (datum) sampling at ~rate, an order of magnitude faster at rate 0.1 —
 // the paper's sampled-profiling trade-off (§VII-A).

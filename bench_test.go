@@ -13,7 +13,9 @@ import (
 	"partitionshare/internal/experiment"
 	"partitionshare/internal/mrc"
 	"partitionshare/internal/partition"
+	"partitionshare/internal/reuse"
 	"partitionshare/internal/sharing"
+	"partitionshare/internal/trace"
 	"partitionshare/internal/workload"
 )
 
@@ -159,6 +161,22 @@ func BenchmarkOptimalPartitionGroupParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimalPartitionGroupReference is the "before" half of the
+// kernel pair: the original allocation-per-call scatter-form DP, preserved
+// as partition.ReferenceOptimize. Comparing it with
+// BenchmarkOptimalPartitionGroup measures the pooled gather kernel's gain;
+// BENCH_PR1.json snapshots both.
+func BenchmarkOptimalPartitionGroupReference(b *testing.B) {
+	curves := fullCurves(b)
+	pr := partition.Problem{Curves: curves, Units: 1024}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.ReferenceOptimize(pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSTTWGroup is the paper's STTW per-group cost (~0.11 s there).
 func BenchmarkSTTWGroup(b *testing.B) {
 	curves := fullCurves(b)
@@ -298,6 +316,32 @@ func BenchmarkProfileProgram(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCollectReuse pairs the profiling scans on one workload-scale
+// trace: the dense-slice fast path ("after"), the map-based reference scan
+// ("before", preserved as reuse.CollectReference), and the sharded parallel
+// scan. All three produce bit-identical profiles.
+func BenchmarkCollectReuse(b *testing.B) {
+	cfg := workload.TestConfig()
+	spec := workload.Specs()[0]
+	gen := spec.Build(uint32(cfg.CacheBlocks()), cfg.Seed)
+	tr := trace.Generate(gen, cfg.TraceLen)
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reuse.Collect(tr)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reuse.CollectReference(tr)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reuse.CollectParallel(tr, 0)
+		}
+	})
 }
 
 // BenchmarkExhaustivePartitionSharing measures the small-scale exhaustive

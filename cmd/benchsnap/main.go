@@ -1,0 +1,196 @@
+// Command benchsnap measures the repository's key benchmarks in-process
+// (via testing.Benchmark) and records the results in a JSON snapshot file,
+// so a PR can document its performance effect next to the code change.
+//
+// The measured paths mirror the named benchmarks of bench_test.go:
+// the per-group optimal-partition DP (pooled kernel, parallel layers, and
+// the preserved scatter-form reference), the baseline-constrained DP, the
+// DP granularity sweep, one full-trace profiling pass, the three
+// reuse-collection scans (dense, map reference, sharded parallel), and the
+// full Table I regeneration.
+//
+// Each run merges its numbers into the output file under -label, keeping
+// any other labels already present; a snapshot file therefore accumulates
+// e.g. a "seed" column (the pre-change implementation, measurable at any
+// time through the *Reference paths) and a "pr1" column.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"partitionshare/internal/experiment"
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/partition"
+	"partitionshare/internal/reuse"
+	"partitionshare/internal/trace"
+	"partitionshare/internal/workload"
+)
+
+// snapshot maps a benchmark name to nanoseconds per operation.
+type snapshot map[string]int64
+
+type snapFile struct {
+	GoOS      string              `json:"goos"`
+	GoArch    string              `json:"goarch"`
+	CPUs      int                 `json:"cpus"`
+	Snapshots map[string]snapshot `json:"snapshots"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR1.json", "snapshot file to create or merge into")
+	label := flag.String("label", "current", "label for this run's column in the snapshot")
+	flag.Parse()
+
+	// Read (and validate) any existing snapshot up front, so a corrupt or
+	// unreadable -out fails before minutes of benchmarking, not after.
+	f := snapFile{Snapshots: map[string]snapshot{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("%s: %v", *out, err))
+		}
+	}
+
+	fmt.Fprintln(os.Stderr, "benchsnap: profiling workloads (one-time setup)...")
+	cfg := workload.TestConfig()
+	progs, err := workload.ProfileAll(workload.Specs(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	full := workload.DefaultConfig()
+	full4, err := workload.ProfileAll(workload.Specs()[:4], full)
+	if err != nil {
+		fatal(err)
+	}
+	fullCurves := make([]mrc.Curve, len(full4))
+	for i, p := range full4 {
+		fullCurves[i] = p.Curve
+	}
+	groupPr := partition.Problem{Curves: fullCurves, Units: 1024}
+	equalBase := partition.EqualAllocation(len(fullCurves), 1024)
+
+	spec := workload.Specs()[0]
+	gen := spec.Build(uint32(cfg.CacheBlocks()), cfg.Seed)
+	tr := trace.Generate(gen, cfg.TraceLen)
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"OptimalPartitionGroup", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.Optimize(groupPr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"OptimalPartitionGroupParallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.OptimizeParallel(groupPr, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"OptimalPartitionGroupReference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.ReferenceOptimize(groupPr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BaselineOptimizationGroup", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.OptimizeWithBaseline(fullCurves, 1024, equalBase); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ProfileProgram", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := workload.Profile(spec, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CollectReuse/dense", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reuse.Collect(tr)
+			}
+		}},
+		{"CollectReuse/reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reuse.CollectReference(tr)
+			}
+		}},
+		{"CollectReuse/parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reuse.CollectParallel(tr, 0)
+			}
+		}},
+		{"TableI", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(progs, 4, cfg.Units, cfg.BlocksPerUnit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				experiment.TableI(res)
+			}
+		}},
+	}
+	for _, units := range []int{128, 256, 512, 1024, 2048} {
+		blocksPerUnit := full.CacheBlocks() / int64(units)
+		curves := make([]mrc.Curve, len(full4))
+		for i, p := range full4 {
+			curves[i] = mrc.FromFootprint(p.Name, p.Fp, units, blocksPerUnit, p.Rate)
+		}
+		pr := partition.Problem{Curves: curves, Units: units}
+		benches = append(benches, struct {
+			name string
+			fn   func(b *testing.B)
+		}{fmt.Sprintf("DPGranularity/units=%d", units), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.Optimize(pr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+
+	snap := snapshot{}
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		snap[bm.name] = r.NsPerOp()
+		fmt.Printf("%-34s %12d ns/op  (%d iters)\n", bm.name, r.NsPerOp(), r.N)
+	}
+
+	f.GoOS, f.GoArch, f.CPUs = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
+	if f.Snapshots == nil {
+		f.Snapshots = map[string]snapshot{}
+	}
+	f.Snapshots[*label] = snap
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	labels := make([]string, 0, len(f.Snapshots))
+	for l := range f.Snapshots {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	fmt.Printf("wrote %s (labels: %v)\n", *out, labels)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

@@ -33,6 +33,7 @@ func main() {
 	units := flag.Int("units", 1024, "cache units for -mrc")
 	blocksPerUnit := flag.Int64("blocksperunit", 4, "blocks per unit for -mrc")
 	small := flag.Bool("small", false, "use the reduced test geometry for -workload")
+	workers := flag.Int("workers", 0, "profiling shards: 0 = all CPUs, 1 = serial scan")
 	flag.Parse()
 
 	var tr trace.Trace
@@ -83,7 +84,7 @@ func main() {
 		fatal(fmt.Errorf("need -in FILE or -workload NAME"))
 	}
 
-	prof := profileio.Profile{Name: *name, Rate: *rate, Reuse: reuse.Collect(tr)}
+	prof := profileio.Profile{Name: *name, Rate: *rate, Reuse: reuse.CollectParallel(tr, *workers)}
 	path := *out
 	if path == "" {
 		path = *name + ".hotl"

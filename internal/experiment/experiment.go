@@ -95,21 +95,51 @@ func Combinations(n, k int) [][]int {
 
 // EvaluateGroup runs all six schemes on one co-run group.
 func EvaluateGroup(progs []workload.Program, members []int, units int, blocksPerUnit int64) (GroupResult, error) {
+	return evaluateGroup(progs, members, units, blocksPerUnit, nil)
+}
+
+// CostTable precomputes each program's miss-count column cost[p][u] =
+// Curves[p].MissCount(u) for u in [0, units]. Run computes it once and
+// shares the rows across all groups and schemes, so the sweep's thousands
+// of DP solves never rebuild per-program costs; the entries are the exact
+// values the solvers would compute themselves.
+func CostTable(progs []workload.Program, units int) [][]float64 {
+	tab := make([][]float64, len(progs))
+	for i := range progs {
+		row := make([]float64, units+1)
+		for u := range row {
+			row[u] = progs[i].Curve.MissCount(u)
+		}
+		tab[i] = row
+	}
+	return tab
+}
+
+// evaluateGroup is EvaluateGroup with an optional precomputed cost table
+// indexed by program (not group-member) position.
+func evaluateGroup(progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (GroupResult, error) {
 	n := len(members)
 	if n == 0 {
 		return GroupResult{}, fmt.Errorf("experiment: empty group")
 	}
 	curves := make([]mrc.Curve, n)
 	comps := make([]compose.Program, n)
+	var groupTab [][]float64
+	if costTab != nil {
+		groupTab = make([][]float64, n)
+	}
 	for i, m := range members {
 		if m < 0 || m >= len(progs) {
 			return GroupResult{}, fmt.Errorf("experiment: invalid member %d", m)
 		}
 		curves[i] = progs[m].Curve
 		comps[i] = compose.Program{Name: progs[m].Name, Fp: progs[m].Fp, Rate: progs[m].Rate}
+		if costTab != nil {
+			groupTab[i] = costTab[m]
+		}
 	}
 	res := GroupResult{Members: append([]int(nil), members...)}
-	pr := partition.Problem{Curves: curves, Units: units}
+	pr := partition.Problem{Curves: curves, Units: units, CostTable: groupTab}
 
 	record := func(s Scheme, sol partition.Solution) {
 		res.GroupMR[s] = sol.GroupMissRatio
@@ -134,13 +164,13 @@ func EvaluateGroup(progs []workload.Program, members []int, units int, blocksPer
 	}
 	record(Natural, sol)
 
-	// Baseline optimizations (§VI).
-	sol, err = partition.OptimizeWithBaseline(curves, units, equalAlloc)
+	// Baseline optimizations (§VI), sharing the group's cost table.
+	sol, err = partition.OptimizeBaseline(pr, equalAlloc)
 	if err != nil {
 		return GroupResult{}, fmt.Errorf("experiment: equal baseline: %w", err)
 	}
 	record(EqualBaseline, sol)
-	sol, err = partition.OptimizeWithBaseline(curves, units, naturalAlloc)
+	sol, err = partition.OptimizeBaseline(pr, naturalAlloc)
 	if err != nil {
 		return GroupResult{}, fmt.Errorf("experiment: natural baseline: %w", err)
 	}
@@ -168,23 +198,31 @@ func Run(progs []workload.Program, groupSize, units int, blocksPerUnit int64) (R
 	groups := Combinations(len(progs), groupSize)
 	res := Result{Programs: progs, Units: units, Groups: make([]GroupResult, len(groups))}
 	errs := make([]error, len(groups))
+	costTab := CostTable(progs, units)
 
+	// The jobs channel holds the whole work list so the feeder never
+	// blocks and workers drain it back-to-back; each worker's sequential
+	// solves then reuse one pooled DP scratch arena, keeping the sweep's
+	// hot path allocation-free.
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	jobs := make(chan int, len(groups))
+	for g := range groups {
+		jobs <- g
+	}
+	close(jobs)
 	workers := runtime.GOMAXPROCS(0)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for g := range jobs {
-				res.Groups[g], errs[g] = EvaluateGroup(progs, groups[g], units, blocksPerUnit)
+				res.Groups[g], errs[g] = evaluateGroup(progs, groups[g], units, blocksPerUnit, costTab)
 			}
 		}()
 	}
-	for g := range groups {
-		jobs <- g
-	}
-	close(jobs)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

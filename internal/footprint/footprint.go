@@ -41,6 +41,13 @@ func New(p reuse.Profile) Footprint {
 // FromTrace profiles the trace and wraps it.
 func FromTrace(t trace.Trace) Footprint { return New(reuse.Collect(t)) }
 
+// FromTraceParallel is FromTrace with the profiling scan sharded across
+// workers (reuse.CollectParallel); the resulting footprint is bit-identical
+// to FromTrace's. workers <= 0 uses all CPUs.
+func FromTraceParallel(t trace.Trace, workers int) Footprint {
+	return New(reuse.CollectParallel(t, workers))
+}
+
 // N returns the trace length.
 func (f Footprint) N() int64 { return f.p.N }
 

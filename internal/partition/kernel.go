@@ -1,0 +1,297 @@
+package partition
+
+import (
+	"math"
+	"sync"
+)
+
+// This file holds the single DP kernel shared by Optimize, OptimizeParallel,
+// and (through Optimize) OptimizeWithBaseline and the other constrained
+// optimizers. The kernel computes one layer of the Eq. 16 recurrence in
+// gather form — next[t] = min over u of combine(dp[t−u], cost(u)) — which
+// keeps the running minimum in a register instead of read-modify-writing
+// next[t] per candidate as the scatter form does.
+//
+// Three observations make the layer loop tight without changing a single
+// output bit relative to the original scatter implementation:
+//
+//  1. Specialization: the Sum/Minimax branch is hoisted out of the inner
+//     loop into two dedicated kernels, chosen once per solve.
+//
+//  2. Feasible-interval trimming: each program's allocation range [lo, hi]
+//     is a contiguous interval, so the set of reachable unit totals after p
+//     layers is the interval [Σlo, min(C, Σhi)] and every cell inside it is
+//     finite. The kernel iterates only over candidate predecessors inside
+//     the previous layer's interval, which both skips infeasible work (the
+//     scatter form's dp[k]==inf scan) and — when costs are well-scaled —
+//     licenses an inner loop with no feasibility check at all.
+//
+//  3. Reversed cost windows: candidates for cell t are dp[j] (ascending j)
+//     paired with cost(t−j) (descending unit). Storing the layer costs
+//     reversed makes both streams ascend, so the inner loop is two
+//     contiguous reads, an add (or max), and a register compare.
+//
+// Bit-exactness: for a fixed t the scatter form visits predecessors k
+// ascending and takes strict improvements, so ties keep the smallest k
+// (largest unit count u). The gather kernels visit j (=k) ascending with the
+// same strict compare and the same float operation dp[j]+cost (or
+// math.Max), reproducing both the dp values and the choice table exactly.
+
+const inf = math.MaxFloat64
+
+// costSafeLimit bounds the cumulative cost magnitude under which the
+// unchecked kernels are provably exact: while every |cost| sum so far stays
+// below it, no dp cell inside the feasible interval can reach
+// math.MaxFloat64 (the infeasibility sentinel) or overflow. Beyond it — or
+// when a custom Cost function returns NaN or ±Inf — the solve falls back to
+// the checked kernels, which skip sentinel cells exactly like the original
+// implementation.
+const costSafeLimit = 8.9e307
+
+// layerSpec describes one DP layer for the kernels and the worker pool.
+type layerSpec struct {
+	dp, next []float64
+	costsRev []float64 // costsRev[i] = cost(hi − i)
+	ch       []int32   // this layer's choice row, len C+1
+	lo, hi   int
+	// prevLo, prevHi delimit the previous layer's feasible interval.
+	prevLo, prevHi int
+	minimax        bool
+	checked        bool
+}
+
+// runLayerRange fills next[tLo..tHi] and the matching choice cells.
+func runLayerRange(sp *layerSpec, tLo, tHi int) {
+	newLo := sp.prevLo + sp.lo
+	newHi := sp.prevHi + sp.hi
+	dp, next, ch := sp.dp, sp.next, sp.ch
+	for t := tLo; t <= tHi; t++ {
+		if t < newLo || t > newHi {
+			next[t] = inf
+			ch[t] = 0
+			continue
+		}
+		j0, j1 := sp.prevLo, sp.prevHi
+		if v := t - sp.hi; v > j0 {
+			j0 = v
+		}
+		if v := t - sp.lo; v < j1 {
+			j1 = v
+		}
+		var best float64
+		var bestJ int
+		switch {
+		case sp.checked && sp.minimax:
+			best, bestJ = cellMinimaxChecked(dp, sp.costsRev, sp.hi-t, j0, j1)
+		case sp.checked:
+			best, bestJ = cellSumChecked(dp, sp.costsRev, sp.hi-t, j0, j1)
+		case sp.minimax:
+			best, bestJ = cellMinimax(dp, sp.costsRev, sp.hi-t, j0, j1)
+		default:
+			best, bestJ = cellSum(dp, sp.costsRev, sp.hi-t, j0, j1)
+		}
+		next[t] = best
+		if bestJ < 0 {
+			ch[t] = 0
+		} else {
+			ch[t] = int32(t - bestJ)
+		}
+	}
+}
+
+// cellSum scans candidates for one cell with no feasibility check: every
+// dp[j] in [j0, j1] is finite by the interval invariant, and cost magnitudes
+// are bounded, so the first candidate always improves on inf.
+func cellSum(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
+	dpw := dp[j0 : j1+1]
+	cw := costsRev[off+j0 : off+j1+1 : off+j1+1]
+	cw = cw[:len(dpw)]
+	best := inf
+	bestI := -1
+	for i, v := range dpw {
+		if cand := v + cw[i]; cand < best {
+			best = cand
+			bestI = i
+		}
+	}
+	if bestI < 0 {
+		return inf, -1
+	}
+	return best, j0 + bestI
+}
+
+// cellMinimax is cellSum with the max combine. math.Max is used (not a
+// hand-rolled compare) so NaN and signed-zero handling match the original.
+func cellMinimax(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
+	dpw := dp[j0 : j1+1]
+	cw := costsRev[off+j0 : off+j1+1 : off+j1+1]
+	cw = cw[:len(dpw)]
+	best := inf
+	bestI := -1
+	for i, v := range dpw {
+		if cand := math.Max(v, cw[i]); cand < best {
+			best = cand
+			bestI = i
+		}
+	}
+	if bestI < 0 {
+		return inf, -1
+	}
+	return best, j0 + bestI
+}
+
+// cellSumChecked is the exact-semantics fallback: it skips sentinel cells
+// the way the scatter implementation skipped dp[k] == inf, which matters
+// only when custom costs are non-finite or astronomically large.
+func cellSumChecked(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
+	best := inf
+	bestJ := -1
+	for j := j0; j <= j1; j++ {
+		prev := dp[j]
+		if prev == inf {
+			continue
+		}
+		if cand := prev + costsRev[off+j]; cand < best {
+			best = cand
+			bestJ = j
+		}
+	}
+	return best, bestJ
+}
+
+func cellMinimaxChecked(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
+	best := inf
+	bestJ := -1
+	for j := j0; j <= j1; j++ {
+		prev := dp[j]
+		if prev == inf {
+			continue
+		}
+		if cand := math.Max(prev, costsRev[off+j]); cand < best {
+			best = cand
+			bestJ = j
+		}
+	}
+	return best, bestJ
+}
+
+// scratch is a reusable arena for one solve: the two DP rows, the reversed
+// per-layer cost window, and the flattened choice table. Pooling it makes
+// repeated solves allocation-free in the DP hot path, which is what the
+// experiment sweep (thousands of solves per run) leans on.
+type scratch struct {
+	dp, next []float64
+	costsRev []float64
+	choice   []int32 // n rows of C+1, flattened
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+func getScratch(n, C int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	s.dp = growFloats(s.dp, C+1)
+	s.next = growFloats(s.next, C+1)
+	s.costsRev = growFloats(s.costsRev, C+1)
+	if need := n * (C + 1); cap(s.choice) < need {
+		s.choice = make([]int32, need)
+	} else {
+		s.choice = s.choice[:need]
+	}
+	return s
+}
+
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+// solve is the shared core of Optimize and OptimizeParallel.
+func solve(pr *Problem, workers int) (Solution, error) {
+	if err := pr.validate(); err != nil {
+		return Solution{}, err
+	}
+	n, C := len(pr.Curves), pr.Units
+
+	s := getScratch(n, C)
+	defer putScratch(s)
+	dp, next := s.dp, s.next
+	for k := range dp {
+		dp[k] = inf
+	}
+	minimax := pr.Combine == Minimax
+	// The empty-set objective: 0 for Sum, -Inf for Minimax (the identity
+	// of max), so the first program's cost passes through unchanged even
+	// if negative.
+	if minimax {
+		dp[0] = math.Inf(-1)
+	} else {
+		dp[0] = 0
+	}
+
+	var pool *dpPool
+	if workers > 1 {
+		pool = newDPPool(workers, C)
+		defer pool.close()
+	}
+
+	spec := layerSpec{minimax: minimax}
+	prevLo, prevHi := 0, 0
+	costBound := 0.0
+	for p := 0; p < n; p++ {
+		lo, hi := pr.bounds(p)
+		costsRev := s.costsRev[:hi-lo+1]
+		layerMax := 0.0
+		for u := lo; u <= hi; u++ {
+			c := pr.cost(p, u)
+			costsRev[hi-lo-(u-lo)] = c
+			if a := math.Abs(c); !(a <= layerMax) {
+				// NaN falls through to +Inf here, forcing checked mode.
+				if a >= 0 {
+					layerMax = a
+				} else {
+					layerMax = math.Inf(1)
+				}
+			}
+		}
+		if minimax {
+			costBound = math.Max(costBound, layerMax)
+		} else {
+			costBound += layerMax
+		}
+		spec.dp, spec.next = dp, next
+		spec.costsRev = costsRev
+		spec.ch = s.choice[p*(C+1) : (p+1)*(C+1)]
+		spec.lo, spec.hi = lo, hi
+		spec.prevLo, spec.prevHi = prevLo, prevHi
+		spec.checked = spec.checked || !(costBound < costSafeLimit)
+		if pool != nil {
+			pool.runLayer(&spec)
+		} else {
+			runLayerRange(&spec, 0, C)
+		}
+		dp, next = next, dp
+		prevLo += lo
+		if prevHi += hi; prevHi > C {
+			prevHi = C
+		}
+	}
+
+	if dp[C] == inf {
+		return Solution{}, errNoFeasible()
+	}
+	alloc := make(Allocation, n)
+	k := C
+	for p := n - 1; p >= 0; p-- {
+		u := int(s.choice[p*(C+1)+k])
+		alloc[p] = u
+		k -= u
+	}
+	if k != 0 {
+		return Solution{}, errLeftover(k)
+	}
+	return pr.solution(alloc, dp[C]), nil
+}

@@ -1,8 +1,6 @@
 package partition
 
 import (
-	"fmt"
-	"math"
 	"runtime"
 	"sync"
 )
@@ -15,93 +13,83 @@ import (
 // dominates: the paper chose 8 KB units specifically to keep this cost
 // down (§VII-A) — parallelism is the other lever.
 //
-// The objective value is identical to Optimize's; when several allocations
-// tie, the two may return different (equally optimal) allocations.
+// The workers form a persistent pool created once per solve and
+// resynchronized at each layer by a lightweight release/arrive barrier, so
+// a solve costs `workers` goroutine creations rather than `workers × P`.
+// Because every worker runs the same gather kernel as the serial path over
+// a disjoint chunk of cells, the result — objective, allocation, and
+// tie-breaking — is bit-identical to Optimize's for any worker count.
 func OptimizeParallel(pr Problem, workers int) (Solution, error) {
-	if err := pr.validate(); err != nil {
-		return Solution{}, err
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n, C := len(pr.Curves), pr.Units
+	return solve(&pr, workers)
+}
 
-	const inf = math.MaxFloat64
-	dp := make([]float64, C+1)
-	next := make([]float64, C+1)
-	choice := make([][]int32, n)
-	for k := range dp {
-		dp[k] = inf
-	}
-	if pr.Combine == Minimax {
-		dp[0] = math.Inf(-1)
-	} else {
-		dp[0] = 0
-	}
+// dpPool is a persistent pool of DP-layer workers. The coordinator
+// publishes the layer spec, releases each helper through its start channel,
+// computes its own chunk, and waits on the barrier; channel send/receive
+// pairs order the spec writes before the helpers' reads, and the WaitGroup
+// orders the helpers' cell writes before the coordinator's buffer swap.
+type dpPool struct {
+	spec  *layerSpec
+	cells int // C+1
+	chunk int
+	start []chan struct{} // one per helper (workers−1)
+	wg    sync.WaitGroup
+}
 
-	var wg sync.WaitGroup
-	for p := 0; p < n; p++ {
-		choice[p] = make([]int32, C+1)
-		lo, hi := pr.bounds(p)
-		costs := make([]float64, hi-lo+1)
-		for u := lo; u <= hi; u++ {
-			costs[u-lo] = pr.cost(p, u)
+func newDPPool(workers, C int) *dpPool {
+	cells := C + 1
+	if workers > cells {
+		workers = cells
+	}
+	p := &dpPool{
+		cells: cells,
+		chunk: (cells + workers - 1) / workers,
+		start: make([]chan struct{}, workers-1),
+	}
+	for i := range p.start {
+		p.start[i] = make(chan struct{}, 1)
+		go p.helper(i)
+	}
+	return p
+}
+
+// helper processes chunk i+1 (the coordinator keeps chunk 0) each time it
+// is released, until its start channel is closed.
+func (p *dpPool) helper(i int) {
+	tLo := (i + 1) * p.chunk
+	tHi := tLo + p.chunk - 1
+	if tHi > p.cells-1 {
+		tHi = p.cells - 1
+	}
+	for range p.start[i] {
+		if tLo <= tHi {
+			runLayerRange(p.spec, tLo, tHi)
 		}
-		ch := choice[p]
-		minimax := pr.Combine == Minimax
-		chunk := (C + workers) / workers
-		for w := 0; w < workers; w++ {
-			tLo := w * chunk
-			tHi := tLo + chunk - 1
-			if tHi > C {
-				tHi = C
-			}
-			if tLo > C {
-				break
-			}
-			wg.Add(1)
-			go func(tLo, tHi int) {
-				defer wg.Done()
-				for t := tLo; t <= tHi; t++ {
-					best := inf
-					bestU := int32(0)
-					for u := lo; u <= hi && u <= t; u++ {
-						prev := dp[t-u]
-						if prev == inf {
-							continue
-						}
-						var cand float64
-						if minimax {
-							cand = math.Max(prev, costs[u-lo])
-						} else {
-							cand = prev + costs[u-lo]
-						}
-						if cand < best {
-							best = cand
-							bestU = int32(u)
-						}
-					}
-					next[t] = best
-					ch[t] = bestU
-				}
-			}(tLo, tHi)
-		}
-		wg.Wait()
-		dp, next = next, dp
+		p.wg.Done()
 	}
+}
 
-	if dp[C] == inf {
-		return Solution{}, fmt.Errorf("partition: no feasible allocation (internal)")
+// runLayer executes one DP layer across the pool and returns when every
+// cell of next (and the layer's choice row) is written.
+func (p *dpPool) runLayer(spec *layerSpec) {
+	p.spec = spec
+	p.wg.Add(len(p.start))
+	for _, c := range p.start {
+		c <- struct{}{}
 	}
-	alloc := make(Allocation, n)
-	k := C
-	for p := n - 1; p >= 0; p-- {
-		u := int(choice[p][k])
-		alloc[p] = u
-		k -= u
+	tHi := p.chunk - 1
+	if tHi > p.cells-1 {
+		tHi = p.cells - 1
 	}
-	if k != 0 {
-		return Solution{}, fmt.Errorf("partition: reconstruction leftover %d units (internal)", k)
+	runLayerRange(spec, 0, tHi)
+	p.wg.Wait()
+}
+
+func (p *dpPool) close() {
+	for _, c := range p.start {
+		close(c)
 	}
-	return pr.solution(alloc, dp[C]), nil
 }

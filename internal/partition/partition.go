@@ -56,11 +56,21 @@ type Problem struct {
 	// Curves[p].MissCount(u). Any function is legal: the optimizer makes
 	// no convexity or monotonicity assumption.
 	Cost func(p, u int) float64
+	// CostTable, when non-nil, holds precomputed costs: CostTable[p][u] is
+	// program p's cost at u units, for u in [0, Units]. It takes precedence
+	// over Cost and the curve lookup, and exists so batch harnesses (the
+	// experiment sweep) can compute each program's miss-count column once
+	// and share it across thousands of solves. Rows may be shared between
+	// Problems; the optimizer never writes them.
+	CostTable [][]float64
 	// Combine selects the aggregation (default Sum).
 	Combine Combine
 }
 
 func (pr *Problem) cost(p, u int) float64 {
+	if pr.CostTable != nil {
+		return pr.CostTable[p][u]
+	}
 	if pr.Cost != nil {
 		return pr.Cost(p, u)
 	}
@@ -91,6 +101,16 @@ func (pr *Problem) validate() error {
 	}
 	if pr.MaxAlloc != nil && len(pr.MaxAlloc) != n {
 		return fmt.Errorf("partition: MaxAlloc has %d entries for %d programs", len(pr.MaxAlloc), n)
+	}
+	if pr.CostTable != nil {
+		if len(pr.CostTable) != n {
+			return fmt.Errorf("partition: CostTable has %d rows for %d programs", len(pr.CostTable), n)
+		}
+		for p, row := range pr.CostTable {
+			if len(row) < pr.Units+1 {
+				return fmt.Errorf("partition: CostTable row %d has %d entries, need %d", p, len(row), pr.Units+1)
+			}
+		}
 	}
 	minSum := 0
 	for p := 0; p < n; p++ {
@@ -143,76 +163,21 @@ func (pr *Problem) solution(alloc Allocation, obj float64) Solution {
 // Optimize finds the allocation minimizing the combined objective subject
 // to the allocation summing exactly to Units and respecting the per-program
 // bounds. It examines the entire solution space by dynamic programming —
-// no convexity assumption — in O(P·C²) time and O(P·C) space.
+// no convexity assumption — in O(P·C²) time and O(P·C) space. The DP runs
+// on the pooled layer kernel (kernel.go): repeated solves reuse their
+// working buffers and the hot loop is specialized per objective, but every
+// output — objective, allocation, even tie-breaking — is bit-identical to
+// the reference implementation (see ReferenceOptimize).
 func Optimize(pr Problem) (Solution, error) {
-	if err := pr.validate(); err != nil {
-		return Solution{}, err
-	}
-	n, C := len(pr.Curves), pr.Units
+	return solve(&pr, 1)
+}
 
-	const inf = math.MaxFloat64
-	// dp[k]: best objective for the programs seen so far using exactly k
-	// units. choice[p][k]: units given to program p in that optimum.
-	dp := make([]float64, C+1)
-	next := make([]float64, C+1)
-	choice := make([][]int32, n)
+func errNoFeasible() error {
+	return fmt.Errorf("partition: no feasible allocation (internal)")
+}
 
-	for k := range dp {
-		dp[k] = inf
-	}
-	// The empty-set objective: 0 for Sum, -Inf for Minimax (the identity
-	// of max), so the first program's cost passes through unchanged even
-	// if negative.
-	if pr.Combine == Minimax {
-		dp[0] = math.Inf(-1)
-	} else {
-		dp[0] = 0
-	}
-
-	for p := 0; p < n; p++ {
-		choice[p] = make([]int32, C+1)
-		lo, hi := pr.bounds(p)
-		costs := make([]float64, hi-lo+1)
-		for u := lo; u <= hi; u++ {
-			costs[u-lo] = pr.cost(p, u)
-		}
-		for k := range next {
-			next[k] = inf
-		}
-		for k := 0; k <= C; k++ {
-			if dp[k] == inf {
-				continue
-			}
-			for u := lo; u <= hi && k+u <= C; u++ {
-				var cand float64
-				if pr.Combine == Minimax {
-					cand = math.Max(dp[k], costs[u-lo])
-				} else {
-					cand = dp[k] + costs[u-lo]
-				}
-				if cand < next[k+u] {
-					next[k+u] = cand
-					choice[p][k+u] = int32(u)
-				}
-			}
-		}
-		dp, next = next, dp
-	}
-
-	if dp[C] == inf {
-		return Solution{}, fmt.Errorf("partition: no feasible allocation (internal)")
-	}
-	alloc := make(Allocation, n)
-	k := C
-	for p := n - 1; p >= 0; p-- {
-		u := int(choice[p][k])
-		alloc[p] = u
-		k -= u
-	}
-	if k != 0 {
-		return Solution{}, fmt.Errorf("partition: reconstruction leftover %d units (internal)", k)
-	}
-	return pr.solution(alloc, dp[C]), nil
+func errLeftover(k int) error {
+	return fmt.Errorf("partition: reconstruction leftover %d units (internal)", k)
 }
 
 // Evaluate builds a Solution for a fixed allocation without optimizing,
@@ -225,7 +190,13 @@ func Evaluate(pr Problem, alloc Allocation) (Solution, error) {
 	if err := pr.validate(); err != nil {
 		return Solution{}, err
 	}
+	// Start from the combine identity — 0 for Sum, -Inf for Minimax — as
+	// Optimize and BruteForce do; starting Minimax at 0 would silently
+	// clamp all-negative custom costs.
 	var obj float64
+	if pr.Combine == Minimax {
+		obj = math.Inf(-1)
+	}
 	for p := range pr.Curves {
 		c := pr.cost(p, alloc[p])
 		if pr.Combine == Minimax {

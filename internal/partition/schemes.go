@@ -73,11 +73,17 @@ func BaselineMinAlloc(curves []mrc.Curve, baseline Allocation, tol float64) []in
 // program performing at least as well as under the baseline allocation,
 // within DefaultBaselineTolerance.
 func OptimizeWithBaseline(curves []mrc.Curve, units int, baseline Allocation) (Solution, error) {
-	return Optimize(Problem{
-		Curves:   curves,
-		Units:    units,
-		MinAlloc: BaselineMinAlloc(curves, baseline, DefaultBaselineTolerance),
-	})
+	return OptimizeBaseline(Problem{Curves: curves, Units: units}, baseline)
+}
+
+// OptimizeBaseline is OptimizeWithBaseline over a full Problem: the
+// baseline lower bounds (within DefaultBaselineTolerance) are derived from
+// the problem's curves and installed as MinAlloc, while the problem's cost
+// source — including a precomputed CostTable — is kept. Batch harnesses use
+// it to share one miss-count table across every scheme of a group.
+func OptimizeBaseline(pr Problem, baseline Allocation) (Solution, error) {
+	pr.MinAlloc = BaselineMinAlloc(pr.Curves, baseline, DefaultBaselineTolerance)
+	return Optimize(pr)
 }
 
 // sttwItem is a heap entry: the marginal miss-count reduction program p

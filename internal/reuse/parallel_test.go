@@ -1,0 +1,97 @@
+package reuse
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"partitionshare/internal/trace"
+)
+
+// randTrace builds a mixed trace with streaming (far, never-reused IDs),
+// looping, and skewed-random components — the patterns the workload suite
+// uses — so the differential tests cover sparse high IDs, dense low IDs,
+// and every reuse shape.
+func randTrace(rng *rand.Rand, n int) trace.Trace {
+	t := make(trace.Trace, n)
+	loopSize := uint32(rng.IntN(200) + 4)
+	zipfPool := uint32(rng.IntN(500) + 10)
+	var stream uint32 = 1 << 28
+	var loopPos uint32
+	for i := range t {
+		switch rng.IntN(4) {
+		case 0: // streaming: fresh far ID every time
+			t[i] = stream
+			stream++
+		case 1: // cyclic loop
+			t[i] = 100000 + loopPos
+			loopPos = (loopPos + 1) % loopSize
+		default: // skewed random pool
+			t[i] = uint32(rng.IntN(int(zipfPool)))
+		}
+	}
+	return t
+}
+
+func profilesEqual(t *testing.T, label string, got, want Profile) {
+	t.Helper()
+	if got.N != want.N || got.M != want.M {
+		t.Fatalf("%s: N,M = %d,%d; want %d,%d", label, got.N, got.M, want.N, want.M)
+	}
+	for name, pair := range map[string][2]TailSum{
+		"Reuse": {got.Reuse, want.Reuse},
+		"First": {got.First, want.First},
+		"Last":  {got.Last, want.Last},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Fatalf("%s: %s TailSum differs: got %+v want %+v", label, name, pair[0], pair[1])
+		}
+	}
+}
+
+// TestCollectBitExactWithReference asserts the dense-slice scan reproduces
+// the map-based reference profile field for field.
+func TestCollectBitExactWithReference(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed*31))
+		tr := randTrace(rng, rng.IntN(5000)+1)
+		profilesEqual(t, "dense", Collect(tr), CollectReference(tr))
+	}
+}
+
+// TestCollectParallelBitExactAllWorkerCounts asserts the sharded scan
+// merges to exactly the serial profile for every worker count, including
+// counts that collapse to the serial path.
+func TestCollectParallelBitExactAllWorkerCounts(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed*131))
+		// Long enough that several shards survive the minShardLen clamp.
+		tr := randTrace(rng, 3*minShardLen+rng.IntN(minShardLen))
+		want := CollectReference(tr)
+		for workers := 1; workers <= 8; workers++ {
+			profilesEqual(t, "parallel", CollectParallel(tr, workers), want)
+		}
+	}
+}
+
+// TestCollectParallelShortTrace covers the serial fallback and boundary
+// sharding on traces too short to shard evenly.
+func TestCollectParallelShortTrace(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 100, minShardLen - 1, minShardLen, 2*minShardLen + 1} {
+		rng := rand.New(rand.NewPCG(uint64(n), 7))
+		tr := randTrace(rng, n)
+		profilesEqual(t, "short", CollectParallel(tr, 4), CollectReference(tr))
+	}
+}
+
+// TestCollectParallelRepeatedDatum exercises the merge's boundary-pair
+// reconstruction: one datum accessed in every segment yields one boundary
+// reuse pair per segment joint.
+func TestCollectParallelRepeatedDatum(t *testing.T) {
+	n := 4 * minShardLen
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = uint32(i % 3) // three data, each reused constantly across all shards
+	}
+	profilesEqual(t, "repeated", CollectParallel(tr, 4), CollectReference(tr))
+}

@@ -1,0 +1,39 @@
+package reuse
+
+import "partitionshare/internal/trace"
+
+// CollectReference is the original map-based profiling scan, kept verbatim
+// as the oracle for the dense-slice fast path: the differential tests
+// assert that Collect and CollectParallel reproduce its TailSums field for
+// field, and the paired benchmarks in bench_test.go measure the dense path
+// against it. It is also the fallback for traces whose positions overflow
+// the dense path's 32-bit counters.
+func CollectReference(t trace.Trace) Profile {
+	if len(t) == 0 {
+		panic("reuse: cannot profile an empty trace")
+	}
+	n := int64(len(t))
+	lastPos := make(map[uint32]int64, 1024)
+	reuseHist := make(map[int64]int64)
+	firstHist := make(map[int64]int64)
+	for i, d := range t {
+		pos := int64(i) + 1
+		if p, ok := lastPos[d]; ok {
+			reuseHist[pos-p]++
+		} else {
+			firstHist[pos]++
+		}
+		lastPos[d] = pos
+	}
+	lastHist := make(map[int64]int64)
+	for _, p := range lastPos {
+		lastHist[n-p+1]++
+	}
+	return Profile{
+		N:     n,
+		M:     int64(len(lastPos)),
+		Reuse: NewTailSum(reuseHist),
+		First: NewTailSum(firstHist),
+		Last:  NewTailSum(lastHist),
+	}
+}

@@ -6,6 +6,7 @@ package reuse
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"partitionshare/internal/trace"
@@ -44,13 +45,48 @@ func NewTailSum(hist map[int64]int64) TailSum {
 	for i, v := range ts.values {
 		ts.counts[i] = hist[v]
 	}
+	ts.buildSuffixes()
+	return ts
+}
+
+// newTailSumDense builds a TailSum from a dense histogram indexed by value:
+// hist[v] is the multiplicity of value v. Index 0 must hold count 0 (all
+// TailSum values are positive). A dense scan yields values in ascending
+// order directly, so the result is field-for-field identical to
+// NewTailSum over the equivalent map — the suffix sums see the same values
+// and counts in the same order.
+func newTailSumDense(hist []int32) TailSum {
+	if len(hist) > 0 && hist[0] != 0 {
+		panic(fmt.Sprintf("reuse: TailSum values must be positive, got 0 with count %d", hist[0]))
+	}
+	k := 0
+	for _, c := range hist {
+		if c != 0 {
+			k++
+		}
+	}
+	ts := TailSum{
+		values: make([]int64, 0, k),
+		counts: make([]int64, 0, k),
+	}
+	for v, c := range hist {
+		if c == 0 {
+			continue
+		}
+		ts.values = append(ts.values, int64(v))
+		ts.counts = append(ts.counts, int64(c))
+	}
+	ts.buildSuffixes()
+	return ts
+}
+
+func (ts *TailSum) buildSuffixes() {
 	ts.sufCnt = make([]int64, len(ts.values)+1)
 	ts.sufSum = make([]int64, len(ts.values)+1)
 	for i := len(ts.values) - 1; i >= 0; i-- {
 		ts.sufCnt[i] = ts.sufCnt[i+1] + ts.counts[i]
 		ts.sufSum[i] = ts.sufSum[i+1] + ts.values[i]*ts.counts[i]
 	}
-	return ts
 }
 
 // Total returns the total multiplicity of the multiset.
@@ -112,32 +148,118 @@ type Profile struct {
 
 // Collect scans the trace once and builds its reuse Profile. It panics on
 // an empty trace.
+//
+// The scan is hash-free: every quantity it histograms is bounded — reuse,
+// first-access, and last-access times by the trace length, datum IDs by
+// uint32 — so the histograms are dense count slices indexed by value and
+// the per-datum last-position table is a two-level paged array (posTable)
+// instead of a map. The resulting TailSums are field-for-field identical
+// to the map-based reference implementation (CollectReference), which
+// remains the oracle in the differential tests and the fallback for traces
+// too long for 32-bit positions.
 func Collect(t trace.Trace) Profile {
 	if len(t) == 0 {
 		panic("reuse: cannot profile an empty trace")
 	}
-	n := int64(len(t))
-	lastPos := make(map[uint32]int64, 1024)
-	reuseHist := make(map[int64]int64)
-	firstHist := make(map[int64]int64)
+	if int64(len(t)) >= math.MaxInt32 {
+		return CollectReference(t)
+	}
+	n := len(t)
+	var maxAddr uint32
+	for _, d := range t {
+		if d > maxAddr {
+			maxAddr = d
+		}
+	}
+	pt := newPosTable(maxAddr)
+	reuseHist := make([]int32, n+1)
+	firstHist := make([]int32, n+1)
+	m := 0
 	for i, d := range t {
-		pos := int64(i) + 1
-		if p, ok := lastPos[d]; ok {
-			reuseHist[pos-p]++
+		pos := int32(i) + 1
+		pg := pt.pages[d>>posPageBits]
+		if pg == nil {
+			pg = pt.page(d >> posPageBits)
+		}
+		prev := pg[d&posPageMask]
+		pg[d&posPageMask] = pos
+		if prev != 0 {
+			reuseHist[pos-prev]++
 		} else {
 			firstHist[pos]++
+			m++
 		}
-		lastPos[d] = pos
 	}
-	lastHist := make(map[int64]int64)
-	for _, p := range lastPos {
-		lastHist[n-p+1]++
-	}
+	lastHist := make([]int32, n+1)
+	pt.each(func(_ uint32, p int32) {
+		lastHist[int32(n)-p+1]++
+	})
 	return Profile{
-		N:     n,
-		M:     int64(len(lastPos)),
-		Reuse: NewTailSum(reuseHist),
-		First: NewTailSum(firstHist),
-		Last:  NewTailSum(lastHist),
+		N:     int64(n),
+		M:     int64(m),
+		Reuse: newTailSumDense(reuseHist),
+		First: newTailSumDense(firstHist),
+		Last:  newTailSumDense(lastHist),
+	}
+}
+
+// posTable maps uint32 datum IDs to 1-based access positions through a
+// two-level paged array: O(1) hash-free lookup, with memory proportional to
+// the ID pages actually touched (region-based traces touch contiguous IDs,
+// so pages fill densely). Position 0 means "never seen".
+type posTable struct {
+	pages [][]int32
+}
+
+const (
+	posPageBits = 14
+	posPageSize = 1 << posPageBits
+	posPageMask = posPageSize - 1
+)
+
+func newPosTable(maxAddr uint32) *posTable {
+	return &posTable{pages: make([][]int32, (maxAddr>>posPageBits)+1)}
+}
+
+// page materializes page pi.
+func (pt *posTable) page(pi uint32) []int32 {
+	pg := make([]int32, posPageSize)
+	pt.pages[pi] = pg
+	return pg
+}
+
+// set records datum d at position pos and returns the previous position
+// (0 if unseen).
+func (pt *posTable) set(d uint32, pos int32) int32 {
+	pg := pt.pages[d>>posPageBits]
+	if pg == nil {
+		pg = pt.page(d >> posPageBits)
+	}
+	prev := pg[d&posPageMask]
+	pg[d&posPageMask] = pos
+	return prev
+}
+
+// get returns datum d's recorded position (0 if unseen).
+func (pt *posTable) get(d uint32) int32 {
+	pg := pt.pages[d>>posPageBits]
+	if pg == nil {
+		return 0
+	}
+	return pg[d&posPageMask]
+}
+
+// each calls fn for every datum with a recorded position.
+func (pt *posTable) each(fn func(d uint32, pos int32)) {
+	for pi, pg := range pt.pages {
+		if pg == nil {
+			continue
+		}
+		base := uint32(pi) << posPageBits
+		for off, p := range pg {
+			if p != 0 {
+				fn(base|uint32(off), p)
+			}
+		}
 	}
 }
