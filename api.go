@@ -1,6 +1,8 @@
 package partitionshare
 
 import (
+	"context"
+
 	"partitionshare/internal/cachesim"
 	"partitionshare/internal/compose"
 	"partitionshare/internal/epoch"
@@ -98,8 +100,10 @@ func CollectReuse(t Trace) ReuseProfile { return reuse.Collect(t) }
 // CollectReuseParallel computes the same profile as CollectReuse by
 // scanning disjoint trace segments concurrently and merging exactly —
 // bit-identical results, sharded across workers (<= 0 means all CPUs).
-func CollectReuseParallel(t Trace, workers int) ReuseProfile {
-	return reuse.CollectParallel(t, workers)
+// Cancelling ctx drains the shards and returns ctx.Err(); a nil ctx never
+// cancels.
+func CollectReuseParallel(ctx context.Context, t Trace, workers int) (ReuseProfile, error) {
+	return reuse.CollectParallel(ctx, t, workers)
 }
 
 // CollectReuseSampled computes an approximate reuse profile by spatial
@@ -241,8 +245,10 @@ func STTW(curves []Curve, units int) Solution { return partition.STTW(curves, un
 
 // OptimizeParallel is Optimize with each DP layer parallelized across
 // workers (0 = GOMAXPROCS); same optimum, useful at fine granularity.
-func OptimizeParallel(pr Problem, workers int) (Solution, error) {
-	return partition.OptimizeParallel(pr, workers)
+// Cancelling ctx stops between DP layers and returns ctx.Err(); a nil ctx
+// never cancels.
+func OptimizeParallel(ctx context.Context, pr Problem, workers int) (Solution, error) {
+	return partition.OptimizeParallel(ctx, pr, workers)
 }
 
 // OptimizeWithQoS minimizes group misses subject to per-program miss-ratio
@@ -435,9 +441,10 @@ func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
 // SmallWorkloadConfig is a reduced geometry for quick runs and tests.
 func SmallWorkloadConfig() WorkloadConfig { return workload.TestConfig() }
 
-// ProfileSuite profiles the given specs in parallel.
-func ProfileSuite(specs []WorkloadSpec, cfg WorkloadConfig) ([]SuiteProgram, error) {
-	return workload.ProfileAll(specs, cfg)
+// ProfileSuite profiles the given specs in parallel. Cancelling ctx skips
+// not-yet-started programs and returns ctx.Err(); a nil ctx never cancels.
+func ProfileSuite(ctx context.Context, specs []WorkloadSpec, cfg WorkloadConfig) ([]SuiteProgram, error) {
+	return workload.ProfileAll(ctx, specs, cfg)
 }
 
 // EvaluationResult is a full multi-group evaluation run.
@@ -446,8 +453,28 @@ type EvaluationResult = experiment.Result
 // EvaluationScheme identifies one of the six evaluated policies.
 type EvaluationScheme = experiment.Scheme
 
+// EvaluationOpts tunes a RunEvaluation sweep: worker count, fail-fast vs
+// error-collection, and checkpoint/resume.
+type EvaluationOpts = experiment.RunOpts
+
+// GroupEvaluationError is the typed per-group failure (including recovered
+// worker panics) surfaced by RunEvaluation; test with errors.As.
+type GroupEvaluationError = experiment.GroupError
+
+// EvaluationCheckpoint is the crash-recovery snapshot of a partially
+// completed sweep.
+type EvaluationCheckpoint = experiment.Checkpoint
+
+// ReadEvaluationCheckpoint loads and validates a checkpoint file for
+// EvaluationOpts.Resume.
+func ReadEvaluationCheckpoint(path string) (*EvaluationCheckpoint, error) {
+	return experiment.ReadCheckpoint(path)
+}
+
 // RunEvaluation evaluates every groupSize-subset of the programs under the
-// six schemes, in parallel (paper §VII).
-func RunEvaluation(progs []SuiteProgram, groupSize, units int, blocksPerUnit int64) (EvaluationResult, error) {
-	return experiment.Run(progs, groupSize, units, blocksPerUnit)
+// six schemes, in parallel (paper §VII). Cancelling ctx drains the workers
+// and returns ctx.Err(); a nil ctx never cancels. A zero EvaluationOpts
+// reproduces the defaults (all CPUs, collect errors, no checkpointing).
+func RunEvaluation(ctx context.Context, progs []SuiteProgram, groupSize, units int, blocksPerUnit int64, opts EvaluationOpts) (EvaluationResult, error) {
+	return experiment.Run(ctx, progs, groupSize, units, blocksPerUnit, opts)
 }

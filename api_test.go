@@ -233,11 +233,11 @@ func TestPublicFeedback(t *testing.T) {
 func TestPublicSuite(t *testing.T) {
 	cfg := ps.SmallWorkloadConfig()
 	specs := ps.SPECLikeSuite()[:5]
-	progs, err := ps.ProfileSuite(specs, cfg)
+	progs, err := ps.ProfileSuite(nil, specs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ps.RunEvaluation(progs, 4, cfg.Units, cfg.BlocksPerUnit)
+	res, err := ps.RunEvaluation(nil, progs, 4, cfg.Units, cfg.BlocksPerUnit, ps.EvaluationOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

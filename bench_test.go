@@ -33,16 +33,16 @@ func benchSetup(b *testing.B) {
 	benchOnce.Do(func() {
 		cfg := workload.TestConfig()
 		var err error
-		benchProgs, err = workload.ProfileAll(workload.Specs(), cfg)
+		benchProgs, err = workload.ProfileAll(nil, workload.Specs(), cfg)
 		if err != nil {
 			panic(err)
 		}
-		benchRes, err = experiment.Run(benchProgs, 4, cfg.Units, cfg.BlocksPerUnit)
+		benchRes, err = experiment.Run(nil, benchProgs, 4, cfg.Units, cfg.BlocksPerUnit, experiment.RunOpts{})
 		if err != nil {
 			panic(err)
 		}
 		full := workload.DefaultConfig()
-		benchFull4, err = workload.ProfileAll(workload.Specs()[:4], full)
+		benchFull4, err = workload.ProfileAll(nil, workload.Specs()[:4], full)
 		if err != nil {
 			panic(err)
 		}
@@ -68,7 +68,7 @@ func BenchmarkTableI(b *testing.B) {
 	cfg := workload.TestConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Run(benchProgs, 4, cfg.Units, cfg.BlocksPerUnit)
+		res, err := experiment.Run(nil, benchProgs, 4, cfg.Units, cfg.BlocksPerUnit, experiment.RunOpts{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +126,7 @@ func BenchmarkValidationPair(b *testing.B) {
 	specs := workload.Specs()[:2]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.ValidatePairs(specs, cfg); err != nil {
+		if _, err := experiment.ValidatePairs(nil, specs, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -155,7 +155,7 @@ func BenchmarkOptimalPartitionGroupParallel(b *testing.B) {
 	pr := partition.Problem{Curves: curves, Units: 1024}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := partition.OptimizeParallel(pr, 0); err != nil {
+		if _, err := partition.OptimizeParallel(nil, pr, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -339,7 +339,7 @@ func BenchmarkCollectReuse(b *testing.B) {
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			reuse.CollectParallel(tr, 0)
+			reuse.CollectParallel(nil, tr, 0)
 		}
 	})
 }

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"testing"
 
+	"partitionshare/internal/atomicio"
 	"partitionshare/internal/experiment"
 	"partitionshare/internal/mrc"
 	"partitionshare/internal/partition"
@@ -58,12 +59,12 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "benchsnap: profiling workloads (one-time setup)...")
 	cfg := workload.TestConfig()
-	progs, err := workload.ProfileAll(workload.Specs(), cfg)
+	progs, err := workload.ProfileAll(nil, workload.Specs(), cfg)
 	if err != nil {
 		fatal(err)
 	}
 	full := workload.DefaultConfig()
-	full4, err := workload.ProfileAll(workload.Specs()[:4], full)
+	full4, err := workload.ProfileAll(nil, workload.Specs()[:4], full)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,7 +92,7 @@ func main() {
 		}},
 		{"OptimalPartitionGroupParallel", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := partition.OptimizeParallel(groupPr, 0); err != nil {
+				if _, err := partition.OptimizeParallel(nil, groupPr, 0); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -129,12 +130,14 @@ func main() {
 		}},
 		{"CollectReuse/parallel", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reuse.CollectParallel(tr, 0)
+				if _, err := reuse.CollectParallel(nil, tr, 0); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 		{"TableI", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := experiment.Run(progs, 4, cfg.Units, cfg.BlocksPerUnit)
+				res, err := experiment.Run(nil, progs, 4, cfg.Units, cfg.BlocksPerUnit, experiment.RunOpts{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -178,7 +181,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	// Atomic write: a kill mid-write must not clobber the accumulated
+	// snapshot labels.
+	if err := atomicio.WriteFileBytes(*out, append(data, '\n')); err != nil {
 		fatal(err)
 	}
 

@@ -29,7 +29,7 @@ func main() {
 		inspectGroup(cfg, strings.Split(*group, ","))
 		return
 	}
-	progs, err := workload.ProfileAll(workload.Specs(), cfg)
+	progs, err := workload.ProfileAll(nil, workload.Specs(), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
@@ -83,7 +83,7 @@ func main() {
 // inspectGroup prints each scheme's allocation and per-program miss ratios
 // for one named co-run group.
 func inspectGroup(cfg workload.Config, names []string) {
-	progs, err := workload.ProfileAll(workload.Specs(), cfg)
+	progs, err := workload.ProfileAll(nil, workload.Specs(), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)

@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	experiments [-small] [-out DIR] [-groupsize N] [-validate]
+//	experiments [-small] [-out DIR] [-groupsize N] [-validate] [-resume]
+//
+// The group sweep periodically checkpoints completed groups to
+// DIR/checkpoint.json (atomic write-temp+rename). SIGINT/SIGTERM trigger a
+// graceful drain: in-flight groups finish, the checkpoint is flushed, and
+// the process exits with status 130. A subsequent run with -resume loads
+// the checkpoint and evaluates only the remaining groups; outputs are
+// byte-identical to an uninterrupted run. The checkpoint is deleted after
+// a fully successful sweep.
 //
 // CSV outputs in DIR (default "results"):
 //
@@ -17,12 +25,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"partitionshare/internal/atomicio"
 	"partitionshare/internal/experiment"
 	"partitionshare/internal/textplot"
 	"partitionshare/internal/workload"
@@ -37,7 +51,16 @@ func main() {
 	granularity := flag.Bool("granularity", false, "also run the partition-granularity ablation")
 	policy := flag.Bool("policy", false, "also run the replacement-policy study (slow)")
 	epochFlag := flag.Bool("epoch", false, "also run the dynamic-vs-static repartitioning study on the phased suite")
+	resume := flag.Bool("resume", false, "resume the group sweep from the checkpoint in -out")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after this many completed groups (0 = default interval)")
+	workers := flag.Int("workers", 0, "worker goroutines for the group sweep (0 = GOMAXPROCS)")
+	failFast := flag.Bool("failfast", false, "abort the sweep on the first group error instead of collecting errors")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel ctx; every stage below drains gracefully and
+	// returns context.Canceled, which exits with the conventional 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := workload.DefaultConfig()
 	if *small {
@@ -46,20 +69,48 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
+	ckptPath := filepath.Join(*outDir, "checkpoint.json")
 
 	start := time.Now()
 	fmt.Printf("profiling %d programs (units=%d, blocks/unit=%d, trace=%d)...\n",
 		len(workload.Specs()), cfg.Units, cfg.BlocksPerUnit, cfg.TraceLen)
-	progs, err := workload.ProfileAll(workload.Specs(), cfg)
+	progs, err := workload.ProfileAll(ctx, workload.Specs(), cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("profiled in %v\n", time.Since(start).Round(time.Millisecond))
 
+	opts := experiment.RunOpts{
+		Workers:         *workers,
+		FailFast:        *failFast,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: *checkpointEvery,
+	}
+	if *resume {
+		ck, err := experiment.ReadCheckpoint(ckptPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no checkpoint at %s; starting from scratch\n", ckptPath)
+		case err != nil:
+			fatal(err)
+		default:
+			fmt.Printf("resuming: %d groups already completed in %s\n", len(ck.Groups), ckptPath)
+			opts.Resume = ck
+		}
+	}
+
 	start = time.Now()
-	res, err := experiment.Run(progs, *groupSize, cfg.Units, cfg.BlocksPerUnit)
+	res, err := experiment.Run(ctx, progs, *groupSize, cfg.Units, cfg.BlocksPerUnit, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; checkpoint saved to %s (rerun with -resume)\n", ckptPath)
+			os.Exit(130)
+		}
 		fatal(err)
+	}
+	// The sweep finished; the checkpoint has served its purpose.
+	if err := os.Remove(ckptPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "experiments: warning: cannot remove checkpoint: %v\n", err)
 	}
 	fmt.Printf("evaluated %d co-run groups x 6 schemes in %v (%.1f ms/group)\n\n",
 		len(res.Groups), time.Since(start).Round(time.Millisecond),
@@ -138,25 +189,25 @@ func main() {
 	}
 
 	if *validate {
-		runValidation(cfg, *outDir)
+		runValidation(ctx, cfg, *outDir)
 	}
 	if *correlate {
-		runCorrelation(cfg, *outDir)
+		runCorrelation(ctx, cfg, *outDir)
 	}
 	if *granularity {
 		runGranularity(res.Programs, cfg)
 	}
 	if *policy {
-		runPolicy(cfg)
+		runPolicy(ctx, cfg)
 	}
 	if *epochFlag {
-		runEpochStudy(cfg)
+		runEpochStudy(ctx, cfg)
 	}
 }
 
 // runEpochStudy prints the dynamic-vs-static repartitioning comparison on
 // the phased (antiphase) suite — the §VIII random-phase caveat.
-func runEpochStudy(cfg workload.Config) {
+func runEpochStudy(ctx context.Context, cfg workload.Config) {
 	ecfg := cfg
 	if ecfg.TraceLen > 1<<21 {
 		ecfg.TraceLen = 1 << 21
@@ -164,7 +215,7 @@ func runEpochStudy(cfg workload.Config) {
 	specs := workload.PhasedSpecs()
 	phaseLen := ecfg.TraceLen / 8
 	groups := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 1, 2, 3}, {4, 5, 6, 7}, {0, 3, 4, 7}}
-	rows, err := experiment.EpochStudy(specs, ecfg, groups, phaseLen)
+	rows, err := experiment.EpochStudy(ctx, specs, ecfg, groups, phaseLen)
 	if err != nil {
 		fatal(err)
 	}
@@ -178,19 +229,22 @@ func runEpochStudy(cfg workload.Config) {
 
 // runCorrelation reproduces the §VIII locality-performance correlation:
 // predicted miss ratio vs simulated co-run time over sampled groups.
-func runCorrelation(cfg workload.Config, outDir string) {
+func runCorrelation(ctx context.Context, cfg workload.Config, outDir string) {
 	ccfg := cfg
 	if ccfg.TraceLen > 1<<20 {
 		ccfg.TraceLen = 1 << 20
 	}
 	specs := workload.Specs()
-	all := experiment.Combinations(len(specs), 4)
+	all, err := experiment.Combinations(len(specs), 4)
+	if err != nil {
+		fatal(err)
+	}
 	var sample [][]int
 	for i := 0; i < len(all); i += 18 { // ~100 groups
 		sample = append(sample, all[i])
 	}
 	start := time.Now()
-	res, err := experiment.CorrelationStudy(specs, ccfg, sample, 100)
+	res, err := experiment.CorrelationStudy(ctx, specs, ccfg, sample, 100)
 	if err != nil {
 		fatal(err)
 	}
@@ -205,7 +259,10 @@ func runCorrelation(cfg workload.Config, outDir string) {
 
 // runGranularity prints the §VII-A granularity ablation.
 func runGranularity(progs []workload.Program, cfg workload.Config) {
-	groups := experiment.Combinations(len(progs), 4)
+	groups, err := experiment.Combinations(len(progs), 4)
+	if err != nil {
+		fatal(err)
+	}
 	var sample [][]int
 	for i := 0; i < len(groups); i += 36 { // ~50 groups
 		sample = append(sample, groups[i])
@@ -223,14 +280,14 @@ func runGranularity(progs []workload.Program, cfg workload.Config) {
 }
 
 // runPolicy prints the §VIII replacement-policy comparison.
-func runPolicy(cfg workload.Config) {
+func runPolicy(ctx context.Context, cfg workload.Config) {
 	pcfg := cfg
 	if pcfg.TraceLen > 1<<21 {
 		pcfg.TraceLen = 1 << 21
 	}
 	specs := workload.Specs()[:8]
 	caps := []int{int(pcfg.CacheBlocks()) / 4, int(pcfg.CacheBlocks())}
-	rows, err := experiment.PolicyStudy(specs, pcfg, caps)
+	rows, err := experiment.PolicyStudy(ctx, specs, pcfg, caps)
 	if err != nil {
 		fatal(err)
 	}
@@ -252,18 +309,22 @@ func mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// writeCSV writes one CSV output atomically, so a kill mid-run never
+// leaves a truncated results file.
 func writeCSV(dir, name string, series []textplot.Series) {
-	f, err := os.Create(filepath.Join(dir, name))
+	err := atomicio.WriteFile(filepath.Join(dir, name), func(w io.Writer) error {
+		return textplot.WriteCSV(w, series)
+	})
 	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	if err := textplot.WriteCSV(f, series); err != nil {
 		fatal(err)
 	}
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,17 +14,20 @@ import (
 // the HOTL-predicted co-run miss ratios are compared against a shared-LRU
 // simulation (standing in for the paper's hardware counters). It prints
 // the error distribution and writes validate.csv.
-func runValidation(cfg workload.Config, outDir string) {
+func runValidation(ctx context.Context, cfg workload.Config, outDir string) {
 	// Validation re-generates and simulates traces; cap the scale.
 	vcfg := cfg
 	if vcfg.TraceLen > 1<<20 {
 		vcfg.TraceLen = 1 << 20
 	}
 	specs := workload.Specs()
-	fmt.Printf("\nValidation (§VII-C): HOTL prediction vs shared-LRU simulation, %d pairs\n",
-		len(experiment.Combinations(len(specs), 2)))
+	nPairs, err := experiment.CombinationCount(len(specs), 2)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nValidation (§VII-C): HOTL prediction vs shared-LRU simulation, %d pairs\n", nPairs)
 	start := time.Now()
-	vs, err := experiment.ValidatePairs(specs, vcfg)
+	vs, err := experiment.ValidatePairs(ctx, specs, vcfg)
 	if err != nil {
 		fatal(err)
 	}

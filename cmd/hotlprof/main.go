@@ -12,9 +12,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"partitionshare/internal/footprint"
 	"partitionshare/internal/profileio"
@@ -35,6 +39,11 @@ func main() {
 	small := flag.Bool("small", false, "use the reduced test geometry for -workload")
 	workers := flag.Int("workers", 0, "profiling shards: 0 = all CPUs, 1 = serial scan")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the profiling scan; the shards drain and the
+	// process exits without writing a partial profile.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var tr trace.Trace
 	var err error
@@ -84,7 +93,11 @@ func main() {
 		fatal(fmt.Errorf("need -in FILE or -workload NAME"))
 	}
 
-	prof := profileio.Profile{Name: *name, Rate: *rate, Reuse: reuse.CollectParallel(tr, *workers)}
+	rp, err := reuse.CollectParallel(ctx, tr, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	prof := profileio.Profile{Name: *name, Rate: *rate, Reuse: rp}
 	path := *out
 	if path == "" {
 		path = *name + ".hotl"
@@ -114,6 +127,10 @@ func findSpec(name string) (workload.Spec, bool) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "hotlprof: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "hotlprof:", err)
 	os.Exit(1)
 }

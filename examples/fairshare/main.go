@@ -30,7 +30,7 @@ func main() {
 			chosen = append(chosen, s)
 		}
 	}
-	progs, err := ps.ProfileSuite(chosen, cfg)
+	progs, err := ps.ProfileSuite(nil, chosen, cfg)
 	if err != nil {
 		panic(err)
 	}

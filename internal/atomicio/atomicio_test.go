@@ -1,0 +1,73 @@
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFileBytes(path, []byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello\n" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFileBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// A failing write callback must leave the old content intact and no
+// temporary files behind.
+func TestWriteFileFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	werr := fmt.Errorf("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return werr
+	})
+	if err != werr {
+		t.Fatalf("err = %v, want %v", err, werr)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("content = %q, want old content preserved", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nodir", "out.txt")
+	if err := WriteFileBytes(path, []byte("x")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

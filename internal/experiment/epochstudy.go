@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"partitionshare/internal/epoch"
@@ -29,14 +30,21 @@ func (r EpochStudyRow) Gain() float64 {
 // (the paper's method) is compared against per-epoch re-optimization,
 // both *simulated* on the actual traces with LRU repartitioning. When
 // phases synchronize, dynamic wins; the static optimum is exactly what
-// the paper's model can see.
-func EpochStudy(specs []workload.PhasedSpec, cfg workload.Config, groups [][]int, phaseLen int) ([]EpochStudyRow, error) {
+// the paper's model can see. Cancelling ctx stops between programs or
+// groups and returns ctx.Err().
+func EpochStudy(ctx context.Context, specs []workload.PhasedSpec, cfg workload.Config, groups [][]int, phaseLen int) ([]EpochStudyRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(specs) == 0 || len(groups) == 0 {
 		return nil, fmt.Errorf("experiment: empty epoch study")
 	}
 	// Generate and epoch-profile every program once.
 	progs := make([]epoch.Program, len(specs))
 	for i, s := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tr, err := workload.GeneratePhased(s, cfg, phaseLen)
 		if err != nil {
 			return nil, err
@@ -48,6 +56,9 @@ func EpochStudy(specs []workload.PhasedSpec, cfg workload.Config, groups [][]int
 	}
 	var rows []EpochStudyRow
 	for _, members := range groups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sub := make([]epoch.Program, len(members))
 		names := make([]string, len(members))
 		for i, m := range members {

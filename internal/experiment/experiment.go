@@ -6,8 +6,12 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"partitionshare/internal/compose"
@@ -69,12 +73,53 @@ type Result struct {
 	Groups   []GroupResult
 }
 
-// Combinations enumerates all k-subsets of {0..n-1} in lexicographic order.
-func Combinations(n, k int) [][]int {
+// ErrTooManyGroups reports a search space too large to count in uint64 or
+// to materialize in memory.
+var ErrTooManyGroups = errors.New("experiment: search space too large")
+
+// maxEnumerate bounds how many groups Combinations will materialize; each
+// group costs O(k) memory and the sweep evaluates every one, so anything
+// beyond this is a mis-parameterization, not a workload.
+const maxEnumerate = 1 << 28
+
+// CombinationCount returns C(n, k) computed in uint64 with explicit
+// overflow detection: it wraps ErrTooManyGroups instead of silently
+// wrapping around, which an int-typed product would do from n ≈ 62 up.
+func CombinationCount(n, k int) (uint64, error) {
 	if k < 0 || n < 0 || k > n {
-		panic(fmt.Sprintf("experiment: invalid Combinations(%d, %d)", n, k))
+		return 0, fmt.Errorf("experiment: invalid combination count C(%d, %d)", n, k)
 	}
-	var out [][]int
+	if k > n-k {
+		k = n - k
+	}
+	// c = c·(n−k+i)/i is exact at every step: after i steps c = C(n−k+i, i).
+	// The 128-bit intermediate product keeps the check exact; hi >= i would
+	// make the quotient overflow uint64.
+	c := uint64(1)
+	for i := 1; i <= k; i++ {
+		hi, lo := bits.Mul64(c, uint64(n-k+i))
+		if hi >= uint64(i) {
+			return 0, fmt.Errorf("%w: C(%d, %d) overflows uint64", ErrTooManyGroups, n, k)
+		}
+		c, _ = bits.Div64(hi, lo, uint64(i))
+	}
+	return c, nil
+}
+
+// Combinations enumerates all k-subsets of {0..n-1} in lexicographic order.
+// Invalid arguments and search spaces too large to materialize return an
+// error (wrapping ErrTooManyGroups for the latter) instead of panicking or
+// overflowing.
+func Combinations(n, k int) ([][]int, error) {
+	count, err := CombinationCount(n, k)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxEnumerate {
+		return nil, fmt.Errorf("%w: C(%d, %d) = %d groups exceeds the %d enumeration cap",
+			ErrTooManyGroups, n, k, count, maxEnumerate)
+	}
+	out := make([][]int, 0, count)
 	idx := make([]int, k)
 	var rec func(start, d int)
 	rec = func(start, d int) {
@@ -90,7 +135,7 @@ func Combinations(n, k int) [][]int {
 		}
 	}
 	rec(0, 0)
-	return out
+	return out, nil
 }
 
 // EvaluateGroup runs all six schemes on one co-run group.
@@ -189,45 +234,207 @@ func evaluateGroup(progs []workload.Program, members []int, units int, blocksPer
 	return res, nil
 }
 
+// GroupError reports one co-run group's failure: a solver error or a
+// recovered worker panic. The sweep isolates it — other groups complete —
+// and the caller can identify the offending group from Members.
+type GroupError struct {
+	// Members are the failed group's program indices.
+	Members []int
+	// Cause is the underlying error; recovered panics include the panic
+	// value and stack.
+	Cause error
+}
+
+func (e *GroupError) Error() string {
+	return fmt.Sprintf("experiment: group %v: %v", e.Members, e.Cause)
+}
+
+func (e *GroupError) Unwrap() error { return e.Cause }
+
+// RunOpts tunes the sweep's parallelism and fault handling. The zero value
+// is the default configuration: all CPUs, collect-errors mode, no
+// checkpointing.
+type RunOpts struct {
+	// Workers is the worker-pool size. Values <= 0 default to
+	// runtime.GOMAXPROCS(0); all values are capped at GOMAXPROCS (the DP
+	// is CPU-bound, so oversubscription only adds scheduling noise) and at
+	// the number of groups.
+	Workers int
+	// FailFast stops dispatching new groups after the first failure and
+	// returns that group's error alone. When false (the default), every
+	// group is attempted and all failures are returned joined, with the
+	// successful groups' results retained.
+	FailFast bool
+	// CheckpointPath, when non-empty, enables crash recovery: completed
+	// group results are periodically flushed to this path as a versioned
+	// JSON checkpoint via atomic write-temp+rename, including a final
+	// flush on cancellation. See Checkpoint.
+	CheckpointPath string
+	// CheckpointEvery is the flush interval in completed groups
+	// (<= 0 means checkpointDefaultEvery). Flushing is O(completed), so
+	// very small values turn the sweep quadratic; the default amortizes
+	// to a few percent overhead.
+	CheckpointEvery int
+	// Resume, when non-nil, skips groups already present in the
+	// checkpoint, reusing their recorded results. The checkpoint's
+	// geometry must match the run's (ErrCheckpointMismatch otherwise).
+	Resume *Checkpoint
+}
+
+// evaluateGroupSafe runs evaluateGroup with panics recovered into errors,
+// so one pathological group (or a bug in a solver path) degrades to a
+// typed GroupError instead of crashing the whole sweep.
+func evaluateGroupSafe(progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (gr GroupResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if testHookEvaluateGroup != nil {
+		testHookEvaluateGroup(members)
+	}
+	return evaluateGroup(progs, members, units, blocksPerUnit, costTab)
+}
+
+// testHookEvaluateGroup, when non-nil, runs at the top of every group
+// evaluation inside the recovery envelope. Tests use it to inject faults.
+var testHookEvaluateGroup func(members []int)
+
 // Run evaluates every groupSize-subset of the programs in parallel and
 // returns the results in lexicographic group order.
-func Run(progs []workload.Program, groupSize, units int, blocksPerUnit int64) (Result, error) {
+//
+// Fault model: the sweep is cancellable (ctx), panic-isolated (a failing
+// group becomes a GroupError, per opts.FailFast), and resumable
+// (opts.CheckpointPath / opts.Resume). On cancellation it returns
+// ctx.Err() after draining the workers and flushing a final checkpoint;
+// the partial Result holds every group completed before the cut.
+func Run(ctx context.Context, progs []workload.Program, groupSize, units int, blocksPerUnit int64, opts RunOpts) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if groupSize < 1 || groupSize > len(progs) {
 		return Result{}, fmt.Errorf("experiment: group size %d out of range for %d programs", groupSize, len(progs))
 	}
-	groups := Combinations(len(progs), groupSize)
+	for i := range progs {
+		if err := progs[i].Curve.Validate(); err != nil {
+			return Result{}, fmt.Errorf("experiment: program %d: %w", i, err)
+		}
+	}
+	groups, err := Combinations(len(progs), groupSize)
+	if err != nil {
+		return Result{}, err
+	}
 	res := Result{Programs: progs, Units: units, Groups: make([]GroupResult, len(groups))}
 	errs := make([]error, len(groups))
+
+	// Resume: pre-fill results recorded by a previous (interrupted) run
+	// and only dispatch the remainder.
+	done := make([]bool, len(groups))
+	if opts.Resume != nil {
+		if err := opts.Resume.Compatible(len(progs), groupSize, units, blocksPerUnit); err != nil {
+			return Result{}, err
+		}
+		seen := make(map[string]GroupResult, len(opts.Resume.Groups))
+		for _, gr := range opts.Resume.Groups {
+			seen[groupKey(gr.Members)] = gr
+		}
+		for g, members := range groups {
+			if gr, ok := seen[groupKey(members)]; ok {
+				res.Groups[g] = gr
+				done[g] = true
+			}
+		}
+	}
+	var pending []int
+	for g := range groups {
+		if !done[g] {
+			pending = append(pending, g)
+		}
+	}
+
 	costTab := CostTable(progs, units)
+
+	// The checkpointer owns the done set ordering: workers report
+	// completed indices over the channel (the send happens after the
+	// result write, giving the checkpointer a happens-before edge), and
+	// the checkpointer flushes a deterministic, lexicographically sorted
+	// snapshot every CheckpointEvery completions plus once at the end.
+	ckpt := startCheckpointer(&res, done, len(progs), groupSize, blocksPerUnit, opts)
+
+	// FailFast cancels this derived context so in-flight workers stop
+	// pulling jobs; parent cancellation flows through it too.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	// The jobs channel holds the whole work list so the feeder never
 	// blocks and workers drain it back-to-back; each worker's sequential
 	// solves then reuse one pooled DP scratch arena, keeping the sweep's
 	// hot path allocation-free.
 	var wg sync.WaitGroup
-	jobs := make(chan int, len(groups))
-	for g := range groups {
+	jobs := make(chan int, len(pending))
+	for _, g := range pending {
 		jobs <- g
 	}
 	close(jobs)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(groups) {
-		workers = len(groups)
+	maxWorkers := runtime.GOMAXPROCS(0)
+	workers := opts.Workers
+	if workers <= 0 || workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for g := range jobs {
-				res.Groups[g], errs[g] = evaluateGroup(progs, groups[g], units, blocksPerUnit, costTab)
+				// Prompt drain: once cancelled (Ctrl-C or FailFast), skip
+				// the remaining queue instead of solving it.
+				if runCtx.Err() != nil {
+					return
+				}
+				gr, err := evaluateGroupSafe(progs, groups[g], units, blocksPerUnit, costTab)
+				if err != nil {
+					errs[g] = &GroupError{Members: append([]int(nil), groups[g]...), Cause: err}
+					if opts.FailFast {
+						cancel()
+					}
+					continue
+				}
+				res.Groups[g] = gr
+				ckpt.completed(g)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ckpt.finish(); err != nil {
+		return res, err
+	}
+
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	var groupErrs []error
 	for _, err := range errs {
 		if err != nil {
-			return Result{}, err
+			groupErrs = append(groupErrs, err)
+			if opts.FailFast {
+				return res, err
+			}
 		}
+	}
+	if groupErrs != nil {
+		// Collect mode: keep the completed groups (in lexicographic
+		// order) and report every failure.
+		kept := res.Groups[:0]
+		for g := range groups {
+			if errs[g] == nil {
+				kept = append(kept, res.Groups[g])
+			}
+		}
+		res.Groups = kept
+		return res, errors.Join(groupErrs...)
 	}
 	return res, nil
 }

@@ -20,12 +20,12 @@ func suite(t *testing.T) Result {
 	t.Helper()
 	suiteOnce.Do(func() {
 		cfg := workload.TestConfig()
-		progs, err := workload.ProfileAll(workload.Specs(), cfg)
+		progs, err := workload.ProfileAll(nil, workload.Specs(), cfg)
 		if err != nil {
 			suiteErr = err
 			return
 		}
-		suiteRes, suiteErr = Run(progs, 4, cfg.Units, cfg.BlocksPerUnit)
+		suiteRes, suiteErr = Run(nil, progs, 4, cfg.Units, cfg.BlocksPerUnit, RunOpts{})
 	})
 	if suiteErr != nil {
 		t.Fatal(suiteErr)
@@ -33,18 +33,27 @@ func suite(t *testing.T) Result {
 	return suiteRes
 }
 
+func mustCombinations(t *testing.T, n, k int) [][]int {
+	t.Helper()
+	cs, err := Combinations(n, k)
+	if err != nil {
+		t.Fatalf("Combinations(%d, %d): %v", n, k, err)
+	}
+	return cs
+}
+
 func TestCombinations(t *testing.T) {
-	if got := len(Combinations(16, 4)); got != 1820 {
+	if got := len(mustCombinations(t, 16, 4)); got != 1820 {
 		t.Fatalf("C(16,4) = %d, want 1820", got)
 	}
-	if got := len(Combinations(4, 4)); got != 1 {
+	if got := len(mustCombinations(t, 4, 4)); got != 1 {
 		t.Fatalf("C(4,4) = %d, want 1", got)
 	}
-	if got := len(Combinations(5, 1)); got != 5 {
+	if got := len(mustCombinations(t, 5, 1)); got != 5 {
 		t.Fatalf("C(5,1) = %d, want 5", got)
 	}
 	// Lexicographic order and distinct members.
-	combos := Combinations(5, 3)
+	combos := mustCombinations(t, 5, 3)
 	for _, c := range combos {
 		if !(c[0] < c[1] && c[1] < c[2]) {
 			t.Fatalf("combo %v not strictly increasing", c)
@@ -52,19 +61,11 @@ func TestCombinations(t *testing.T) {
 	}
 }
 
-func TestCombinationsPanics(t *testing.T) {
-	for i, f := range []func(){
-		func() { Combinations(3, 4) },
-		func() { Combinations(-1, 1) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			f()
-		}()
+func TestCombinationsErrors(t *testing.T) {
+	for i, args := range [][2]int{{3, 4}, {-1, 1}, {5, -1}} {
+		if _, err := Combinations(args[0], args[1]); err == nil {
+			t.Errorf("case %d: Combinations(%d, %d) expected error", i, args[0], args[1])
+		}
 	}
 }
 
@@ -274,7 +275,7 @@ func TestUnfairnessNarrative(t *testing.T) {
 
 func TestEvaluateGroupErrors(t *testing.T) {
 	cfg := workload.TestConfig()
-	progs, err := workload.ProfileAll(workload.Specs()[:2], cfg)
+	progs, err := workload.ProfileAll(nil, workload.Specs()[:2], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestEvaluateGroupErrors(t *testing.T) {
 	if _, err := EvaluateGroup(progs, []int{0, 5}, cfg.Units, cfg.BlocksPerUnit); err == nil {
 		t.Error("expected error for invalid member")
 	}
-	if _, err := Run(progs, 3, cfg.Units, cfg.BlocksPerUnit); err == nil {
+	if _, err := Run(nil, progs, 3, cfg.Units, cfg.BlocksPerUnit, RunOpts{}); err == nil {
 		t.Error("expected error for oversized group")
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,8 +33,12 @@ type CorrelationResult struct {
 // miss ratio and execution time over all 1820 groups): for each given
 // group, the co-run is simulated on a shared LRU cache and its execution
 // time modelled as accesses + missPenalty·misses, then correlated with
-// the composition-predicted miss ratio. Groups are simulated in parallel.
-func CorrelationStudy(specs []workload.Spec, cfg workload.Config, groups [][]int, missPenalty float64) (CorrelationResult, error) {
+// the composition-predicted miss ratio. Groups are simulated in parallel;
+// cancelling ctx drains the workers and returns ctx.Err().
+func CorrelationStudy(ctx context.Context, specs []workload.Spec, cfg workload.Config, groups [][]int, missPenalty float64) (CorrelationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(groups) < 2 {
 		return CorrelationResult{}, fmt.Errorf("experiment: need at least 2 groups to correlate")
 	}
@@ -52,12 +57,18 @@ func CorrelationStudy(specs []workload.Spec, cfg workload.Config, groups [][]int
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return
+				}
 				gen := s.Build(uint32(cfg.CacheBlocks()), cfg.Seed*0x9e3779b9^uint64(i))
 				traces[i] = trace.Generate(gen, cfg.TraceLen)
 				fps[i] = footprint.FromTrace(traces[i])
 			}(i, s)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return CorrelationResult{}, err
+		}
 	}
 	res := CorrelationResult{
 		Predicted:     make([]float64, len(groups)),
@@ -65,13 +76,22 @@ func CorrelationStudy(specs []workload.Spec, cfg workload.Config, groups [][]int
 	}
 	capacity := int(cfg.CacheBlocks())
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	// Pre-filled and closed so workers drain it back-to-back and a
+	// cancelled run never strands a feeder goroutine on a blocked send.
+	jobs := make(chan int, len(groups))
+	for g := range groups {
+		jobs <- g
+	}
+	close(jobs)
 	errs := make([]error, len(groups))
 	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for g := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
 				members := groups[g]
 				progs := make([]compose.Program, 0, len(members))
 				subTraces := make([]trace.Trace, 0, len(members))
@@ -100,11 +120,10 @@ func CorrelationStudy(specs []workload.Spec, cfg workload.Config, groups [][]int
 			}
 		}()
 	}
-	for g := range groups {
-		jobs <- g
-	}
-	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return CorrelationResult{}, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return CorrelationResult{}, err
@@ -193,8 +212,12 @@ type PolicyRow struct {
 // HOTL model targets exact LRU; CLOCK approximates it and random
 // replacement departs from it (mildly on smooth workloads, strongly on
 // thrashing loops). Each spec's trace is run through all three simulators
-// at each capacity.
-func PolicyStudy(specs []workload.Spec, cfg workload.Config, capacities []int) ([]PolicyRow, error) {
+// at each capacity. Cancelling ctx drains the workers and returns
+// ctx.Err().
+func PolicyStudy(ctx context.Context, specs []workload.Spec, cfg workload.Config, capacities []int) ([]PolicyRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(specs) == 0 || len(capacities) == 0 {
 		return nil, fmt.Errorf("experiment: empty policy study")
 	}
@@ -208,10 +231,16 @@ func PolicyStudy(specs []workload.Spec, cfg workload.Config, capacities []int) (
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			tr := trace.Generate(s.Build(uint32(cfg.CacheBlocks()), cfg.Seed*0x9e3779b9^uint64(i)), cfg.TraceLen)
 			fp := footprint.FromTrace(tr)
 			n := float64(len(tr))
 			for _, c := range capacities {
+				if ctx.Err() != nil {
+					return
+				}
 				row := PolicyRow{Program: s.Name, Capacity: c}
 				row.LRU = float64(cachesim.NewLRU(c).Run(tr)) / n
 				row.Clock = float64(cachesim.RunPolicy(cachesim.NewClock(c), tr)) / n
@@ -224,5 +253,8 @@ func PolicyStudy(specs []workload.Spec, cfg workload.Config, capacities []int) (
 		}(i, s)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return rows, nil
 }

@@ -17,13 +17,13 @@ func TestCorrelationStudy(t *testing.T) {
 	}
 	cfg := workload.TestConfig()
 	specs := workload.Specs()
-	groups := Combinations(len(specs), 4)
+	groups := mustCombinations(t, len(specs), 4)
 	// Sample every 60th group for speed: ~30 groups across the range.
 	var sample [][]int
 	for i := 0; i < len(groups); i += 60 {
 		sample = append(sample, groups[i])
 	}
-	res, err := CorrelationStudy(specs, cfg, sample, 100)
+	res, err := CorrelationStudy(nil, specs, cfg, sample, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,13 +38,13 @@ func TestCorrelationStudy(t *testing.T) {
 func TestCorrelationStudyErrors(t *testing.T) {
 	cfg := workload.TestConfig()
 	specs := workload.Specs()[:4]
-	if _, err := CorrelationStudy(specs, cfg, [][]int{{0, 1}}, 100); err == nil {
+	if _, err := CorrelationStudy(nil, specs, cfg, [][]int{{0, 1}}, 100); err == nil {
 		t.Error("single group should error")
 	}
-	if _, err := CorrelationStudy(specs, cfg, [][]int{{0, 1}, {2, 3}}, 0); err == nil {
+	if _, err := CorrelationStudy(nil, specs, cfg, [][]int{{0, 1}, {2, 3}}, 0); err == nil {
 		t.Error("zero penalty should error")
 	}
-	if _, err := CorrelationStudy(specs, cfg, [][]int{{0, 9}, {1, 2}}, 100); err == nil {
+	if _, err := CorrelationStudy(nil, specs, cfg, [][]int{{0, 9}, {1, 2}}, 100); err == nil {
 		t.Error("invalid member should error")
 	}
 }
@@ -54,7 +54,7 @@ func TestCorrelationStudyErrors(t *testing.T) {
 func TestGranularityStudy(t *testing.T) {
 	res := suite(t)
 	cfg := workload.TestConfig()
-	groups := Combinations(len(res.Programs), 4)[:20]
+	groups := mustCombinations(t, len(res.Programs), 4)[:20]
 	pts, err := GranularityStudy(res.Programs, cfg, groups, []int{128, 32, 8})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestGranularityStudy(t *testing.T) {
 func TestGranularityStudyErrors(t *testing.T) {
 	res := suite(t)
 	cfg := workload.TestConfig()
-	groups := Combinations(len(res.Programs), 4)[:2]
+	groups := mustCombinations(t, len(res.Programs), 4)[:2]
 	if _, err := GranularityStudy(res.Programs, cfg, nil, []int{8}); err == nil {
 		t.Error("no groups should error")
 	}
@@ -103,7 +103,7 @@ func TestPolicyStudy(t *testing.T) {
 	cfg := workload.TestConfig()
 	specs := workload.Specs()[:4] // the four streamers/loopers
 	caps := []int{int(cfg.CacheBlocks()) / 4, int(cfg.CacheBlocks())}
-	rows, err := PolicyStudy(specs, cfg, caps)
+	rows, err := PolicyStudy(nil, specs, cfg, caps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,10 +127,10 @@ func TestPolicyStudy(t *testing.T) {
 
 func TestPolicyStudyErrors(t *testing.T) {
 	cfg := workload.TestConfig()
-	if _, err := PolicyStudy(nil, cfg, []int{64}); err == nil {
+	if _, err := PolicyStudy(nil, nil, cfg, []int{64}); err == nil {
 		t.Error("no specs should error")
 	}
-	if _, err := PolicyStudy(workload.Specs()[:1], cfg, nil); err == nil {
+	if _, err := PolicyStudy(nil, workload.Specs()[:1], cfg, nil); err == nil {
 		t.Error("no capacities should error")
 	}
 }
@@ -148,7 +148,7 @@ func TestEpochStudy(t *testing.T) {
 	// cover both); the quads are contended in aggregate; {2,3} fits
 	// statically, where dynamic only pays repartition churn.
 	groups := [][]int{{2, 3}, {4, 5}, {0, 1, 2, 3}, {4, 5, 6, 7}}
-	rows, err := EpochStudy(specs, cfg, groups, phaseLen)
+	rows, err := EpochStudy(nil, specs, cfg, groups, phaseLen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,10 +174,10 @@ func TestEpochStudy(t *testing.T) {
 
 func TestEpochStudyErrors(t *testing.T) {
 	cfg := workload.TestConfig()
-	if _, err := EpochStudy(nil, cfg, [][]int{{0}}, 100); err == nil {
+	if _, err := EpochStudy(nil, nil, cfg, [][]int{{0}}, 100); err == nil {
 		t.Error("no specs should error")
 	}
-	if _, err := EpochStudy(workload.PhasedSpecs(), cfg, [][]int{{0, 99}}, cfg.TraceLen/8); err == nil {
+	if _, err := EpochStudy(nil, workload.PhasedSpecs(), cfg, [][]int{{0, 99}}, cfg.TraceLen/8); err == nil {
 		t.Error("invalid member should error")
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -35,9 +36,13 @@ func (v PairValidation) Err() float64 {
 // ValidatePairs generates the suite's traces at the given geometry,
 // predicts each pair's co-run miss ratios from solo profiles (Eq. 11), and
 // measures them by simulating the shared cache on the rate-proportionally
-// interleaved trace. Pairs are processed in parallel. The returned slice
-// has two entries per pair (one per member), 2·C(len(specs),2) in total.
-func ValidatePairs(specs []workload.Spec, cfg workload.Config) ([]PairValidation, error) {
+// interleaved trace. Pairs are processed in parallel; cancelling ctx
+// drains the workers and returns ctx.Err(). The returned slice has two
+// entries per pair (one per member), 2·C(len(specs),2) in total.
+func ValidatePairs(ctx context.Context, specs []workload.Spec, cfg workload.Config) ([]PairValidation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(specs) < 2 {
 		return nil, fmt.Errorf("experiment: need at least 2 programs to validate pairs")
 	}
@@ -52,24 +57,40 @@ func ValidatePairs(specs []workload.Spec, cfg workload.Config) ([]PairValidation
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return
+				}
 				gen := s.Build(uint32(cfg.CacheBlocks()), cfg.Seed*0x9e3779b9^uint64(i))
 				traces[i] = trace.Generate(gen, cfg.TraceLen)
 				fps[i] = footprint.FromTrace(traces[i])
 			}(i, s)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
-	pairs := Combinations(len(specs), 2)
+	pairs, err := Combinations(len(specs), 2)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]PairValidation, 2*len(pairs))
 	capacity := int(cfg.CacheBlocks())
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	jobs := make(chan int, len(pairs))
+	for pi := range pairs {
+		jobs <- pi
+	}
+	close(jobs)
 	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for pi := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
 				i, j := pairs[pi][0], pairs[pi][1]
 				progs := []compose.Program{
 					{Name: specs[i].Name, Fp: fps[i], Rate: specs[i].Rate},
@@ -91,11 +112,10 @@ func ValidatePairs(specs []workload.Spec, cfg workload.Config) ([]PairValidation
 			}
 		}()
 	}
-	for pi := range pairs {
-		jobs <- pi
-	}
-	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

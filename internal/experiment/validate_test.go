@@ -17,7 +17,7 @@ func TestNPAPairValidation(t *testing.T) {
 	}
 	cfg := workload.TestConfig()
 	specs := workload.Specs()[:6] // C(6,2)=15 pairs, 30 predictions
-	vs, err := ValidatePairs(specs, cfg)
+	vs, err := ValidatePairs(nil, specs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestNPAPairValidation(t *testing.T) {
 }
 
 func TestValidatePairsErrors(t *testing.T) {
-	if _, err := ValidatePairs(workload.Specs()[:1], workload.TestConfig()); err == nil {
+	if _, err := ValidatePairs(nil, workload.Specs()[:1], workload.TestConfig()); err == nil {
 		t.Fatal("expected error for fewer than 2 programs")
 	}
 }

@@ -17,6 +17,7 @@
 package footprint
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,9 +44,14 @@ func FromTrace(t trace.Trace) Footprint { return New(reuse.Collect(t)) }
 
 // FromTraceParallel is FromTrace with the profiling scan sharded across
 // workers (reuse.CollectParallel); the resulting footprint is bit-identical
-// to FromTrace's. workers <= 0 uses all CPUs.
-func FromTraceParallel(t trace.Trace, workers int) Footprint {
-	return New(reuse.CollectParallel(t, workers))
+// to FromTrace's. workers <= 0 uses all CPUs. It returns reuse.ErrEmptyTrace
+// on an empty trace and ctx.Err() if cancelled mid-scan.
+func FromTraceParallel(ctx context.Context, t trace.Trace, workers int) (Footprint, error) {
+	p, err := reuse.CollectParallel(ctx, t, workers)
+	if err != nil {
+		return Footprint{}, err
+	}
+	return New(p), nil
 }
 
 // N returns the trace length.

@@ -1,0 +1,46 @@
+package mrc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestValidateMonotone(t *testing.T) {
+	good := Curve{Name: "g", MR: []float64{0.5, 0.4, 0.4, 0.1}, Accesses: 10}
+	if err := good.ValidateMonotone(0); err != nil {
+		t.Fatalf("non-increasing curve rejected: %v", err)
+	}
+
+	rising := Curve{Name: "r", MR: []float64{0.3, 0.5, 0.2}, Accesses: 10}
+	if err := rising.ValidateMonotone(0.01); !errors.Is(err, ErrNonMonotone) {
+		t.Fatalf("rising curve error = %v, want ErrNonMonotone", err)
+	}
+	// Within tolerance: measurement noise passes.
+	if err := rising.ValidateMonotone(0.5); err != nil {
+		t.Fatalf("rise within tolerance rejected: %v", err)
+	}
+
+	if err := good.ValidateMonotone(math.NaN()); err == nil {
+		t.Fatal("NaN tolerance accepted")
+	}
+	if err := good.ValidateMonotone(-1); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+
+	// MonotoneRepair output always passes the check at zero tolerance.
+	if err := rising.MonotoneRepair().ValidateMonotone(0); err != nil {
+		t.Fatalf("repaired curve rejected: %v", err)
+	}
+}
+
+// Validate's range check also rejects Inf and NaN points (Inf falls
+// outside [0,1]); the curve boundary is user-data-reachable via profiles.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.1, 1.1} {
+		c := Curve{Name: "x", MR: []float64{0.5, v}, Accesses: 1}
+		if err := c.Validate(); err == nil {
+			t.Errorf("MR value %v accepted", v)
+		}
+	}
+}

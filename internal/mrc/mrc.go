@@ -9,11 +9,16 @@
 package mrc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"partitionshare/internal/footprint"
 )
+
+// ErrNonMonotone reports a curve that increases with cache size beyond the
+// caller's tolerance; every ValidateMonotone failure wraps it.
+var ErrNonMonotone = errors.New("mrc: non-monotone curve")
 
 // Curve is one program's miss ratio as a function of allocated cache units.
 type Curve struct {
@@ -41,6 +46,25 @@ func (c Curve) Validate() error {
 	for u, r := range c.MR {
 		if math.IsNaN(r) || r < 0 || r > 1 {
 			return fmt.Errorf("mrc: curve %q has invalid miss ratio %v at %d units", c.Name, r, u)
+		}
+	}
+	return nil
+}
+
+// ValidateMonotone checks that the curve is non-increasing within tol:
+// MR[u+1] may exceed MR[u] by at most tol. Fully-associative LRU curves
+// are non-increasing by the inclusion property, so a violation beyond
+// measurement noise means the curve was corrupted in transit or built from
+// inconsistent data; failures wrap ErrNonMonotone. Use MonotoneRepair to
+// clamp small violations instead of rejecting them.
+func (c Curve) ValidateMonotone(tol float64) error {
+	if math.IsNaN(tol) || tol < 0 {
+		return fmt.Errorf("mrc: invalid monotonicity tolerance %v", tol)
+	}
+	for u := 1; u < len(c.MR); u++ {
+		if c.MR[u] > c.MR[u-1]+tol {
+			return fmt.Errorf("%w: curve %q rises %v -> %v at %d units (tol %v)",
+				ErrNonMonotone, c.Name, c.MR[u-1], c.MR[u], u, tol)
 		}
 	}
 	return nil

@@ -1,0 +1,40 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// A pre-cancelled context must stop the DP between layers and return
+// context.Canceled instead of a solution.
+func TestOptimizeParallelCancelled(t *testing.T) {
+	pr := randProblem(42, 3, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizeParallel(ctx, pr, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// A live context must not change the optimum: the cancellation checks sit
+// between layers, outside the bit-exact kernel.
+func TestOptimizeParallelWithContextBitExact(t *testing.T) {
+	pr := randProblem(7, 4, 96)
+	want, err := Optimize(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptimizeParallel(context.Background(), pr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GroupMissRatio != want.GroupMissRatio {
+		t.Fatalf("group miss ratio %v != %v", got.GroupMissRatio, want.GroupMissRatio)
+	}
+	for i := range want.Alloc {
+		if got.Alloc[i] != want.Alloc[i] {
+			t.Fatalf("alloc[%d] = %d, want %d", i, got.Alloc[i], want.Alloc[i])
+		}
+	}
+}

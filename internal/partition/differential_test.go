@@ -96,7 +96,7 @@ func TestOptimizeParallelBitExactAllWorkerCounts(t *testing.T) {
 		pr := randDiffProblem(rng)
 		want, errW := Optimize(pr)
 		for workers := 1; workers <= 8; workers++ {
-			got, errG := OptimizeParallel(pr, workers)
+			got, errG := OptimizeParallel(nil, pr, workers)
 			if (errW == nil) != (errG == nil) {
 				t.Fatalf("seed %d workers %d: err %v vs %v", seed, workers, errG, errW)
 			}

@@ -25,7 +25,7 @@ func TestOptimizeParallelMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 7, 0} {
-			par, err := OptimizeParallel(pr, workers)
+			par, err := OptimizeParallel(nil, pr, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -48,7 +48,7 @@ func TestOptimizeParallelMinimax(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := OptimizeParallel(pr, 4)
+		par, err := OptimizeParallel(nil, pr, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +66,7 @@ func TestOptimizeParallelWithBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := OptimizeParallel(pr, 3)
+	par, err := OptimizeParallel(nil, pr, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestOptimizeParallelWithBounds(t *testing.T) {
 func TestOptimizeParallelInfeasible(t *testing.T) {
 	pr := randProblem(1, 2, 4)
 	pr.MinAlloc = []int{3, 3}
-	if _, err := OptimizeParallel(pr, 2); err == nil {
+	if _, err := OptimizeParallel(nil, pr, 2); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -235,7 +235,7 @@ func BenchmarkOptimizeParallel4x1024(b *testing.B) {
 	pr := randProblem(1, 4, 1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := OptimizeParallel(pr, 0); err != nil {
+		if _, err := OptimizeParallel(nil, pr, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

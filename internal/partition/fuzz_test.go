@@ -1,0 +1,74 @@
+package partition
+
+import (
+	"testing"
+
+	"partitionshare/internal/mrc"
+)
+
+// fuzzProblem decodes arbitrary fuzz bytes into a partitioning instance:
+// byte 0 picks the program count, byte 1 the unit count, and the rest
+// become miss-ratio points in [0, 1] — arbitrary shapes, including
+// non-monotone and non-convex curves, since the DP claims optimality with
+// no assumptions on the curves.
+func fuzzProblem(data []byte) (Problem, bool) {
+	if len(data) < 2 {
+		return Problem{}, false
+	}
+	n := int(data[0])%3 + 2      // 2..4 programs
+	units := int(data[1])%24 + 2 // 2..25 units
+	data = data[2:]
+	curves := make([]mrc.Curve, n)
+	for p := range curves {
+		mr := make([]float64, units+1)
+		for u := range mr {
+			var b byte = 128
+			if len(data) > 0 {
+				b, data = data[0], data[1:]
+			}
+			mr[u] = float64(b) / 255
+		}
+		curves[p] = mrc.Curve{Name: "f", MR: mr, Accesses: int64(100 * (p + 1))}
+	}
+	return Problem{Curves: curves, Units: units}, true
+}
+
+// FuzzOptimize differentially tests the pooled gather-form DP kernel
+// against the straightforward reference DP on arbitrary curves: both must
+// agree bit-for-bit (objective, allocation, tie-breaking) and never
+// panic. The parallel solver must agree too.
+func FuzzOptimize(f *testing.F) {
+	f.Add([]byte{2, 8, 200, 150, 100, 50, 25, 10, 5, 1})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{3, 23, 255, 0, 255, 0, 255, 0, 128, 128, 64, 32})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, ok := fuzzProblem(data)
+		if !ok {
+			return
+		}
+		want, errRef := ReferenceOptimize(pr)
+		got, errOpt := Optimize(pr)
+		if (errRef == nil) != (errOpt == nil) {
+			t.Fatalf("error disagreement: reference %v, optimized %v", errRef, errOpt)
+		}
+		if errRef != nil {
+			return
+		}
+		if got.Objective != want.Objective {
+			t.Fatalf("objective %v != reference %v", got.Objective, want.Objective)
+		}
+		for i := range want.Alloc {
+			if got.Alloc[i] != want.Alloc[i] {
+				t.Fatalf("alloc %v != reference %v", got.Alloc, want.Alloc)
+			}
+		}
+		par, err := OptimizeParallel(nil, pr, 3)
+		if err != nil {
+			t.Fatalf("parallel solve failed: %v", err)
+		}
+		if par.Objective != want.Objective {
+			t.Fatalf("parallel objective %v != reference %v", par.Objective, want.Objective)
+		}
+	})
+}

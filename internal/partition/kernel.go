@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 	"sync"
 )
@@ -209,8 +210,13 @@ func growFloats(b []float64, n int) []float64 {
 	return b[:n]
 }
 
-// solve is the shared core of Optimize and OptimizeParallel.
-func solve(pr *Problem, workers int) (Solution, error) {
+// solve is the shared core of Optimize and OptimizeParallel. A nil ctx
+// (the serial Optimize path) skips cancellation checks entirely;
+// otherwise ctx is polled between DP layers, the natural preemption
+// point: each layer is a bounded O(C²) burst, and aborting between layers
+// leaves no partial state beyond the pooled scratch, which is returned
+// intact.
+func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 	if err := pr.validate(); err != nil {
 		return Solution{}, err
 	}
@@ -242,6 +248,13 @@ func solve(pr *Problem, workers int) (Solution, error) {
 	prevLo, prevHi := 0, 0
 	costBound := 0.0
 	for p := 0; p < n; p++ {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return Solution{}, ctx.Err()
+			default:
+			}
+		}
 		lo, hi := pr.bounds(p)
 		costsRev := s.costsRev[:hi-lo+1]
 		layerMax := 0.0

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -19,11 +20,15 @@ import (
 // Because every worker runs the same gather kernel as the serial path over
 // a disjoint chunk of cells, the result — objective, allocation, and
 // tie-breaking — is bit-identical to Optimize's for any worker count.
-func OptimizeParallel(pr Problem, workers int) (Solution, error) {
+//
+// Cancellation is checked between DP layers (each layer is a short,
+// bounded burst of work); a cancelled solve returns ctx.Err() with the
+// pool fully drained.
+func OptimizeParallel(ctx context.Context, pr Problem, workers int) (Solution, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return solve(&pr, workers)
+	return solve(ctx, &pr, workers)
 }
 
 // dpPool is a persistent pool of DP-layer workers. The coordinator

@@ -169,7 +169,7 @@ func (pr *Problem) solution(alloc Allocation, obj float64) Solution {
 // output — objective, allocation, even tie-breaking — is bit-identical to
 // the reference implementation (see ReferenceOptimize).
 func Optimize(pr Problem) (Solution, error) {
-	return solve(&pr, 1)
+	return solve(nil, &pr, 1)
 }
 
 func errNoFeasible() error {

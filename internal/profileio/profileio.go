@@ -24,14 +24,40 @@ package profileio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
+	"partitionshare/internal/atomicio"
 	"partitionshare/internal/footprint"
 	"partitionshare/internal/reuse"
 )
+
+// Typed sentinel errors for the read path. Profile files are user data —
+// truncated downloads, hand-edited histograms, the wrong file entirely —
+// so every parse or invariant failure is a wrapped sentinel the caller can
+// test with errors.Is, never a panic.
+var (
+	// ErrCorrupt reports a file that does not parse as a profile or whose
+	// contents violate the profile invariants.
+	ErrCorrupt = errors.New("profileio: corrupt profile")
+	// ErrUnsupportedVersion reports a well-formed header with a version
+	// this build does not speak.
+	ErrUnsupportedVersion = errors.New("profileio: unsupported profile version")
+)
+
+// maxHistEntries caps a histogram's declared entry count. A corrupt or
+// hostile size field would otherwise pre-allocate unbounded memory before
+// the first entry is read; real profiles have at most one entry per
+// distinct reuse time, far below this.
+const maxHistEntries = 1 << 28
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
 
 // Profile is the serializable form of one program's locality profile.
 type Profile struct {
@@ -43,11 +69,29 @@ type Profile struct {
 // Footprint wraps the profile for HOTL evaluation.
 func (p Profile) Footprint() footprint.Footprint { return footprint.New(p.Reuse) }
 
+// Validate checks that the profile is serializable and internally
+// consistent: a whitespace-free name, a positive finite rate, and
+// histograms satisfying the reuse.Profile invariants. Read runs it on
+// every parsed file; Write runs it before emitting anything, so a profile
+// that round-trips is valid by construction.
+func (p Profile) Validate() error {
+	if p.Name == "" || strings.ContainsAny(p.Name, " \t\n") {
+		return corrupt("invalid name %q", p.Name)
+	}
+	if !(p.Rate > 0) || math.IsInf(p.Rate, 0) {
+		return corrupt("invalid rate %v", p.Rate)
+	}
+	if err := p.Reuse.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
 // Write serializes the profile.
 func Write(w io.Writer, p Profile) error {
 	bw := bufio.NewWriter(w)
-	if strings.ContainsAny(p.Name, " \t\n") {
-		return fmt.Errorf("profileio: name %q contains whitespace", p.Name)
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	fmt.Fprintln(bw, "hotlprof v1")
 	fmt.Fprintf(bw, "name %s\n", p.Name)
@@ -65,52 +109,61 @@ func Write(w io.Writer, p Profile) error {
 	return bw.Flush()
 }
 
-// Read parses a profile written by Write.
+// Read parses a profile written by Write. Parse failures and invariant
+// violations wrap ErrCorrupt; a recognised magic with an unknown version
+// wraps ErrUnsupportedVersion. Histogram sizes and entry values are
+// bounds-checked before any proportional allocation, so a truncated or
+// hostile file fails fast instead of exhausting memory.
 func Read(r io.Reader) (Profile, error) {
 	br := bufio.NewReader(r)
 	var p Profile
 	var magic, version string
 	if _, err := fmt.Fscan(br, &magic, &version); err != nil {
-		return p, fmt.Errorf("profileio: bad header: %w", err)
+		return p, corrupt("bad header: %v", err)
 	}
-	if magic != "hotlprof" || version != "v1" {
-		return p, fmt.Errorf("profileio: unsupported header %q %q", magic, version)
+	if magic != "hotlprof" {
+		return p, corrupt("bad magic %q", magic)
+	}
+	if version != "v1" {
+		return p, fmt.Errorf("%w: %q (want v1)", ErrUnsupportedVersion, version)
 	}
 	var key string
 	if _, err := fmt.Fscan(br, &key, &p.Name); err != nil || key != "name" {
-		return p, fmt.Errorf("profileio: expected name line (err %v)", err)
+		return p, corrupt("expected name line (err %v)", err)
 	}
 	if _, err := fmt.Fscan(br, &key, &p.Rate); err != nil || key != "rate" {
-		return p, fmt.Errorf("profileio: expected rate line (err %v)", err)
-	}
-	if p.Rate <= 0 {
-		return p, fmt.Errorf("profileio: non-positive rate %v", p.Rate)
+		return p, corrupt("expected rate line (err %v)", err)
 	}
 	var n, m int64
 	var mkey string
 	if _, err := fmt.Fscan(br, &key, &n, &mkey, &m); err != nil || key != "n" || mkey != "m" {
-		return p, fmt.Errorf("profileio: expected n/m line (err %v)", err)
+		return p, corrupt("expected n/m line (err %v)", err)
 	}
 	if n <= 0 || m <= 0 || m > n {
-		return p, fmt.Errorf("profileio: invalid n=%d m=%d", n, m)
+		return p, corrupt("invalid n=%d m=%d", n, m)
 	}
 	readHist := func(label string) (reuse.TailSum, error) {
 		var got string
-		var k int
+		var k int64
 		if _, err := fmt.Fscan(br, &got, &k); err != nil || got != label {
-			return reuse.TailSum{}, fmt.Errorf("profileio: expected %s histogram (got %q, err %v)", label, got, err)
+			return reuse.TailSum{}, corrupt("expected %s histogram (got %q, err %v)", label, got, err)
 		}
-		if k < 0 {
-			return reuse.TailSum{}, fmt.Errorf("profileio: negative histogram size %d", k)
+		if k < 0 || k > maxHistEntries || k > n {
+			// At most one entry per distinct value, and values are bounded
+			// by the trace length, so k > n can never be legitimate.
+			return reuse.TailSum{}, corrupt("implausible %s histogram size %d (n=%d)", label, k, n)
 		}
 		hist := make(map[int64]int64, k)
-		for i := 0; i < k; i++ {
+		for i := int64(0); i < k; i++ {
 			var v, c int64
 			if _, err := fmt.Fscan(br, &v, &c); err != nil {
-				return reuse.TailSum{}, fmt.Errorf("profileio: truncated %s histogram: %w", label, err)
+				return reuse.TailSum{}, corrupt("truncated %s histogram: %v", label, err)
 			}
-			if v <= 0 || c <= 0 {
-				return reuse.TailSum{}, fmt.Errorf("profileio: invalid %s entry %d %d", label, v, c)
+			if v <= 0 || v > n || c <= 0 {
+				return reuse.TailSum{}, corrupt("invalid %s entry %d %d (n=%d)", label, v, c, n)
+			}
+			if hist[v]+c < hist[v] {
+				return reuse.TailSum{}, corrupt("%s count overflow at value %d", label, v)
 			}
 			hist[v] += c
 		}
@@ -127,32 +180,19 @@ func Read(r io.Reader) (Profile, error) {
 	if p.Reuse.Last, err = readHist("last"); err != nil {
 		return p, err
 	}
-	// Full-trace profiles have exactly n−m reuse pairs; sampled profiles
-	// (reuse.CollectSampled) scale counts uniformly and may land a few
-	// percent off in either direction, so allow 10% slack over n−m.
-	if got := p.Reuse.Reuse.Total(); got > n-m+(n-m)/10+1 {
-		return p, fmt.Errorf("profileio: reuse histogram total %d far exceeds n-m = %d", got, n-m)
-	}
-	if got := p.Reuse.First.Total(); got != m {
-		return p, fmt.Errorf("profileio: first histogram total %d, want m = %d", got, m)
-	}
-	if got := p.Reuse.Last.Total(); got != m {
-		return p, fmt.Errorf("profileio: last histogram total %d, want m = %d", got, m)
+	if err := p.Validate(); err != nil {
+		return p, err
 	}
 	return p, nil
 }
 
-// WriteFile serializes the profile to path.
+// WriteFile serializes the profile to path atomically (write-temp+rename):
+// an interrupted write leaves any previous profile intact, never a torn
+// file.
 func WriteFile(path string, p Profile) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Write(f, p); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return Write(w, p)
+	})
 }
 
 // ReadFile parses the profile at path.

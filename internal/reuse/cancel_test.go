@@ -1,0 +1,67 @@
+package reuse
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestCollectParallelEmptyTrace(t *testing.T) {
+	if _, err := CollectParallel(nil, nil, 4); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("error = %v, want ErrEmptyTrace", err)
+	}
+}
+
+// A pre-cancelled context must abort the sharded scan with
+// context.Canceled and leave no goroutines behind.
+func TestCollectParallelCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	rng := rand.New(rand.NewPCG(1, 2))
+	tr := randTrace(rng, 4*minShardLen)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CollectParallel(ctx, tr, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// With a live (never-cancelled) context the parallel scan must still be
+// bit-identical to the reference — the cancellation machinery may not
+// perturb the merge.
+func TestCollectParallelWithContextBitExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	tr := randTrace(rng, 3*minShardLen)
+	got, err := CollectParallel(context.Background(), tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profilesEqual(t, "ctx", got, CollectReference(tr))
+}
+
+func TestProfileValidate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	p := Collect(randTrace(rng, 2000))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("collected profile fails Validate: %v", err)
+	}
+	bad := p
+	bad.M = p.N + 1
+	if err := bad.Validate(); !errors.Is(err, ErrInvalidProfile) {
+		t.Fatalf("M > N error = %v, want ErrInvalidProfile", err)
+	}
+	bad = p
+	bad.N = 0
+	if err := bad.Validate(); !errors.Is(err, ErrInvalidProfile) {
+		t.Fatalf("N = 0 error = %v, want ErrInvalidProfile", err)
+	}
+}

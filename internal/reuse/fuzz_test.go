@@ -1,0 +1,56 @@
+package reuse
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzTrace decodes arbitrary fuzz bytes into a trace: 2 bytes per
+// access, masked to a small ID space so reuses actually occur.
+func fuzzTrace(data []byte) []uint32 {
+	t := make([]uint32, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		t = append(t, uint32(binary.LittleEndian.Uint16(data[i:]))&0x3ff)
+	}
+	return t
+}
+
+// FuzzCollect differentially tests the dense-slice scan against the
+// map-based reference on arbitrary traces: identical histograms, a
+// Validate-clean profile, and no panics.
+func FuzzCollect(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 1, 0, 2, 0, 1, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	seed := make([]byte, 256)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := fuzzTrace(data)
+		if len(tr) == 0 {
+			return
+		}
+		got, want := Collect(tr), CollectReference(tr)
+		if got.N != want.N || got.M != want.M {
+			t.Fatalf("N,M = %d,%d; reference %d,%d", got.N, got.M, want.N, want.M)
+		}
+		for _, pair := range []struct {
+			name     string
+			got, ref TailSum
+		}{
+			{"Reuse", got.Reuse, want.Reuse},
+			{"First", got.First, want.First},
+			{"Last", got.Last, want.Last},
+		} {
+			if pair.got.Total() != pair.ref.Total() || pair.got.Len() != pair.ref.Len() || pair.got.Max() != pair.ref.Max() {
+				t.Fatalf("%s histogram differs from reference", pair.name)
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("collected profile fails Validate: %v", err)
+		}
+	})
+}

@@ -1,9 +1,11 @@
 package reuse
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"partitionshare/internal/trace"
 )
@@ -12,9 +14,16 @@ import (
 // 2×minShardLen the serial scan wins outright.
 const minShardLen = 1 << 15
 
+// cancelStride is how many accesses a shard scans between cancellation
+// checks: large enough that the check is free, small enough that a shard
+// responds to Ctrl-C within a few milliseconds.
+const cancelStride = 1 << 16
+
 // CollectParallel computes the same Profile as Collect by profiling
 // disjoint trace segments concurrently and merging the sub-profiles.
-// workers <= 0 uses all CPUs.
+// workers <= 0 uses all CPUs. An empty trace returns ErrEmptyTrace; if ctx
+// is cancelled mid-scan the shards drain promptly and ctx.Err() is
+// returned.
 //
 // The decomposition is exact, not approximate: a reuse pair — two
 // consecutive accesses to the same datum — either falls inside one segment
@@ -24,9 +33,15 @@ const minShardLen = 1 << 15
 // Every histogram therefore matches the serial scan's exactly, and the
 // Profile's TailSums are field-for-field identical to Collect's and
 // CollectReference's.
-func CollectParallel(t trace.Trace, workers int) Profile {
+func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, error) {
 	if len(t) == 0 {
-		panic("reuse: cannot profile an empty trace")
+		return Profile{}, ErrEmptyTrace
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Profile{}, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -35,9 +50,23 @@ func CollectParallel(t trace.Trace, workers int) Profile {
 		workers = max
 	}
 	if workers <= 1 || int64(len(t)) >= math.MaxInt32 {
-		return Collect(t)
+		return Collect(t), nil
 	}
 	n := len(t)
+
+	// One watcher flips the flag on cancellation; shards poll it every
+	// cancelStride accesses, which is far cheaper than calling ctx.Err()
+	// (a mutex) from every worker's inner loop.
+	var canceled atomic.Bool
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			canceled.Store(true)
+		case <-watchDone:
+		}
+	}()
 
 	// shardProfile is one segment's scan result: per-datum first and last
 	// absolute positions, the histogram of segment-internal reuse times,
@@ -68,6 +97,9 @@ func CollectParallel(t trace.Trace, workers int) Profile {
 				maxAddr: maxAddr,
 			}
 			for i, d := range seg {
+				if i&(cancelStride-1) == 0 && canceled.Load() {
+					return
+				}
 				pos := int32(start+i) + 1
 				if prev := sp.last.set(d, pos); prev != 0 {
 					sp.reuse[pos-prev]++
@@ -79,6 +111,9 @@ func CollectParallel(t trace.Trace, workers int) Profile {
 		}(s, start, end)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Profile{}, err
+	}
 
 	// Merge in segment order: internal reuse histograms add directly;
 	// boundary pairs connect each shard's first access to the datum's most
@@ -118,5 +153,5 @@ func CollectParallel(t trace.Trace, workers int) Profile {
 		Reuse: newTailSumDense(reuseHist),
 		First: newTailSumDense(firstHist),
 		Last:  newTailSumDense(lastHist),
-	}
+	}, nil
 }

@@ -33,6 +33,17 @@ func randTrace(rng *rand.Rand, n int) trace.Trace {
 	return t
 }
 
+// mustCollectParallel runs CollectParallel without cancellation and fails
+// the test on error.
+func mustCollectParallel(t *testing.T, tr trace.Trace, workers int) Profile {
+	t.Helper()
+	p, err := CollectParallel(nil, tr, workers)
+	if err != nil {
+		t.Fatalf("CollectParallel(workers=%d): %v", workers, err)
+	}
+	return p
+}
+
 func profilesEqual(t *testing.T, label string, got, want Profile) {
 	t.Helper()
 	if got.N != want.N || got.M != want.M {
@@ -69,7 +80,7 @@ func TestCollectParallelBitExactAllWorkerCounts(t *testing.T) {
 		tr := randTrace(rng, 3*minShardLen+rng.IntN(minShardLen))
 		want := CollectReference(tr)
 		for workers := 1; workers <= 8; workers++ {
-			profilesEqual(t, "parallel", CollectParallel(tr, workers), want)
+			profilesEqual(t, "parallel", mustCollectParallel(t, tr, workers), want)
 		}
 	}
 }
@@ -80,7 +91,7 @@ func TestCollectParallelShortTrace(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 100, minShardLen - 1, minShardLen, 2*minShardLen + 1} {
 		rng := rand.New(rand.NewPCG(uint64(n), 7))
 		tr := randTrace(rng, n)
-		profilesEqual(t, "short", CollectParallel(tr, 4), CollectReference(tr))
+		profilesEqual(t, "short", mustCollectParallel(t, tr, 4), CollectReference(tr))
 	}
 }
 
@@ -93,5 +104,5 @@ func TestCollectParallelRepeatedDatum(t *testing.T) {
 	for i := range tr {
 		tr[i] = uint32(i % 3) // three data, each reused constantly across all shards
 	}
-	profilesEqual(t, "repeated", CollectParallel(tr, 4), CollectReference(tr))
+	profilesEqual(t, "repeated", mustCollectParallel(t, tr, 4), CollectReference(tr))
 }

@@ -5,12 +5,22 @@
 package reuse
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"partitionshare/internal/trace"
 )
+
+// ErrEmptyTrace reports a profiling request over a trace with no accesses —
+// reachable from user data (an empty or blank trace file), so it is an
+// error, not a panic.
+var ErrEmptyTrace = errors.New("reuse: empty trace")
+
+// ErrInvalidProfile reports a Profile whose histograms violate the HOTL
+// invariants; every Validate failure wraps it.
+var ErrInvalidProfile = errors.New("reuse: invalid profile")
 
 // TailSum answers queries of the form Q(w) = Σ_v max(0, v-w)·count(v) and
 // N(w) = Σ_{v>w} count(v) over a multiset of positive integer values, in
@@ -144,6 +154,49 @@ type Profile struct {
 	// Last is the histogram of reverse last-access times l_k = n-p+1
 	// where p is the datum's last access position.
 	Last TailSum
+}
+
+// Validate checks the structural invariants every scan-produced Profile
+// satisfies, so profiles arriving from outside (deserialized files, remote
+// callers) can be rejected with a typed error instead of corrupting the
+// footprint math downstream. All failures wrap ErrInvalidProfile.
+//
+// Invariants: n > 0 accesses to m ∈ [1, n] distinct data; reuse times lie
+// in [1, n−1] and first/last access times in [1, n]; the first- and
+// last-access histograms each hold exactly one entry per datum. The
+// reuse-pair total is exactly n−m for full-trace profiles; sampled profiles
+// (CollectSampled) scale counts uniformly and may land a few percent off in
+// either direction, so up to 10% slack over n−m is allowed.
+func (p Profile) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidProfile, fmt.Sprintf(format, args...))
+	}
+	if p.N <= 0 {
+		return fail("non-positive access count n=%d", p.N)
+	}
+	if p.M <= 0 || p.M > p.N {
+		return fail("distinct-data count m=%d out of range [1, n=%d]", p.M, p.N)
+	}
+	if v := p.Reuse.Max(); v >= p.N {
+		return fail("reuse time %d >= trace length %d", v, p.N)
+	}
+	if v := p.First.Max(); v > p.N {
+		return fail("first-access time %d > trace length %d", v, p.N)
+	}
+	if v := p.Last.Max(); v > p.N {
+		return fail("last-access time %d > trace length %d", v, p.N)
+	}
+	if got := p.First.Total(); got != p.M {
+		return fail("first-access histogram total %d, want m = %d", got, p.M)
+	}
+	if got := p.Last.Total(); got != p.M {
+		return fail("last-access histogram total %d, want m = %d", got, p.M)
+	}
+	nm := p.N - p.M
+	if got := p.Reuse.Total(); got > nm+nm/10+1 {
+		return fail("reuse histogram total %d far exceeds n-m = %d", got, nm)
+	}
+	return nil
 }
 
 // Collect scans the trace once and builds its reuse Profile. It panics on

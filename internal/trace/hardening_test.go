@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// All parse failures — text or binary — must wrap ErrMalformed so callers
+// can distinguish bad input data from I/O errors.
+func TestReadErrorsWrapErrMalformed(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("12\nxyz\n")); !errors.Is(err, ErrMalformed) {
+		t.Errorf("text garbage error = %v, want ErrMalformed", err)
+	}
+	if _, err := ReadText(strings.NewReader("-5\n")); !errors.Is(err, ErrMalformed) {
+		t.Errorf("negative ID error = %v, want ErrMalformed", err)
+	}
+
+	var b bytes.Buffer
+	if err := WriteBinary(&b, Trace{1, 2, 3, 100, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// WriteBinary's output starts with the magic; ReadBinary takes the
+	// stream after it.
+	body := b.Bytes()[len(binaryMagic):]
+	if _, err := ReadBinary(bytes.NewReader(body[:len(body)-1])); !errors.Is(err, ErrMalformed) {
+		t.Errorf("truncated binary error = %v, want ErrMalformed", err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("missing header error = %v, want ErrMalformed", err)
+	}
+}
+
+// A forged header with an absurd length must fail fast on the
+// plausibility check rather than attempting a giant allocation, and a
+// huge-but-plausible declared count backed by no data must fail on the
+// first missing varint, not in make().
+func TestReadBinaryImplausibleLength(t *testing.T) {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], 1<<40)
+	if _, err := ReadBinary(bytes.NewReader(hdr[:n])); !errors.Is(err, ErrMalformed) {
+		t.Errorf("absurd length error = %v, want ErrMalformed", err)
+	}
+	n = binary.PutUvarint(hdr[:], 1<<33) // plausible count, empty body
+	if _, err := ReadBinary(bytes.NewReader(hdr[:n])); !errors.Is(err, ErrMalformed) {
+		t.Errorf("unbacked length error = %v, want ErrMalformed", err)
+	}
+}

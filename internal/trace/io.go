@@ -3,11 +3,20 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
+
+	"partitionshare/internal/atomicio"
 )
+
+// ErrMalformed reports trace input that does not parse — a non-numeric
+// text line, a truncated varint stream, an out-of-range ID. Trace files
+// are user data, so every such failure is a wrapped sentinel testable with
+// errors.Is, never a panic.
+var ErrMalformed = errors.New("trace: malformed trace")
 
 // Trace file formats:
 //
@@ -47,7 +56,7 @@ func ReadText(r io.Reader) (Trace, error) {
 		}
 		v, err := strconv.ParseUint(txt, 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, fmt.Errorf("%w: line %d: %v", ErrMalformed, line, err)
 		}
 		t = append(t, uint32(v))
 	}
@@ -86,21 +95,28 @@ func WriteBinary(w io.Writer, t Trace) error {
 func ReadBinary(r io.ByteReader) (Trace, error) {
 	count, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: bad binary header: %w", err)
+		return nil, fmt.Errorf("%w: bad binary header: %v", ErrMalformed, err)
 	}
 	if count > 1<<34 {
-		return nil, fmt.Errorf("trace: implausible trace length %d", count)
+		return nil, fmt.Errorf("%w: implausible trace length %d", ErrMalformed, count)
 	}
-	t := make(Trace, 0, count)
+	// The declared count is untrusted until the stream backs it up: cap
+	// the pre-allocation so a short file with a huge header fails on the
+	// first missing varint, not with a multi-gigabyte make().
+	capHint := count
+	if capHint > 1<<22 {
+		capHint = 1 << 22
+	}
+	t := make(Trace, 0, capHint)
 	prev := int64(0)
 	for i := uint64(0); i < count; i++ {
 		delta, err := binary.ReadVarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("trace: truncated at access %d: %w", i, err)
+			return nil, fmt.Errorf("%w: truncated at access %d: %v", ErrMalformed, i, err)
 		}
 		v := prev + delta
 		if v < 0 || v > int64(^uint32(0)) {
-			return nil, fmt.Errorf("trace: access %d out of uint32 range (%d)", i, v)
+			return nil, fmt.Errorf("%w: access %d out of uint32 range (%d)", ErrMalformed, i, v)
 		}
 		t = append(t, uint32(v))
 		prev = v
@@ -108,23 +124,15 @@ func ReadBinary(r io.ByteReader) (Trace, error) {
 	return t, nil
 }
 
-// WriteFile writes the trace to path: binary when binary is true,
-// otherwise text.
+// WriteFile writes the trace to path atomically (write-temp+rename):
+// binary when binaryFormat is true, otherwise text.
 func WriteFile(path string, t Trace, binaryFormat bool) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if binaryFormat {
-		err = WriteBinary(f, t)
-	} else {
-		err = WriteText(f, t)
-	}
-	if err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		if binaryFormat {
+			return WriteBinary(w, t)
+		}
+		return WriteText(w, t)
+	})
 }
 
 // ReadFile reads a trace from path, auto-detecting text vs binary by the

@@ -19,6 +19,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -248,8 +249,12 @@ func hashName(s string) uint64 {
 }
 
 // ProfileAll profiles every spec in parallel across the available CPUs and
-// returns the programs in spec order.
-func ProfileAll(specs []Spec, cfg Config) ([]Program, error) {
+// returns the programs in spec order. Cancelling ctx skips not-yet-started
+// programs and returns ctx.Err(); a nil ctx never cancels.
+func ProfileAll(ctx context.Context, specs []Spec, cfg Config) ([]Program, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -263,10 +268,16 @@ func ProfileAll(specs []Spec, cfg Config) ([]Program, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			progs[i], errs[i] = Profile(s, cfg)
 		}(i, s)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

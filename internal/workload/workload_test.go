@@ -76,7 +76,7 @@ func TestProfileSeedChangesTrace(t *testing.T) {
 
 func TestProfileAllSuite(t *testing.T) {
 	cfg := TestConfig()
-	progs, err := ProfileAll(Specs(), cfg)
+	progs, err := ProfileAll(nil, Specs(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestProfileAllSuite(t *testing.T) {
 
 func TestGainersAndLosers(t *testing.T) {
 	cfg := TestConfig()
-	progs, err := ProfileAll(Specs(), cfg)
+	progs, err := ProfileAll(nil, Specs(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestConfigValidation(t *testing.T) {
 		if _, err := Profile(Specs()[0], cfg); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
-		if _, err := ProfileAll(Specs(), cfg); err == nil {
+		if _, err := ProfileAll(nil, Specs(), cfg); err == nil {
 			t.Errorf("case %d: expected error from ProfileAll", i)
 		}
 	}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Extended verify gate: the tier-1 checks, a short fuzz smoke run per
+# native fuzz target, and (when the tool is installed) a vulnerability
+# scan. Run from the repository root:
+#
+#   sh scripts/verify.sh            # everything
+#   FUZZTIME=30s sh scripts/verify.sh
+#
+# Exit code is non-zero on any tier-1 or fuzz failure; a missing
+# govulncheck binary is reported and skipped, so the gate works offline.
+set -eu
+
+FUZZTIME="${FUZZTIME:-5s}"
+
+echo "== tier-1: go build ./..."
+go build ./...
+echo "== tier-1: go vet ./..."
+go vet ./...
+echo "== tier-1: go test ./..."
+go test ./...
+echo "== tier-1: go test -race ./..."
+go test -race ./...
+
+# Fuzz smoke: each target runs for a few seconds so input-hardening
+# regressions (parser panics, reference divergence) surface in CI-sized
+# time. Targets are pinned here, not discovered, so a renamed target
+# fails loudly instead of silently dropping out of the gate.
+echo "== fuzz smoke (${FUZZTIME} per target)"
+go test -run=NONE -fuzz='^FuzzProfileRoundTrip$' -fuzztime="$FUZZTIME" ./internal/profileio
+go test -run=NONE -fuzz='^FuzzCollect$' -fuzztime="$FUZZTIME" ./internal/reuse
+go test -run=NONE -fuzz='^FuzzOptimize$' -fuzztime="$FUZZTIME" ./internal/partition
+
+echo "== govulncheck"
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "govulncheck not installed; skipping (install: go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
+
+echo "== verify OK"
