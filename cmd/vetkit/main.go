@@ -1,0 +1,155 @@
+// Vetkit is the project's static-analysis gate: a multichecker bundling
+// the invariant analyzers under internal/analysis (see DESIGN.md §10).
+// It speaks the cmd/go vet-tool protocol, so the same binary serves
+// three invocations:
+//
+//	go run ./cmd/vetkit ./...                # standalone over packages
+//	go vet -vettool=$(which vetkit) ./...    # as a vet tool
+//	vetkit -atomicwrite ./...                # a subset of analyzers
+//
+// Standalone mode re-executes itself through `go vet -vettool`, which
+// loads packages exactly the way the build does — test files included,
+// dependencies served from compiler export data — so there is no
+// second, subtly different package loader to maintain.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"partitionshare/internal/analysis"
+	"partitionshare/internal/analysis/atomicwrite"
+	"partitionshare/internal/analysis/chanclose"
+	"partitionshare/internal/analysis/ctxplumb"
+	"partitionshare/internal/analysis/errsentinel"
+	"partitionshare/internal/analysis/floatcmp"
+)
+
+// all is the full suite, in the order diagnostics are reported.
+var all = []*analysis.Analyzer{
+	atomicwrite.Analyzer,
+	chanclose.Analyzer,
+	ctxplumb.Analyzer,
+	errsentinel.Analyzer,
+	floatcmp.Analyzer,
+}
+
+func main() {
+	// cmd/go probes `-V=full` (for the build cache key) and `-flags`
+	// (to learn which command-line flags the tool accepts) before any
+	// real work; both must answer on stdout and exit 0.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			printFlags()
+			return
+		}
+	}
+
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name] = flag.Bool(a.Name, false, "run only the "+a.Name+" analyzer (with any others explicitly enabled)")
+	}
+	flag.Usage = usage
+	flag.Parse()
+
+	// Like x/tools' multichecker: naming any analyzer flag runs just the
+	// named subset; naming none runs everything.
+	suite := all
+	var subset []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			subset = append(subset, a)
+		}
+	}
+	if len(subset) > 0 {
+		suite = subset
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], suite))
+	}
+	os.Exit(standalone(suite, args))
+}
+
+// standalone re-invokes the current binary through `go vet -vettool` on
+// the given package patterns.
+func standalone(suite []*analysis.Analyzer, patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetkit: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	if len(suite) != len(all) {
+		for _, a := range suite {
+			vetArgs = append(vetArgs, "-"+a.Name)
+		}
+	}
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// printVersion answers cmd/go's -V=full probe. The "devel …
+// buildID=<content hash>" shape is what toolID in cmd/go parses; the
+// hash of our own binary makes the vet cache invalidate when the
+// analyzers change.
+func printVersion() {
+	h := [sha256.Size]byte{}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("vetkit version devel buildID=%x\n", h)
+}
+
+// printFlags answers cmd/go's -flags probe with the JSON flag
+// descriptions it uses to split `go vet` arguments into flags and
+// package patterns.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(all))
+	for _, a := range all {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	out, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(out)
+	fmt.Println()
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: vetkit [-<analyzer>]... [package pattern]...\n\n")
+	fmt.Fprintf(os.Stderr, "vetkit enforces the partition-sharing pipeline's invariants (DESIGN.md §10):\n\n")
+	for _, a := range all {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nWith no analyzer flags, the whole suite runs.\n")
+}

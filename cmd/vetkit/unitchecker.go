@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+
+	"partitionshare/internal/analysis"
+	"partitionshare/internal/atomicio"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package when a vet tool runs (see cmd/go/internal/work.vetConfig);
+// unknown fields are ignored on decode.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+var goVersionRE = regexp.MustCompile(`^go[0-9]+(\.[0-9]+)*$`)
+
+// unitcheck analyzes the single package described by the cfg file and
+// returns the process exit code: 0 clean, 1 driver failure, 2 findings.
+func unitcheck(cfgPath string, suite []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "vetkit: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go reads the vetx (facts) output after every run, including
+	// fact-gathering runs over dependencies. These analyzers keep no
+	// cross-package facts, so an empty file is always the right answer —
+	// written first so every early return below still produces it.
+	if cfg.VetxOutput != "" {
+		if err := atomicio.WriteFileBytes(cfg.VetxOutput, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+			return 1
+		}
+	}
+	// A VetxOnly run exists only to collect facts for later packages;
+	// with no facts to collect there is nothing to do.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies are served from the compiler export data cmd/go
+	// already built, keyed by canonical import path.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := &types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", buildArch()),
+	}
+	if goVersionRE.MatchString(cfg.GoVersion) {
+		conf.GoVersion = cfg.GoVersion
+	}
+
+	diags, _, err := analysis.Check(conf, fset, cfg.ImportPath, files, suite)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return 2
+}
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}

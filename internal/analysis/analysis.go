@@ -1,0 +1,127 @@
+// Package analysis is a self-contained, standard-library-only analogue
+// of golang.org/x/tools/go/analysis, sized for this repository's needs.
+// It exists because the verify gate must run in offline containers where
+// x/tools cannot be downloaded; the API mirrors the upstream shape
+// (Analyzer, Pass, Diagnostic) so the project-specific analyzers under
+// internal/analysis/... can be ported to the real framework mechanically
+// if a vendored x/tools ever becomes available.
+//
+// The analyzers themselves encode this repository's pipeline invariants —
+// the contracts established by PR 1 (shared DP kernels, bit-exactness)
+// and PR 2 (atomic durable writes, context plumbing, typed error
+// sentinels, pre-filled-and-closed worker channels). See DESIGN.md §10
+// for the catalogue and cmd/vetkit for the driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check: a name, what invariant it
+// enforces, and a Run function applied once per type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and command-line flags.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by `vetkit -help`,
+	// stating the invariant the analyzer enforces and which patterns are
+	// deliberately exempt.
+	Doc string
+
+	// Run applies the check to a single package. Diagnostics are
+	// delivered through pass.Report / pass.Reportf; the error return is
+	// reserved for analyzer-internal failures, not findings.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills this in.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	pass.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. Most
+// invariants are production-code contracts: tests legitimately write
+// scratch files directly, compare floats bit-exactly in differential
+// tests, and spawn bare goroutines.
+func (pass *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated. Drivers must typecheck with an Info from here so that
+// Uses/Defs/Types lookups never silently miss.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Check type-checks files as package path using conf and runs each
+// analyzer over the result, returning all diagnostics in file/position
+// order of discovery. conf.Error and conf.Importer must be set by the
+// caller; conf.Error collecting soft errors lets analysis proceed on
+// packages that are complete enough to walk.
+func Check(conf *types.Config, fset *token.FileSet, path string, files []*ast.File, analyzers []*Analyzer) ([]Diagnostic, *types.Package, error) {
+	info := NewInfo()
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, pkg, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				d.Message = d.Message + " (" + a.Name + ")"
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, pkg, fmt.Errorf("analyzer %s on %s: %w", a.Name, path, err)
+		}
+	}
+	return diags, pkg, nil
+}
+
+// IsErrorType reports whether t is the built-in error interface or a
+// named type implementing it. Shared by errsentinel and fixtures.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -1,0 +1,163 @@
+// Package analysistest runs an analyzer over source fixtures and checks
+// its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only (offline containers cannot fetch x/tools).
+//
+// Layout: each fixture package lives under testdata/src/<pkgpath>/
+// relative to the analyzer's package directory. Every .go file in the
+// directory is parsed into one package and type-checked with the
+// stdlib source importer, so fixtures may import the standard library
+// freely. A file whose name ends in _test.go exercises the analyzers'
+// test-file exemptions: it is an ordinary fixture file here (the go
+// tool never builds testdata), but analyzers that exempt tests must
+// stay silent on it.
+//
+// Expectations are trailing line comments:
+//
+//	os.WriteFile(p, b, 0o644) // want `atomicio`
+//	x := a == b               // want "errors.Is" "second finding"
+//
+// Each quoted or backquoted string is an unanchored regexp that must
+// match exactly one diagnostic reported on that line; unexpected and
+// missing diagnostics both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"partitionshare/internal/analysis"
+)
+
+// wantRE extracts the expectation strings from a // want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package under testdata/src and applies a to
+// it, comparing diagnostics against the // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		runPackage(t, a, pkgpath)
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runPackage(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgpath))
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgpath, err)
+	}
+
+	conf := &types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		// Collect soft errors so analyzers still run on fixtures that
+		// are deliberately incomplete.
+		Error: func(error) {},
+	}
+	diags, _, err := analysis.Check(conf, fset, pkgpath, files, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", pkgpath, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !consume(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, tok := range wantRE.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, tok, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// consume marks the first unmatched expectation matching msg.
+func consume(ws []*expectation, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

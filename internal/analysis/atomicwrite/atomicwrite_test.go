@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"partitionshare/internal/analysis/analysistest"
+	"partitionshare/internal/analysis/atomicwrite"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	analysistest.Run(t, atomicwrite.Analyzer, "a", "internal/atomicio")
+}

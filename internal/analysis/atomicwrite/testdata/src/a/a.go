@@ -1,0 +1,41 @@
+// Fixture: durable writes outside internal/atomicio, all flagged, plus
+// the deliberately-allowed read-only and scratch patterns.
+package a
+
+import (
+	"io/ioutil"
+	"os"
+)
+
+func writeAll(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `internal/atomicio`
+}
+
+func createIt(path string) (*os.File, error) {
+	return os.Create(path) // want `os\.Create writes a durable artifact non-atomically`
+}
+
+func openForAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644) // want `os\.OpenFile with write flags`
+}
+
+func openUnknownFlags(path string, flags int) (*os.File, error) {
+	return os.OpenFile(path, flags, 0o644) // want `os\.OpenFile with write flags`
+}
+
+func legacyWrite(path string, data []byte) error {
+	return ioutil.WriteFile(path, data, 0o644) // want `io/ioutil is deprecated`
+}
+
+func readOnly(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0) // ok: provably read-only
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path) // ok: reads are not durability hazards
+}
+
+func scratch(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "scratch-*") // ok: scratch by construction
+}

@@ -1,0 +1,12 @@
+// Fixture: _test.go files are exempt — test fixtures are not durable
+// artifacts, so none of these may be flagged.
+package a
+
+import "os"
+
+func writeFixture(path string, data []byte) error {
+	if _, err := os.Create(path + ".stamp"); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

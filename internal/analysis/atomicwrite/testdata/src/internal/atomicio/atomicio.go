@@ -1,0 +1,21 @@
+// Fixture: the internal/atomicio package itself is the one place the
+// raw primitives are allowed — nothing here may be flagged.
+package atomicio
+
+import "os"
+
+func writeRaw(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,266 @@
+// Package chanclose enforces the PR 2 worker-pool shape: a jobs channel
+// that worker goroutines range over must be fully pre-filled and closed
+// before the first worker launches. The alternative shapes all strand
+// goroutines on cancellation — a feeder goroutine blocked on a send into
+// an abandoned channel, or workers parked forever in range on a channel
+// nobody closes once the producer errors out mid-loop. Pre-fill+close
+// makes the drain unconditional: workers consume what is buffered and
+// exit, no matter when or whether the context fires.
+//
+// The analyzer is deliberately conservative: it only judges channels
+// created with make(chan …) in the same function body, consumed by `go
+// func() { … range ch … }` literals there, and never passed out of the
+// function (a channel that escapes has its lifecycle owned elsewhere,
+// e.g. a pool struct with a close method). _test.go files are exempt.
+package chanclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"partitionshare/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "chanclose",
+	Doc: "worker-pool jobs channels must be pre-filled and closed before " +
+		"the worker goroutines launch (PR 2 cancellation contract)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// chanInfo accumulates everything the rule needs about one channel
+// object local to the function under inspection.
+type chanInfo struct {
+	firstLaunch   token.Pos // earliest `go func(){… range ch …}` launch
+	closePos      token.Pos // earliest close(ch) in the function
+	closeInGo     bool      // that close sits inside a goroutine literal
+	closeDeferred bool      // that close is deferred
+	escapes       bool      // ch leaves the function (arg, return, field, …)
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	chans := map[types.Object]*chanInfo{}
+
+	// Pass 1: find the function-local make(chan …) channels.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) || !isMakeChan(pass, rhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				chans[obj] = &chanInfo{}
+			}
+		}
+		return true
+	})
+	if len(chans) == 0 {
+		return
+	}
+
+	// Pass 2: walk with a stack of enclosing function literals / go
+	// statements so each use can be classified.
+	var stack []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			classifyCall(pass, n, stack, chans)
+		case *ast.RangeStmt:
+			if obj := usedObj(pass, n.X); obj != nil {
+				if info, ok := chans[obj]; ok {
+					if pos, ok := enclosingGoLaunch(stack); ok {
+						if info.firstLaunch == token.NoPos || pos < info.firstLaunch {
+							info.firstLaunch = pos
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit:
+			markEscapes(pass, n, chans)
+		case *ast.AssignStmt:
+			// Aliasing (ch2 := ch) or storing into a field hands the
+			// lifecycle to someone else; the make() RHS itself never
+			// mentions the channel being defined.
+			for _, rhs := range n.Rhs {
+				if !isMakeChan(pass, rhs) {
+					markEscapes(pass, rhs, chans)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for _, info := range chans {
+		if info.firstLaunch == token.NoPos || info.escapes {
+			continue
+		}
+		switch {
+		case info.closePos == token.NoPos:
+			pass.Reportf(info.firstLaunch,
+				"workers range over a jobs channel that this function never closes; pre-fill and close it before launching them")
+		case info.closeInGo:
+			pass.Reportf(info.closePos,
+				"jobs channel is closed inside a goroutine (feeder shape); cancellation can strand the feeder on a blocked send — pre-fill and close before launching workers")
+		case info.closeDeferred:
+			pass.Reportf(info.closePos,
+				"jobs channel close is deferred until after the workers are waited on; pre-fill and close it before launching them")
+		case info.closePos > info.firstLaunch:
+			pass.Reportf(info.closePos,
+				"jobs channel is closed after the workers launch; pre-fill and close it first so a cancelled run always drains")
+		}
+	}
+}
+
+// classifyCall records close(ch) calls and argument escapes.
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, chans map[types.Object]*chanInfo) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "close":
+			if len(call.Args) == 1 {
+				if obj := usedObj(pass, call.Args[0]); obj != nil {
+					if info, ok := chans[obj]; ok {
+						if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+							if info.closePos == token.NoPos {
+								info.closePos = call.Pos()
+								info.closeInGo = insideFuncLit(stack)
+								info.closeDeferred = insideDefer(stack)
+							}
+							return
+						}
+					}
+				}
+			}
+		case "len", "cap":
+			return
+		}
+	}
+	// Any channel passed as an argument to a non-builtin call escapes.
+	for _, arg := range call.Args {
+		if obj := usedObj(pass, arg); obj != nil {
+			if info, ok := chans[obj]; ok {
+				info.escapes = true
+			}
+		}
+	}
+}
+
+// markEscapes flags channels that leave the function via return values
+// or composite literals (stored in a struct/slice/map).
+func markEscapes(pass *analysis.Pass, n ast.Node, chans map[types.Object]*chanInfo) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if e, ok := m.(ast.Expr); ok {
+			if obj := usedObj(pass, e); obj != nil {
+				if info, ok := chans[obj]; ok {
+					info.escapes = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isMakeChan(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// usedObj resolves a bare identifier expression to its object.
+func usedObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// enclosingGoLaunch reports whether the innermost enclosing function
+// literal on the stack is launched directly by a go statement, and if
+// so, the position of that launch.
+func enclosingGoLaunch(stack []ast.Node) (token.Pos, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		// Direct `go func(){…}(…)`: GoStmt → CallExpr → FuncLit.
+		if i >= 2 {
+			if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == lit {
+				if g, ok := stack[i-2].(*ast.GoStmt); ok {
+					return g.Pos(), true
+				}
+			}
+		}
+		return token.NoPos, false
+	}
+	return token.NoPos, false
+}
+
+func insideFuncLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func insideDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package chanclose_test
+
+import (
+	"testing"
+
+	"partitionshare/internal/analysis/analysistest"
+	"partitionshare/internal/analysis/chanclose"
+)
+
+func TestChanClose(t *testing.T) {
+	analysistest.Run(t, chanclose.Analyzer, "ch")
+}

@@ -1,0 +1,128 @@
+// Fixture: worker-pool jobs channels must be pre-filled and closed
+// before the worker goroutines launch (the PR 2 cancellation contract).
+// The good() shape is the one the pipeline uses everywhere.
+package ch
+
+import "sync"
+
+func good(n int) {
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func closeAfterLaunch(n int) {
+	jobs := make(chan int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs) // want `closed after the workers launch`
+	wg.Wait()
+}
+
+func feederGoroutine(n int) {
+	jobs := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs) // want `closed inside a goroutine \(feeder shape\)`
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func neverClosed(n int) {
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	go func() { // want `never closes`
+		for range jobs {
+		}
+	}()
+}
+
+func deferredClose(n int) {
+	jobs := make(chan int, n)
+	defer close(jobs) // want `close is deferred`
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range jobs {
+		}
+	}()
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	wg.Wait()
+}
+
+// escapesToCallee hands the channel to another function, which then
+// owns the close contract; the analyzer stays conservative and silent.
+func escapesToCallee(n int) {
+	jobs := make(chan int, n)
+	go func() {
+		for range jobs {
+		}
+	}()
+	fill(jobs, n)
+}
+
+func fill(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+// resultsDrainedInline is the inverse shape — goroutines produce,
+// the function body consumes — and is not a jobs-channel pattern.
+func resultsDrainedInline(n int) int {
+	results := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- i
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	total := 0
+	for r := range results {
+		total += r
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+// Fixture: _test.go files are exempt — tests may shape channels freely
+// to provoke the very hangs the production contract forbids.
+package ch
+
+func testShape(n int) {
+	jobs := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	for range jobs {
+	}
+}

@@ -1,0 +1,88 @@
+// Package ctxplumb enforces the PR 2 cancellation contract at API
+// boundaries: an exported function or method that launches goroutines
+// must accept a context.Context as its first parameter, so callers can
+// drain the work it fans out. An exported API that spawns concurrency
+// without a context is uncancellable from outside — the precise gap the
+// PR 2 plumbing (experiment.Run, workload.ProfileAll,
+// partition.OptimizeParallel, reuse.CollectParallel) closed.
+//
+// The goroutine may be spawned anywhere lexically inside the function,
+// including nested function literals. Unexported helpers are exempt
+// (their callers own the contract), as are _test.go files.
+package ctxplumb
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"partitionshare/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxplumb",
+	Doc: "exported functions that spawn goroutines must take a " +
+		"context.Context first parameter so callers can cancel the fan-out",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if takesContextFirst(pass, fd) {
+				continue
+			}
+			if pos, spawns := firstGoStmt(fd.Body); spawns {
+				pass.Reportf(pos,
+					"exported %s spawns goroutines but does not take a context.Context first parameter; the fan-out cannot be cancelled by callers", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// takesContextFirst reports whether fd's first parameter is a
+// context.Context.
+func takesContextFirst(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	if params.Len() == 0 {
+		return false
+	}
+	named, ok := params.At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context"
+}
+
+// firstGoStmt returns the position of the first go statement lexically
+// inside body, if any.
+func firstGoStmt(body *ast.BlockStmt) (pos token.Pos, spawns bool) {
+	var found *ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			found = g
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return 0, false
+	}
+	return found.Pos(), true
+}

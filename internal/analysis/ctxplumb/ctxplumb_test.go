@@ -1,0 +1,12 @@
+package ctxplumb_test
+
+import (
+	"testing"
+
+	"partitionshare/internal/analysis/analysistest"
+	"partitionshare/internal/analysis/ctxplumb"
+)
+
+func TestCtxPlumb(t *testing.T) {
+	analysistest.Run(t, ctxplumb.Analyzer, "ctx")
+}

@@ -1,0 +1,65 @@
+// Fixture: exported APIs that fan out goroutines must take a
+// context.Context first; unexported helpers and context-first APIs are
+// the allowed patterns.
+package ctx
+
+import (
+	"context"
+	"sync"
+)
+
+func Fanout(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `exported Fanout spawns goroutines`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// ContextSecond has a context, but not first — callers reading the
+// signature cannot rely on the convention, so it is still flagged.
+func ContextSecond(n int, ctx context.Context) {
+	go func() { // want `exported ContextSecond spawns goroutines`
+		<-ctx.Done()
+	}()
+}
+
+type Pool struct{ stop chan struct{} }
+
+func (p *Pool) Start() {
+	go p.loop() // want `exported Start spawns goroutines`
+}
+
+func (p *Pool) loop() { <-p.stop }
+
+// FanoutCtx is the contract-compliant shape.
+func FanoutCtx(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ctx.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// fanoutHelper is unexported: its exported callers own the contract.
+func fanoutHelper(n int) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// Pure is exported but spawns nothing; no context needed.
+func Pure(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

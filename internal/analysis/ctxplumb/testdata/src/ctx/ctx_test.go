@@ -1,0 +1,14 @@
+// Fixture: _test.go files are exempt — test helpers spawn bare
+// goroutines freely.
+package ctx
+
+import "sync"
+
+func ParallelHelper(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,135 @@
+// Package errsentinel enforces the PR 2 error-boundary contract: I/O
+// and parsing boundaries fail with typed sentinels (profileio.ErrCorrupt,
+// trace.ErrMalformed, reuse.ErrEmptyTrace, mrc.ErrNonMonotone, …) that
+// callers test with errors.Is. Comparing errors with == / != or by
+// string-matching err.Error() breaks the moment a boundary adds %w
+// wrapping context — the comparison silently turns false and the typed
+// failure is handled as an unknown one.
+//
+// Flagged everywhere, including tests (the hardening tests are exactly
+// where wrapped sentinels must keep matching):
+//
+//   - err == sentinel / err != sentinel between two error-typed,
+//     non-nil operands (nil checks stay idiomatic and are exempt)
+//   - switch err { case ErrFoo: } over an error-typed tag
+//   - err.Error() used with == / != or strings.Contains/HasPrefix/
+//     HasSuffix/EqualFold
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"partitionshare/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: "errors must be compared with errors.Is against typed sentinels, " +
+		"never with ==/!= or by string-matching err.Error()",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBinary(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isErrorStringCall(pass, b.X) || isErrorStringCall(pass, b.Y) {
+		pass.Reportf(b.Pos(),
+			"comparing err.Error() text breaks when the error is wrapped; use errors.Is against the typed sentinel")
+		return
+	}
+	if errOperand(pass, b.X) && errOperand(pass, b.Y) {
+		pass.Reportf(b.Pos(),
+			"comparing errors with %s fails on %%w-wrapped sentinels; use errors.Is", b.Op)
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil || !errOperand(pass, s.Tag) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if errOperand(pass, e) {
+				pass.Reportf(e.Pos(),
+					"switching on an error value compares with ==, which fails on %%w-wrapped sentinels; use errors.Is in an if/else chain")
+				return
+			}
+		}
+	}
+}
+
+// stringMatchFuncs are the strings-package predicates that indicate
+// error-message matching when fed err.Error().
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true, "EqualFold": true,
+}
+
+func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !stringMatchFuncs[sel.Sel.Name] {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "strings" {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorStringCall(pass, arg) {
+			pass.Reportf(call.Pos(),
+				"string-matching err.Error() with strings.%s is brittle; compare with errors.Is against the typed sentinel", sel.Sel.Name)
+			return
+		}
+	}
+}
+
+// errOperand reports whether e is a non-nil expression of an error type.
+func errOperand(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	return analysis.IsErrorType(tv.Type)
+}
+
+// isErrorStringCall reports whether e is a call x.Error() on an
+// error-typed receiver.
+func isErrorStringCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsErrorType(tv.Type)
+}

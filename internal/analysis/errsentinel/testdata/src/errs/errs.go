@@ -1,0 +1,69 @@
+// Fixture: sentinel comparisons must go through errors.Is; ==/!= and
+// string matching break on %w-wrapped errors.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var ErrCorrupt = errors.New("corrupt input")
+
+func Parse(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("parse: %w", ErrCorrupt)
+	}
+	return nil
+}
+
+func badEquality(err error) bool {
+	return err == ErrCorrupt // want `comparing errors with == fails`
+}
+
+func badInequality(err error) bool {
+	return err != ErrCorrupt // want `comparing errors with != fails`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrCorrupt: // want `switching on an error value`
+		return "corrupt"
+	}
+	return "other"
+}
+
+func badStringEq(err error) bool {
+	return err.Error() == "corrupt input" // want `err\.Error\(\) text`
+}
+
+func badStringMatch(err error) bool {
+	return strings.Contains(err.Error(), "corrupt") // want `strings\.Contains is brittle`
+}
+
+func badStringPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "corrupt") // want `strings\.HasPrefix is brittle`
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrCorrupt) // ok: survives wrapping
+}
+
+func goodNilCheck(err error) bool {
+	return err != nil // ok: nil checks are idiomatic
+}
+
+func goodNilSwitch(err error) bool {
+	switch err {
+	case nil:
+		return true
+	}
+	return false
+}
+
+// goodStrings compares ordinary strings, not error text.
+func goodStrings(a, b string) bool {
+	return a == b && strings.Contains(a, b)
+}

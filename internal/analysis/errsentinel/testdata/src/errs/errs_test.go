@@ -1,0 +1,8 @@
+// Fixture: unlike the other analyzers, errsentinel applies to _test.go
+// files too — hardening tests are exactly where wrapped sentinels must
+// keep matching.
+package errs
+
+func testHelperCompares(err error) bool {
+	return err == ErrCorrupt // want `comparing errors with == fails`
+}

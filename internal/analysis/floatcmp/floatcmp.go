@@ -1,0 +1,121 @@
+// Package floatcmp enforces float-comparison hygiene on the pipeline's
+// math: miss ratios, footprints, and composed curves are products of
+// long floating-point reductions (HOTL Eq. 11, 15–16), so exact ==/!=
+// on them encodes an accident of rounding, not a property. Comparisons
+// must go through the approved epsilon helpers in internal/floats (or a
+// local helper whose name declares the tolerance).
+//
+// Exempt, deliberately:
+//
+//   - _test.go files — the differential tests assert bit-exactness
+//     against reference implementations on purpose
+//   - internal/floats itself and functions named like epsilon helpers
+//     (approxEqual, AlmostEqual, withinEps, …)
+//   - comparisons where both operands are compile-time constants
+//   - comparisons against the exact sentinel constants 0, 1, and
+//     ±math.MaxFloat64 — all exactly representable and used as
+//     "unset"/"disabled"/"unreached DP cell" markers that are assigned,
+//     never computed (e.g. a sampling rate of exactly 1.0 meaning "no
+//     sampling", or the partition kernels' inf cost cells)
+//   - x != x — the idiomatic NaN probe
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"regexp"
+	"strings"
+
+	"partitionshare/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "no ==/!= on float operands outside approved epsilon helpers; " +
+		"use internal/floats.AlmostEqual or an explicit tolerance",
+	Run: run,
+}
+
+// helperName matches function names that declare themselves tolerance
+// helpers; float equality inside them is the implementation, not a bug.
+var helperName = regexp.MustCompile(`(?i)(approx|almost|eps|within|toleran|close)`)
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/floats") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if helperName.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				// Equality inside a nested helper-named literal is not a
+				// thing; only FuncDecl names count as approved helpers.
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				if !floatOperand(pass, b.X) && !floatOperand(pass, b.Y) {
+					return true
+				}
+				if exemptComparison(pass, b) {
+					return true
+				}
+				pass.Reportf(b.Pos(),
+					"exact %s on floating-point values compares rounding accidents; use internal/floats.AlmostEqual or an explicit epsilon", b.Op)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func floatOperand(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func exemptComparison(pass *analysis.Pass, b *ast.BinaryExpr) bool {
+	xv := pass.TypesInfo.Types[b.X].Value
+	yv := pass.TypesInfo.Types[b.Y].Value
+	// Both constants: the comparison is decided at compile time.
+	if xv != nil && yv != nil {
+		return true
+	}
+	// Exact-sentinel checks against 0, 1, or ±MaxFloat64.
+	if isSentinelConst(xv) || isSentinelConst(yv) {
+		return true
+	}
+	// x != x / x == x: the NaN probe.
+	if xid, ok := ast.Unparen(b.X).(*ast.Ident); ok {
+		if yid, ok := ast.Unparen(b.Y).(*ast.Ident); ok {
+			if xo := pass.TypesInfo.Uses[xid]; xo != nil && xo == pass.TypesInfo.Uses[yid] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isSentinelConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	f, exact := constant.Float64Val(constant.ToFloat(v))
+	return exact && (f == 0 || f == 1 || math.Abs(f) == math.MaxFloat64)
+}

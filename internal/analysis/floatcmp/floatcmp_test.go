@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"partitionshare/internal/analysis/analysistest"
+	"partitionshare/internal/analysis/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, "f", "internal/floats")
+}

@@ -1,0 +1,61 @@
+// Fixture: exact float equality is flagged outside the approved
+// helpers; 0/1 sentinels, NaN probes, constant folds, and integer
+// comparisons are the allowed patterns.
+package f
+
+import "math"
+
+const threshold = 0.5
+
+func badEqual(a, b float64) bool {
+	return a == b // want `exact == on floating-point values`
+}
+
+func badNotEqual(miss []float64) bool {
+	return miss[0] != miss[1] // want `exact != on floating-point values`
+}
+
+func badConstOperand(missRatio float64) bool {
+	return missRatio == threshold // want `exact == on floating-point values`
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want `exact == on floating-point values`
+}
+
+func zeroSentinel(x float64) bool {
+	return x == 0 // ok: 0 is exactly representable, used as "unset"
+}
+
+func oneSentinel(rate float64) bool {
+	return rate != 1.0 // ok: 1.0 is the "disabled" sentinel
+}
+
+func nanProbe(x float64) bool {
+	return x != x // ok: the idiomatic NaN check
+}
+
+func constFold() bool {
+	return 0.1+0.2 == 0.3 // ok: both operands are compile-time constants
+}
+
+const unreached = math.MaxFloat64
+
+func sentinelCell(dp []float64) bool {
+	return dp[0] == unreached // ok: exact "unreached DP cell" sentinel constant
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+// approxEqual is an epsilon helper by name: the equality inside is the
+// fast path of the tolerance check, not a bug.
+func approxEqual(a, b, eps float64) bool {
+	return a == b || math.Abs(a-b) < eps
+}
+
+// WithinTolerance is likewise approved by name.
+func WithinTolerance(a, b, tol float64) bool {
+	return a == b || math.Abs(a-b) <= tol
+}

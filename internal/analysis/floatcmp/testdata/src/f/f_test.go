@@ -1,0 +1,7 @@
+// Fixture: _test.go files are exempt — the differential tests assert
+// bit-exactness against reference implementations on purpose.
+package f
+
+func bitExact(got, want float64) bool {
+	return got == want
+}

@@ -1,0 +1,7 @@
+// Fixture: the internal/floats package is the approved home of the
+// epsilon helpers; its own equality fast paths are exempt wholesale.
+package floats
+
+func Equal(a, b float64) bool {
+	return a == b
+}

@@ -1,6 +1,7 @@
 package atomicio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -50,7 +51,7 @@ func TestWriteFileFailureLeavesOldContent(t *testing.T) {
 		io.WriteString(w, "partial garbage")
 		return werr
 	})
-	if err != werr {
+	if !errors.Is(err, werr) {
 		t.Fatalf("err = %v, want %v", err, werr)
 	}
 	got, _ := os.ReadFile(path)

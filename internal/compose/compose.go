@@ -169,8 +169,14 @@ func RoundToUnits(occBlocks []float64, units int, blocksPerUnit int64) []int {
 		return out
 	}
 	sort.Slice(rems, func(a, b int) bool {
-		if rems[a].frac != rems[b].frac {
-			return rems[a].frac > rems[b].frac
+		// Strict ordering comparisons only: an epsilon here would break
+		// the comparator's transitivity, and exact fractional ties must
+		// fall through to the deterministic index order.
+		if rems[a].frac > rems[b].frac {
+			return true
+		}
+		if rems[a].frac < rems[b].frac {
+			return false
 		}
 		return rems[a].idx < rems[b].idx
 	})

@@ -7,7 +7,6 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -173,9 +172,10 @@ func TestResumeReproducesBitIdentical(t *testing.T) {
 func TestRunPanicIsolation(t *testing.T) {
 	defer func() { testHookEvaluateGroup = nil }()
 	poison := []int{0, 1, 2}
+	errInjected := errors.New("injected fault")
 	testHookEvaluateGroup = func(members []int) {
 		if reflect.DeepEqual(members, poison) {
-			panic("injected fault")
+			panic(errInjected)
 		}
 	}
 	progs := faultSuite(t)
@@ -191,8 +191,8 @@ func TestRunPanicIsolation(t *testing.T) {
 	if !reflect.DeepEqual(ge.Members, poison) {
 		t.Fatalf("GroupError.Members = %v, want %v", ge.Members, poison)
 	}
-	if !strings.Contains(ge.Cause.Error(), "injected fault") {
-		t.Fatalf("GroupError.Cause = %v, want the panic value", ge.Cause)
+	if !errors.Is(ge.Cause, errInjected) {
+		t.Fatalf("GroupError.Cause = %v, want a chain containing the injected panic error", ge.Cause)
 	}
 	if want := 20 - 1; len(res.Groups) != want {
 		t.Fatalf("collect mode kept %d groups, want %d", len(res.Groups), want)

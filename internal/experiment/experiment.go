@@ -287,7 +287,14 @@ type RunOpts struct {
 func evaluateGroupSafe(progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (gr GroupResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			// A panic value that is itself an error stays in the chain
+			// (%w), so callers can errors.Is through the GroupError all
+			// the way to a typed cause.
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("panic: %w\n%s", perr, debug.Stack())
+			} else {
+				err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			}
 		}
 	}()
 	if testHookEvaluateGroup != nil {

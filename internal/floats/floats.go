@@ -1,0 +1,48 @@
+// Package floats holds the approved tolerance helpers for comparing the
+// pipeline's floating-point quantities — miss ratios, footprints,
+// composed curves. Exact ==/!= on these values compares rounding
+// accidents of long reductions (HOTL Eq. 11, 15–16) and is rejected by
+// the floatcmp analyzer (DESIGN.md §10); comparisons route through this
+// package instead so every tolerance is explicit and named.
+package floats
+
+import "math"
+
+// DefaultEps is the tolerance used when a call site has no sharper
+// requirement. Miss ratios live in [0, 1] and the composition pipeline
+// is stable to ~1e-12 over the paper's trace lengths, so 1e-9 separates
+// genuine differences from accumulated rounding with margin on both
+// sides.
+const DefaultEps = 1e-9
+
+// AlmostEqual reports whether a and b are within DefaultEps, absolutely
+// or relative to the larger magnitude. NaNs are never equal to
+// anything, matching IEEE semantics rather than masking them.
+func AlmostEqual(a, b float64) bool {
+	return WithinEps(a, b, DefaultEps)
+}
+
+// WithinEps reports whether a and b differ by at most eps, absolutely
+// or relative to the larger magnitude. The relative clause keeps the
+// comparison meaningful for large footprints (thousands of blocks)
+// where a fixed absolute tolerance would be too tight.
+func WithinEps(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	// Distinct infinities (or an infinity vs. anything finite) are a
+	// genuine difference, not rounding; the relative clause below would
+	// otherwise accept them via an infinite scale.
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps*scale
+}

@@ -1,0 +1,39 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithinEps(t *testing.T) {
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1.0, 1.0, 1e-9, true},
+		{0.0, 0.0, 1e-9, true},
+		{1.0, 1.0 + 1e-12, 1e-9, true},
+		{1.0, 1.0 + 1e-6, 1e-9, false},
+		{1e6, 1e6 + 1e-4, 1e-9, true}, // relative clause: 1e-10 of magnitude
+		{0.5, 0.6, 1e-9, false},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{math.NaN(), 0, 1e-9, false},
+		{-1e-12, 1e-12, 1e-9, true},
+	}
+	for _, c := range cases {
+		if got := WithinEps(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("WithinEps(%v, %v, %v) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualSymmetric(t *testing.T) {
+	pairs := [][2]float64{{0.25, 0.25 + 1e-12}, {3, 4}, {0, 1e-12}}
+	for _, p := range pairs {
+		if AlmostEqual(p[0], p[1]) != AlmostEqual(p[1], p[0]) {
+			t.Errorf("AlmostEqual(%v, %v) not symmetric", p[0], p[1])
+		}
+	}
+}

@@ -148,7 +148,10 @@ func (c Curve) ConvexMinorant() Curve {
 			seg++
 		}
 		a, b := hull[seg], hull[seg+1]
-		if b.x == a.x {
+		// Guard the exact quantity we divide by: IEEE subtraction of
+		// finite doubles yields 0 iff the operands are equal, so this is
+		// the degenerate-segment check, not a rounding-sensitive compare.
+		if b.x-a.x == 0 {
 			out.MR[u] = math.Min(a.y, b.y)
 			continue
 		}

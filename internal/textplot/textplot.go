@@ -55,7 +55,9 @@ func (c Chart) Render() string {
 	if maxLen == 0 {
 		return c.Title + "\n(no data)\n"
 	}
-	if ymin == ymax {
+	// Degenerate-range guard on the exact quantity used as the scale
+	// divisor (IEEE: ymax-ymin is 0 iff the values are equal).
+	if ymax-ymin == 0 {
 		ymax = ymin + 1
 	}
 	grid := make([][]byte, height)

@@ -1,13 +1,15 @@
 #!/bin/sh
-# Extended verify gate: the tier-1 checks, a short fuzz smoke run per
-# native fuzz target, and (when the tool is installed) a vulnerability
-# scan. Run from the repository root:
+# Extended verify gate: the tier-1 checks (build, vet, vetkit, tests with
+# shuffled order, race), a short fuzz smoke run per native fuzz target,
+# and (when the tool is installed) a vulnerability scan. Run from the
+# repository root:
 #
 #   sh scripts/verify.sh            # everything
 #   FUZZTIME=30s sh scripts/verify.sh
 #
-# Exit code is non-zero on any tier-1 or fuzz failure; a missing
-# govulncheck binary is reported and skipped, so the gate works offline.
+# Exit code is non-zero on any tier-1, vetkit, or fuzz failure, and on
+# real govulncheck findings; a missing govulncheck binary prints an
+# explicit SKIP line and does not fail, so the gate works offline.
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
@@ -16,10 +18,12 @@ echo "== tier-1: go build ./..."
 go build ./...
 echo "== tier-1: go vet ./..."
 go vet ./...
-echo "== tier-1: go test ./..."
-go test ./...
-echo "== tier-1: go test -race ./..."
-go test -race ./...
+echo "== tier-1: vetkit (project invariant analyzers, DESIGN.md §10)"
+go run ./cmd/vetkit ./...
+echo "== tier-1: go test -shuffle=on ./..."
+go test -shuffle=on ./...
+echo "== tier-1: go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 # Fuzz smoke: each target runs for a few seconds so input-hardening
 # regressions (parser panics, reference divergence) surface in CI-sized
@@ -32,9 +36,10 @@ go test -run=NONE -fuzz='^FuzzOptimize$' -fuzztime="$FUZZTIME" ./internal/partit
 
 echo "== govulncheck"
 if command -v govulncheck >/dev/null 2>&1; then
+	# Exits non-zero (failing the gate, via set -e) only on real findings.
 	govulncheck ./...
 else
-	echo "govulncheck not installed; skipping (install: go install golang.org/x/vuln/cmd/govulncheck@latest)"
+	echo "SKIP: govulncheck not installed (install: go install golang.org/x/vuln/cmd/govulncheck@latest)"
 fi
 
 echo "== verify OK"
