@@ -14,13 +14,22 @@ import (
 
 	"partitionshare/internal/compose"
 	"partitionshare/internal/experiment"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/workload"
 )
 
 func main() {
 	small := flag.Bool("small", false, "use the reduced test geometry")
 	group := flag.String("group", "", "comma-separated program names: print per-scheme allocations for that co-run group")
+	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	obs.InitLogging(os.Stderr, level, false)
+
 	cfg := workload.DefaultConfig()
 	if *small {
 		cfg = workload.TestConfig()
@@ -31,8 +40,7 @@ func main() {
 	}
 	progs, err := workload.ProfileAll(nil, workload.Specs(), cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calibrate:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	equalShare := cfg.Units / 4
 
@@ -40,10 +48,10 @@ func main() {
 		return progs[i].Curve.MissRatio(equalShare) > progs[j].Curve.MissRatio(equalShare)
 	})
 
-	fmt.Printf("%-10s %6s %9s %9s %9s %9s %8s %9s %8s\n",
+	obs.Progressf("%-10s %6s %9s %9s %9s %9s %8s %9s %8s\n",
 		"program", "rate", "mr@C/8", "mr@C/4", "mr@C/2", "mr@C", "convex", "fp(n)", "coldRate")
 	for _, p := range progs {
-		fmt.Printf("%-10s %6.1f %9.5f %9.5f %9.5f %9.5f %8v %9d %8.5f\n",
+		obs.Progressf("%-10s %6.1f %9.5f %9.5f %9.5f %9.5f %8v %9d %8.5f\n",
 			p.Name, p.Rate,
 			p.Curve.MissRatio(cfg.Units/8),
 			p.Curve.MissRatio(equalShare),
@@ -56,7 +64,7 @@ func main() {
 
 	// Gains and losses in a few sample groups: compare natural (shared)
 	// with equal partitioning.
-	fmt.Printf("\nsample groups (occ = natural occupancy in units, eq share = %d):\n", equalShare)
+	obs.Progressf("\nsample groups (occ = natural occupancy in units, eq share = %d):\n", equalShare)
 	groups := [][]int{{0, 1, 2, 3}, {0, 5, 10, 15}, {12, 13, 14, 15}, {0, 10, 11, 12}}
 	for _, g := range groups {
 		sub := make([]compose.Program, len(g))
@@ -65,7 +73,7 @@ func main() {
 		}
 		occ := compose.NaturalPartitionUnits(sub, cfg.Units, cfg.BlocksPerUnit)
 		mrs := compose.SharedMissRatios(sub, float64(cfg.CacheBlocks()))
-		fmt.Printf("  group:")
+		obs.Progressf("  group:")
 		for i, idx := range g {
 			eqMr := progs[idx].Curve.MissRatio(equalShare)
 			verdict := "≈"
@@ -74,9 +82,9 @@ func main() {
 			} else if mrs[i] > eqMr*1.05 {
 				verdict = "lose"
 			}
-			fmt.Printf(" %s[occ=%d nat=%.5f eq=%.5f %s]", progs[idx].Name, occ[i], mrs[i], eqMr, verdict)
+			obs.Progressf(" %s[occ=%d nat=%.5f eq=%.5f %s]", progs[idx].Name, occ[i], mrs[i], eqMr, verdict)
 		}
-		fmt.Println()
+		obs.Progressln()
 	}
 }
 
@@ -85,8 +93,7 @@ func main() {
 func inspectGroup(cfg workload.Config, names []string) {
 	progs, err := workload.ProfileAll(nil, workload.Specs(), cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calibrate:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	idx := map[string]int{}
 	for i, p := range progs {
@@ -96,29 +103,32 @@ func inspectGroup(cfg workload.Config, names []string) {
 	for _, n := range names {
 		i, ok := idx[strings.TrimSpace(n)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "calibrate: unknown program %q\n", n)
-			os.Exit(1)
+			fatal(fmt.Errorf("unknown program %q", n))
 		}
 		members = append(members, i)
 	}
 	gr, err := experiment.EvaluateGroup(progs, members, cfg.Units, cfg.BlocksPerUnit)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calibrate:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("group:")
+	obs.Progressf("group:")
 	for _, m := range members {
-		fmt.Printf(" %s", progs[m].Name)
+		obs.Progressf(" %s", progs[m].Name)
 	}
-	fmt.Printf("  (units=%d)\n", cfg.Units)
+	obs.Progressf("  (units=%d)\n", cfg.Units)
 	for s := experiment.Scheme(0); s < experiment.NumSchemes; s++ {
-		fmt.Printf("%-17s groupMR=%.5f  alloc=%v  mr=[", s, gr.GroupMR[s], gr.Alloc[s])
+		obs.Progressf("%-17s groupMR=%.5f  alloc=%v  mr=[", s, gr.GroupMR[s], gr.Alloc[s])
 		for i, v := range gr.ProgramMR[s] {
 			if i > 0 {
-				fmt.Print(" ")
+				obs.Progressf(" ")
 			}
-			fmt.Printf("%.5f", v)
+			obs.Progressf("%.5f", v)
 		}
-		fmt.Println("]")
+		obs.Progressln("]")
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
 }

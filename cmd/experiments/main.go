@@ -15,6 +15,14 @@
 // byte-identical to an uninterrupted run. The checkpoint is deleted after
 // a fully successful sweep.
 //
+// Observability: every run records a manifest (-manifest, default
+// DIR/manifest.json) — config, build version, per-stage wall/CPU time,
+// and the pipeline's counters (groups completed/failed/resumed, DP cells,
+// cache-sim accesses) — written atomically on every exit path, including
+// interruption. -debug-addr serves live expvar metrics and pprof;
+// -cpuprofile/-memprofile/-trace capture profiles; -log-level/-log-json
+// shape the structured diagnostic log on stderr.
+//
 // CSV outputs in DIR (default "results"):
 //
 //	table1.csv   — improvement of Optimal over the other five schemes
@@ -33,14 +41,23 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"partitionshare/internal/atomicio"
 	"partitionshare/internal/experiment"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/textplot"
 	"partitionshare/internal/workload"
 )
+
+// finish runs the shutdown sequence — stop profiles, write the heap
+// profile, flush the manifest, close the debug server — exactly once.
+// Installed by main; fatal routes through it so no exit path skips the
+// manifest.
+var finish = func() {}
 
 func main() {
 	small := flag.Bool("small", false, "use the reduced test geometry")
@@ -55,7 +72,21 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after this many completed groups (0 = default interval)")
 	workers := flag.Int("workers", 0, "worker goroutines for the group sweep (0 = GOMAXPROCS)")
 	failFast := flag.Bool("failfast", false, "abort the sweep on the first group error instead of collecting errors")
+	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics and pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
+	manifestPath := flag.String("manifest", "", "run-manifest path (default <out>/manifest.json; \"none\" disables)")
+	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit the diagnostic log as JSON instead of text")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	obs.InitLogging(os.Stderr, level, *logJSON)
+	obs.Enable(obs.NewRegistry())
 
 	// SIGINT/SIGTERM cancel ctx; every stage below drains gracefully and
 	// returns context.Canceled, which exits with the conventional 130.
@@ -70,56 +101,126 @@ func main() {
 		fatal(err)
 	}
 	ckptPath := filepath.Join(*outDir, "checkpoint.json")
+	if *manifestPath == "" {
+		*manifestPath = filepath.Join(*outDir, "manifest.json")
+	}
+
+	manifest := obs.NewManifest("experiments", map[string]any{
+		"small":           *small,
+		"groupsize":       *groupSize,
+		"units":           cfg.Units,
+		"blocks_per_unit": cfg.BlocksPerUnit,
+		"trace_len":       cfg.TraceLen,
+		"workers":         *workers,
+		"validate":        *validate,
+		"correlate":       *correlate,
+		"granularity":     *granularity,
+		"policy":          *policy,
+		"epoch":           *epochFlag,
+	})
+
+	srv, err := obs.StartDebugServer(ctx, *debugAddr)
+	if err != nil {
+		fatal(err)
+	}
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		if stopCPU, err = obs.StartCPUProfile(*cpuProfile); err != nil {
+			fatal(err)
+		}
+	}
+	stopTrace := func() error { return nil }
+	if *traceOut != "" {
+		if stopTrace, err = obs.StartTrace(*traceOut); err != nil {
+			fatal(err)
+		}
+	}
+	var finishOnce sync.Once
+	finish = func() {
+		finishOnce.Do(func() {
+			if err := stopCPU(); err != nil {
+				obs.Logger().Error("cpu profile", "err", err)
+			}
+			if err := stopTrace(); err != nil {
+				obs.Logger().Error("execution trace", "err", err)
+			}
+			if *memProfile != "" {
+				if err := obs.WriteHeapProfile(*memProfile); err != nil {
+					obs.Logger().Error("heap profile", "err", err)
+				}
+			}
+			srv.Close()
+			if *manifestPath != "none" {
+				m := manifest.Build(obs.Enabled())
+				if err := m.Write(*manifestPath); err != nil {
+					obs.Logger().Error("manifest write", "err", err)
+				} else {
+					obs.Logger().Info("manifest written", "path", *manifestPath,
+						"wall_ns", m.Meta.WallNS, "cpu_ns", m.Meta.CPUNS)
+				}
+			}
+		})
+	}
+	defer finish()
 
 	start := time.Now()
-	fmt.Printf("profiling %d programs (units=%d, blocks/unit=%d, trace=%d)...\n",
+	obs.Progressf("profiling %d programs (units=%d, blocks/unit=%d, trace=%d)...\n",
 		len(workload.Specs()), cfg.Units, cfg.BlocksPerUnit, cfg.TraceLen)
+	profileSpan := obs.Enabled().StartSpan(ctx, "profile")
 	progs, err := workload.ProfileAll(ctx, workload.Specs(), cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("profiled in %v\n", time.Since(start).Round(time.Millisecond))
+	profileSpan.End()
+	obs.Progressf("profiled in %v\n", time.Since(start).Round(time.Millisecond))
 
 	opts := experiment.RunOpts{
 		Workers:         *workers,
 		FailFast:        *failFast,
 		CheckpointPath:  ckptPath,
 		CheckpointEvery: *checkpointEvery,
+		OnProgress:      sweepProgress(),
 	}
 	if *resume {
 		ck, err := experiment.ReadCheckpoint(ckptPath)
 		switch {
 		case errors.Is(err, os.ErrNotExist):
-			fmt.Printf("no checkpoint at %s; starting from scratch\n", ckptPath)
+			obs.Progressf("no checkpoint at %s; starting from scratch\n", ckptPath)
 		case err != nil:
 			fatal(err)
 		default:
-			fmt.Printf("resuming: %d groups already completed in %s\n", len(ck.Groups), ckptPath)
+			obs.Progressf("resuming: %d groups already completed in %s\n", len(ck.Groups), ckptPath)
 			opts.Resume = ck
 		}
 	}
 
 	start = time.Now()
+	sweepSpan := obs.Enabled().StartSpan(ctx, "sweep")
 	res, err := experiment.Run(ctx, progs, *groupSize, cfg.Units, cfg.BlocksPerUnit, opts)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
+			obs.Logger().Warn("interrupted; checkpoint saved", "path", ckptPath)
 			fmt.Fprintf(os.Stderr, "experiments: interrupted; checkpoint saved to %s (rerun with -resume)\n", ckptPath)
+			finish()
 			os.Exit(130)
 		}
 		fatal(err)
 	}
+	sweepSpan.End()
 	// The sweep finished; the checkpoint has served its purpose.
 	if err := os.Remove(ckptPath); err != nil && !errors.Is(err, os.ErrNotExist) {
-		fmt.Fprintf(os.Stderr, "experiments: warning: cannot remove checkpoint: %v\n", err)
+		obs.Logger().Warn("cannot remove checkpoint", "path", ckptPath, "err", err)
 	}
-	fmt.Printf("evaluated %d co-run groups x 6 schemes in %v (%.1f ms/group)\n\n",
+	obs.Progressf("evaluated %d co-run groups x 6 schemes in %v (%.1f ms/group)\n\n",
 		len(res.Groups), time.Since(start).Round(time.Millisecond),
 		float64(time.Since(start).Milliseconds())/float64(len(res.Groups)))
 
+	reportsSpan := obs.Enabled().StartSpan(ctx, "reports")
+
 	// ---- Table I ----
 	rows := experiment.TableI(res)
-	fmt.Println("Table I: improvement of group performance by Optimal")
-	fmt.Print(experiment.FormatTableI(rows))
+	obs.Progressln("Table I: improvement of group performance by Optimal")
+	obs.Progressf("%s", experiment.FormatTableI(rows))
 	tableSeries := []textplot.Series{}
 	for _, r := range rows {
 		tableSeries = append(tableSeries, textplot.Series{
@@ -138,7 +239,7 @@ func main() {
 		fig6 = append(fig6, textplot.Series{Name: s.String(), Values: g6[s]})
 	}
 	writeCSV(*outDir, "fig6.csv", fig6)
-	fmt.Println(textplot.Chart{
+	obs.Progressln(textplot.Chart{
 		Title:  "Figure 6: group miss ratio of the five partitioning methods (sorted by Optimal)",
 		Series: fig6,
 	}.Render())
@@ -150,7 +251,7 @@ func main() {
 		{Name: "Optimal", Values: g7[experiment.Optimal]},
 	}
 	writeCSV(*outDir, "fig7.csv", fig7)
-	fmt.Println(textplot.Chart{
+	obs.Progressln(textplot.Chart{
 		Title:  "Figure 7: group miss ratio of Optimal and STTW (sorted by Optimal)",
 		Series: fig7,
 	}.Render())
@@ -158,8 +259,8 @@ func main() {
 	// ---- Figure 5: per-program miss ratios ----
 	fig5Schemes := []experiment.Scheme{experiment.Natural, experiment.Equal,
 		experiment.NaturalBaseline, experiment.EqualBaseline, experiment.Optimal}
-	fmt.Println("Figure 5: per-program miss ratio across co-run groups")
-	fmt.Printf("%-10s %9s %9s %9s %9s %9s   %s\n",
+	obs.Progressln("Figure 5: per-program miss ratio across co-run groups")
+	obs.Progressf("%-10s %9s %9s %9s %9s %9s   %s\n",
 		"program", "equal", "nat(avg)", "natbase", "eqbase", "opt(avg)", "gain/tie/loss vs equal")
 	for i, p := range res.Programs {
 		series := experiment.ProgramSeries(res, i, fig5Schemes)
@@ -169,7 +270,7 @@ func main() {
 		}
 		writeCSV(*outDir, fmt.Sprintf("fig5_%s.csv", p.Name), out)
 		gain, tie, loss := experiment.GainLoss(res, i, 0.02)
-		fmt.Printf("%-10s %9.5f %9.5f %9.5f %9.5f %9.5f   %d/%d/%d\n",
+		obs.Progressf("%-10s %9.5f %9.5f %9.5f %9.5f %9.5f   %d/%d/%d\n",
 			p.Name,
 			series[experiment.Equal][0],
 			mean(series[experiment.Natural]),
@@ -180,28 +281,64 @@ func main() {
 	}
 
 	// ---- Unfairness of Optimal (§VII-B) ----
-	fmt.Println("\nUnfairness of Optimal (groups where Optimal makes the program worse):")
-	fmt.Printf("%-10s %18s %18s\n", "program", "vs Natural", "vs Equal")
+	obs.Progressln("\nUnfairness of Optimal (groups where Optimal makes the program worse):")
+	obs.Progressf("%-10s %18s %18s\n", "program", "vs Natural", "vs Equal")
 	for i, p := range res.Programs {
 		wn, tn := experiment.UnfairnessCount(res, i, experiment.Natural)
 		we, te := experiment.UnfairnessCount(res, i, experiment.Equal)
-		fmt.Printf("%-10s %11d/%d %11d/%d\n", p.Name, wn, tn, we, te)
+		obs.Progressf("%-10s %11d/%d %11d/%d\n", p.Name, wn, tn, we, te)
 	}
+	reportsSpan.End()
 
 	if *validate {
+		span := obs.Enabled().StartSpan(ctx, "validate")
 		runValidation(ctx, cfg, *outDir)
+		span.End()
 	}
 	if *correlate {
+		span := obs.Enabled().StartSpan(ctx, "correlate")
 		runCorrelation(ctx, cfg, *outDir)
+		span.End()
 	}
 	if *granularity {
+		span := obs.Enabled().StartSpan(ctx, "granularity")
 		runGranularity(res.Programs, cfg)
+		span.End()
 	}
 	if *policy {
+		span := obs.Enabled().StartSpan(ctx, "policy")
 		runPolicy(ctx, cfg)
+		span.End()
 	}
 	if *epochFlag {
+		span := obs.Enabled().StartSpan(ctx, "epoch")
 		runEpochStudy(ctx, cfg)
+		span.End()
+	}
+}
+
+// sweepProgress returns the Run OnProgress callback: it reports sweep
+// completion through the serialized progress reporter once per 10% step,
+// so concurrent workers produce a handful of whole lines rather than
+// thousands of interleaved fragments.
+func sweepProgress() func(processed, total int) {
+	var lastDecile atomic.Int64
+	lastDecile.Store(-1)
+	return func(processed, total int) {
+		if total == 0 {
+			return
+		}
+		decile := int64(processed * 10 / total)
+		for {
+			last := lastDecile.Load()
+			if decile <= last {
+				return
+			}
+			if lastDecile.CompareAndSwap(last, decile) {
+				obs.Progressf("sweep: %d/%d groups (%d%%)\n", processed, total, decile*10)
+				return
+			}
+		}
 	}
 }
 
@@ -219,10 +356,10 @@ func runEpochStudy(ctx context.Context, cfg workload.Config) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nDynamic vs static repartitioning on the phased suite (§VIII caveat):\n")
-	fmt.Printf("%-40s %12s %12s %9s\n", "group", "static MR", "dynamic MR", "gain")
+	obs.Progressf("\nDynamic vs static repartitioning on the phased suite (§VIII caveat):\n")
+	obs.Progressf("%-40s %12s %12s %9s\n", "group", "static MR", "dynamic MR", "gain")
 	for _, r := range rows {
-		fmt.Printf("%-40s %12.5f %12.5f %8.1f%%\n",
+		obs.Progressf("%-40s %12.5f %12.5f %8.1f%%\n",
 			fmt.Sprint(r.Members), r.StaticMR, r.DynamicMR, 100*r.Gain())
 	}
 }
@@ -248,9 +385,9 @@ func runCorrelation(ctx context.Context, cfg workload.Config, outDir string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nLocality-performance correlation (§VIII): %d groups simulated in %v\n",
+	obs.Progressf("\nLocality-performance correlation (§VIII): %d groups simulated in %v\n",
 		len(sample), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("Pearson r(predicted miss ratio, simulated time) = %.3f (paper: 0.938)\n", res.Pearson)
+	obs.Progressf("Pearson r(predicted miss ratio, simulated time) = %.3f (paper: 0.938)\n", res.Pearson)
 	writeCSV(outDir, "correlation.csv", []textplot.Series{
 		{Name: "predicted_mr", Values: res.Predicted},
 		{Name: "simulated_time", Values: res.SimulatedTime},
@@ -272,10 +409,10 @@ func runGranularity(progs []workload.Program, cfg workload.Config) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nGranularity ablation (§VII-A), %d sampled groups:\n", len(sample))
-	fmt.Printf("%8s %14s %14s %14s\n", "units", "blocks/unit", "mean groupMR", "DP time")
+	obs.Progressf("\nGranularity ablation (§VII-A), %d sampled groups:\n", len(sample))
+	obs.Progressf("%8s %14s %14s %14s\n", "units", "blocks/unit", "mean groupMR", "DP time")
 	for _, p := range pts {
-		fmt.Printf("%8d %14d %14.5f %14v\n", p.Units, p.BlocksPerUnit, p.MeanGroupMR, p.MeanSolveTime.Round(time.Microsecond))
+		obs.Progressf("%8d %14d %14.5f %14v\n", p.Units, p.BlocksPerUnit, p.MeanGroupMR, p.MeanSolveTime.Round(time.Microsecond))
 	}
 }
 
@@ -291,10 +428,10 @@ func runPolicy(ctx context.Context, cfg workload.Config) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nReplacement-policy study (§VIII): simulated miss ratios vs the HOTL (LRU) model\n")
-	fmt.Printf("%-10s %10s %9s %9s %9s %9s\n", "program", "capacity", "LRU", "CLOCK", "random", "HOTL")
+	obs.Progressf("\nReplacement-policy study (§VIII): simulated miss ratios vs the HOTL (LRU) model\n")
+	obs.Progressf("%-10s %10s %9s %9s %9s %9s\n", "program", "capacity", "LRU", "CLOCK", "random", "HOTL")
 	for _, r := range rows {
-		fmt.Printf("%-10s %10d %9.5f %9.5f %9.5f %9.5f\n", r.Program, r.Capacity, r.LRU, r.Clock, r.Random, r.HOTL)
+		obs.Progressf("%-10s %10d %9.5f %9.5f %9.5f %9.5f\n", r.Program, r.Capacity, r.LRU, r.Clock, r.Random, r.HOTL)
 	}
 }
 
@@ -321,6 +458,7 @@ func writeCSV(dir, name string, series []textplot.Series) {
 }
 
 func fatal(err error) {
+	finish()
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "experiments: interrupted")
 		os.Exit(130)

@@ -2,10 +2,10 @@ package main
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"partitionshare/internal/experiment"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/textplot"
 	"partitionshare/internal/workload"
 )
@@ -25,14 +25,14 @@ func runValidation(ctx context.Context, cfg workload.Config, outDir string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\nValidation (§VII-C): HOTL prediction vs shared-LRU simulation, %d pairs\n", nPairs)
+	obs.Progressf("\nValidation (§VII-C): HOTL prediction vs shared-LRU simulation, %d pairs\n", nPairs)
 	start := time.Now()
 	vs, err := experiment.ValidatePairs(ctx, specs, vcfg)
 	if err != nil {
 		fatal(err)
 	}
 	sum := experiment.SummarizeValidation(vs, 0.01)
-	fmt.Printf("predicted %d miss ratios in %v: mean |err| = %.4f, max |err| = %.4f, %.1f%% within 0.01\n",
+	obs.Progressf("predicted %d miss ratios in %v: mean |err| = %.4f, max |err| = %.4f, %.1f%% within 0.01\n",
 		sum.N, time.Since(start).Round(time.Millisecond),
 		sum.MeanAbsErr, sum.MaxAbsErr, 100*sum.WithinTol)
 

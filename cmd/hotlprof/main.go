@@ -9,6 +9,11 @@
 // stdin) or a named synthetic workload (-workload, see internal/
 // workload). Output (-out) is the ASCII profile format of
 // internal/profileio. With -mrc set, the miss-ratio curve is also printed.
+//
+// Observability mirrors cmd/experiments: -manifest records the run
+// (config, stage timings, reuse-scan counters), -debug-addr serves live
+// expvar metrics and pprof, -cpuprofile/-memprofile/-trace capture
+// profiles, -log-level/-log-json shape the stderr diagnostic log.
 package main
 
 import (
@@ -18,14 +23,20 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 
 	"partitionshare/internal/footprint"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/profileio"
 	"partitionshare/internal/reuse"
 	"partitionshare/internal/trace"
 	"partitionshare/internal/workload"
 )
+
+// finish runs the shutdown sequence (profiles, manifest, debug server)
+// exactly once; fatal routes through it.
+var finish = func() {}
 
 func main() {
 	in := flag.String("in", "", "trace file: one decimal datum ID per line (\"-\" = stdin)")
@@ -38,15 +49,75 @@ func main() {
 	blocksPerUnit := flag.Int64("blocksperunit", 4, "blocks per unit for -mrc")
 	small := flag.Bool("small", false, "use the reduced test geometry for -workload")
 	workers := flag.Int("workers", 0, "profiling shards: 0 = all CPUs, 1 = serial scan")
+	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics and pprof on this address")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
+	manifestPath := flag.String("manifest", "", "run-manifest path (empty disables)")
+	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "emit the diagnostic log as JSON instead of text")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	obs.InitLogging(os.Stderr, level, *logJSON)
+	obs.Enable(obs.NewRegistry())
 
 	// SIGINT/SIGTERM cancel the profiling scan; the shards drain and the
 	// process exits without writing a partial profile.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	manifest := obs.NewManifest("hotlprof", map[string]any{
+		"in":       *in,
+		"workload": *wl,
+		"small":    *small,
+		"workers":  *workers,
+	})
+	srv, err := obs.StartDebugServer(ctx, *debugAddr)
+	if err != nil {
+		fatal(err)
+	}
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		if stopCPU, err = obs.StartCPUProfile(*cpuProfile); err != nil {
+			fatal(err)
+		}
+	}
+	stopTrace := func() error { return nil }
+	if *traceOut != "" {
+		if stopTrace, err = obs.StartTrace(*traceOut); err != nil {
+			fatal(err)
+		}
+	}
+	var finishOnce sync.Once
+	finish = func() {
+		finishOnce.Do(func() {
+			if err := stopCPU(); err != nil {
+				obs.Logger().Error("cpu profile", "err", err)
+			}
+			if err := stopTrace(); err != nil {
+				obs.Logger().Error("execution trace", "err", err)
+			}
+			if *memProfile != "" {
+				if err := obs.WriteHeapProfile(*memProfile); err != nil {
+					obs.Logger().Error("heap profile", "err", err)
+				}
+			}
+			srv.Close()
+			if *manifestPath != "" {
+				if err := manifest.Build(obs.Enabled()).Write(*manifestPath); err != nil {
+					obs.Logger().Error("manifest write", "err", err)
+				}
+			}
+		})
+	}
+	defer finish()
+
+	readSpan := obs.Enabled().StartSpan(ctx, "read")
 	var tr trace.Trace
-	var err error
 	switch {
 	case *in != "" && *wl != "":
 		fatal(fmt.Errorf("use either -in or -workload, not both"))
@@ -92,11 +163,16 @@ func main() {
 	default:
 		fatal(fmt.Errorf("need -in FILE or -workload NAME"))
 	}
+	readSpan.End()
 
+	collectSpan := obs.Enabled().StartSpan(ctx, "collect")
 	rp, err := reuse.CollectParallel(ctx, tr, *workers)
 	if err != nil {
 		fatal(err)
 	}
+	collectSpan.End()
+
+	writeSpan := obs.Enabled().StartSpan(ctx, "write")
 	prof := profileio.Profile{Name: *name, Rate: *rate, Reuse: rp}
 	path := *out
 	if path == "" {
@@ -105,14 +181,19 @@ func main() {
 	if err := profileio.WriteFile(path, prof); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("profiled %d accesses, %d distinct blocks -> %s\n",
+	writeSpan.End()
+	if reg := obs.Enabled(); reg != nil {
+		reg.Counter("hotlprof_trace_accesses_total").Add(prof.Reuse.N)
+		reg.Counter("hotlprof_distinct_blocks_total").Add(prof.Reuse.M)
+	}
+	obs.Progressf("profiled %d accesses, %d distinct blocks -> %s\n",
 		prof.Reuse.N, prof.Reuse.M, path)
 
 	if *mrcFlag {
 		fp := footprint.New(prof.Reuse)
-		fmt.Printf("units miss_ratio\n")
+		obs.Progressf("units miss_ratio\n")
 		for u := 0; u <= *units; u += max(1, *units/64) {
-			fmt.Printf("%5d %.6f\n", u, fp.MissRatio(float64(int64(u)**blocksPerUnit)))
+			obs.Progressf("%5d %.6f\n", u, fp.MissRatio(float64(int64(u)**blocksPerUnit)))
 		}
 	}
 }
@@ -127,6 +208,7 @@ func findSpec(name string) (workload.Spec, bool) {
 }
 
 func fatal(err error) {
+	finish()
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "hotlprof: interrupted")
 		os.Exit(130)

@@ -8,7 +8,10 @@
 //
 // Exempt: the internal/atomicio package itself (it is the one place the
 // raw primitives are allowed), _test.go files (scratch fixtures are not
-// durable artifacts), os.CreateTemp (scratch by construction), and
+// durable artifacts), os.CreateTemp (scratch by construction — this is
+// also what admits internal/obs's streamed profile writer, which streams
+// CPU profiles and execution traces into a CreateTemp scratch file and
+// publishes it with the same sync+rename protocol atomicio uses), and
 // read-only os.OpenFile calls.
 package atomicwrite
 

@@ -8,5 +8,5 @@ import (
 )
 
 func TestAtomicWrite(t *testing.T) {
-	analysistest.Run(t, atomicwrite.Analyzer, "a", "internal/atomicio")
+	analysistest.Run(t, atomicwrite.Analyzer, "a", "internal/atomicio", "internal/obs")
 }

@@ -39,3 +39,15 @@ func readOnly(path string) ([]byte, error) {
 func scratch(dir string) (*os.File, error) {
 	return os.CreateTemp(dir, "scratch-*") // ok: scratch by construction
 }
+
+// writeManifest mimics a command dumping its run manifest / metrics
+// snapshot with a direct write instead of going through the obs layer
+// (which routes through internal/atomicio): flagged like any other
+// durable artifact.
+func writeManifest(path string, manifestJSON []byte) error {
+	return os.WriteFile(path, manifestJSON, 0o644) // want `internal/atomicio`
+}
+
+func writeMetricsSnapshot(path string) (*os.File, error) {
+	return os.Create(path) // want `os\.Create writes a durable artifact non-atomically`
+}

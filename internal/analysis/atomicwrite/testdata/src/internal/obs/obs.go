@@ -1,0 +1,44 @@
+// Fixture: the observability layer's streamed profile writer. CPU
+// profiles and execution traces are written incrementally over a whole
+// run, so they cannot use atomicio's one-shot callback; instead the
+// writer streams into an os.CreateTemp scratch file and commits it with
+// the same sync+rename protocol atomicio uses. Nothing here may be
+// flagged: os.CreateTemp is scratch by construction, and the rename
+// publishes only a fully synced file.
+package obs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+type streamedFile struct {
+	tmp  *os.File
+	path string
+}
+
+func newStreamedFile(path string) (*streamedFile, error) {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*") // ok: scratch by construction
+	if err != nil {
+		return nil, err
+	}
+	return &streamedFile{tmp: tmp, path: path}, nil
+}
+
+func (f *streamedFile) commit() error {
+	if err := f.tmp.Sync(); err != nil {
+		f.abort()
+		return err
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
+		return err
+	}
+	return os.Rename(f.tmp.Name(), f.path)
+}
+
+func (f *streamedFile) abort() {
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
+}

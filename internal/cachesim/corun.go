@@ -4,8 +4,26 @@ import (
 	"fmt"
 	"sort"
 
+	"partitionshare/internal/obs"
 	"partitionshare/internal/trace"
 )
+
+// countSim batches one simulation's volume into the registry: a single
+// pair of atomic adds per simulated trace, never per access.
+func countSim(accesses, misses int64) {
+	if reg := obs.Enabled(); reg != nil {
+		reg.Counter("cachesim_accesses_total").Add(accesses)
+		reg.Counter("cachesim_misses_total").Add(misses)
+	}
+}
+
+func sumCounts(accesses, misses []int64) (a, m int64) {
+	for p := range accesses {
+		a += accesses[p]
+		m += misses[p]
+	}
+	return a, m
+}
 
 // CoRunResult reports a shared-cache co-run simulation.
 type CoRunResult struct {
@@ -85,6 +103,7 @@ func SimulateShared(iv trace.Interleaved, capacity, warmup int) CoRunResult {
 			res.MeanOccupancy[q] = float64(occSum[q]) / float64(samples)
 		}
 	}
+	countSim(sumCounts(res.Accesses, res.Misses))
 	return res
 }
 
@@ -151,6 +170,7 @@ func SimulatePartitioned(traces []trace.Trace, capacities []int) PartitionResult
 		res.Accesses[p] = int64(len(tr))
 		res.Misses[p] = cache.Run(tr)
 	}
+	countSim(sumCounts(res.Accesses, res.Misses))
 	return res
 }
 
@@ -202,5 +222,6 @@ func SimulatePartitionShared(iv trace.Interleaved, groups [][]int, capacities []
 			res.Misses[p]++
 		}
 	}
+	countSim(sumCounts(res.Accesses, res.Misses))
 	return res
 }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"partitionshare/internal/atomicio"
+	"partitionshare/internal/obs"
 )
 
 // CheckpointVersion is the current checkpoint format version. Readers
@@ -101,6 +102,8 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	if err := c.validate(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	obs.Enabled().Counter("experiment_checkpoint_loads_total").Inc()
+	obs.Logger().Debug("checkpoint loaded", "path", path, "groups", len(c.Groups))
 	return &c, nil
 }
 
@@ -218,5 +221,10 @@ func (c *checkpointer) flush() error {
 			snap.Groups = append(snap.Groups, c.res.Groups[g])
 		}
 	}
-	return WriteCheckpoint(c.path, snap)
+	if err := WriteCheckpoint(c.path, snap); err != nil {
+		return err
+	}
+	obs.Enabled().Counter("experiment_checkpoint_flushes_total").Inc()
+	obs.Logger().Debug("checkpoint flushed", "path", c.path, "groups", len(snap.Groups))
+	return nil
 }

@@ -13,9 +13,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"partitionshare/internal/compose"
 	"partitionshare/internal/mrc"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/partition"
 	"partitionshare/internal/workload"
 )
@@ -279,6 +282,13 @@ type RunOpts struct {
 	// checkpoint, reusing their recorded results. The checkpoint's
 	// geometry must match the run's (ErrCheckpointMismatch otherwise).
 	Resume *Checkpoint
+	// OnProgress, when non-nil, is called after every processed group
+	// (completed or failed, plus once up front covering any resumed
+	// groups) with the running processed count and the total. Calls come
+	// from worker goroutines concurrently, so the callback must be safe
+	// for concurrent use — routing it into obs.Progressf (one serialized
+	// reporter) is the intended wiring.
+	OnProgress func(processed, total int)
 }
 
 // evaluateGroupSafe runs evaluateGroup with panics recovered into errors,
@@ -359,6 +369,24 @@ func Run(ctx context.Context, progs []workload.Program, groupSize, units int, bl
 		}
 	}
 
+	// Metric handles are resolved once per run; with the registry
+	// disabled every handle is nil and each use below is a nil check.
+	reg := obs.Enabled()
+	completedCtr := reg.Counter("experiment_groups_completed_total")
+	failedCtr := reg.Counter("experiment_groups_failed_total")
+	groupHist := reg.Histogram("experiment_group_ns", obs.DurationBuckets())
+	resumed := len(groups) - len(pending)
+	reg.Counter("experiment_groups_resumed_total").Add(int64(resumed))
+	reg.Gauge("experiment_groups_total").Set(int64(len(groups)))
+
+	// processed counts resumed + completed + failed groups; workers
+	// publish it through OnProgress after every group.
+	var processed atomic.Int64
+	processed.Store(int64(resumed))
+	if opts.OnProgress != nil && resumed > 0 {
+		opts.OnProgress(resumed, len(groups))
+	}
+
 	costTab := CostTable(progs, units)
 
 	// The checkpointer owns the done set ordering: workers report
@@ -401,16 +429,31 @@ func Run(ctx context.Context, progs []workload.Program, groupSize, units int, bl
 				if runCtx.Err() != nil {
 					return
 				}
+				var start time.Time
+				if reg != nil {
+					start = time.Now()
+				}
 				gr, err := evaluateGroupSafe(progs, groups[g], units, blocksPerUnit, costTab)
+				if reg != nil {
+					groupHist.Observe(time.Since(start).Nanoseconds())
+				}
 				if err != nil {
+					failedCtr.Inc()
+					if opts.OnProgress != nil {
+						opts.OnProgress(int(processed.Add(1)), len(groups))
+					}
 					errs[g] = &GroupError{Members: append([]int(nil), groups[g]...), Cause: err}
 					if opts.FailFast {
 						cancel()
 					}
 					continue
 				}
+				completedCtr.Inc()
 				res.Groups[g] = gr
 				ckpt.completed(g)
+				if opts.OnProgress != nil {
+					opts.OnProgress(int(processed.Add(1)), len(groups))
+				}
 			}
 		}()
 	}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// lockedBuffer lets the test read what concurrent reporters wrote
+// without racing the writes themselves.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// Concurrent Printf calls must never interleave mid-line — the whole
+// point of routing progress through one serialized reporter. Each
+// goroutine writes distinctive full lines; every output line must be
+// exactly one of them.
+func TestReporterNoInterleaving(t *testing.T) {
+	var buf lockedBuffer
+	r := NewReporter(&buf)
+	const goroutines = 8
+	const lines = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				r.Printf("worker=%d line=%d tail=%s\n", g, i, strings.Repeat("x", 40))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	out := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(out) != goroutines*lines {
+		t.Fatalf("got %d lines, want %d", len(out), goroutines*lines)
+	}
+	for _, line := range out {
+		var g, i int
+		var tail string
+		if _, err := fmt.Sscanf(line, "worker=%d line=%d tail=%s", &g, &i, &tail); err != nil ||
+			tail != strings.Repeat("x", 40) {
+			t.Fatalf("interleaved or corrupt line: %q", line)
+		}
+	}
+}
+
+// The process-wide progress writer is swappable and serialized.
+func TestProgressfRedirect(t *testing.T) {
+	var buf lockedBuffer
+	SetProgressWriter(&buf)
+	defer SetProgressWriter(io.Discard)
+	Progressf("completed %d/%d groups\n", 3, 10)
+	Progressln("done")
+	got := buf.String()
+	if got != "completed 3/10 groups\ndone\n" {
+		t.Errorf("progress output = %q", got)
+	}
+}
+
+// The slog handler is process-wide and swappable; the level gate is
+// shared so SetLogLevel applies without rebuilding handlers.
+func TestLoggerSwapAndLevel(t *testing.T) {
+	var buf lockedBuffer
+	InitLogging(&buf, slog.LevelInfo, false)
+	defer SetLogger(nil)
+
+	Logger().Debug("hidden")
+	Logger().Info("shown", "k", 1)
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Errorf("level gating broken: %q", out)
+	}
+
+	SetLogLevel(slog.LevelDebug)
+	Logger().Debug("now visible")
+	if out := buf.String(); !strings.Contains(out, "now visible") {
+		t.Errorf("SetLogLevel did not open the debug gate: %q", out)
+	}
+
+	var jbuf lockedBuffer
+	InitLogging(&jbuf, slog.LevelInfo, true)
+	Logger().Info("json line", "key", "value")
+	if out := jbuf.String(); !strings.Contains(out, `"msg":"json line"`) {
+		t.Errorf("JSON handler output = %q", out)
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted garbage")
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the single expvar registration. expvar's namespace
+// is process-global and double-Publish panics, so the registry is
+// published exactly once as a Func that reads whatever registry is
+// enabled at serve time — tests can start and stop debug servers freely.
+var publishOnce sync.Once
+
+func publishRegistry() {
+	publishOnce.Do(func() {
+		expvar.Publish("partitionshare", expvar.Func(func() any {
+			return Enabled().Snapshot()
+		}))
+	})
+}
+
+// A DebugServer is the optional -debug-addr HTTP listener: it serves
+// the standard expvar page (/debug/vars, including the live registry
+// snapshot under the "partitionshare" key, plus cmdline and memstats),
+// a bare registry snapshot at /metrics, and the full net/http/pprof
+// suite under /debug/pprof/. Close is idempotent and waits for the
+// serve goroutine to exit, so tests can assert no goroutine leaks.
+type DebugServer struct {
+	srv    *http.Server
+	lis    net.Listener
+	done   chan struct{} // closed when the serve goroutine returns
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+// StartDebugServer listens on addr (e.g. "localhost:6060"; ":0" picks a
+// free port) and serves expvar, /metrics, and pprof until Close is
+// called or ctx is cancelled. The returned server's Addr reports the
+// bound address. An empty addr — the unset flag — returns (nil, nil),
+// and every method on a nil *DebugServer is a no-op, so callers pass
+// their -debug-addr value through unconditionally. Mounting pprof here,
+// on a private mux, keeps the profiling endpoints off
+// http.DefaultServeMux.
+func StartDebugServer(ctx context.Context, addr string) (*DebugServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	publishRegistry()
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Enabled().Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	watchCtx, cancel := context.WithCancel(ctx)
+	ds := &DebugServer{
+		srv:    &http.Server{Handler: mux},
+		lis:    lis,
+		done:   make(chan struct{}),
+		cancel: cancel,
+	}
+	go func() {
+		defer close(ds.done)
+		// Serve returns http.ErrServerClosed on Shutdown/Close; any other
+		// error means the listener died underneath us — log and carry on,
+		// the debug server is never load-bearing.
+		if err := ds.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			Logger().Warn("debug server stopped", "addr", lis.Addr().String(), "err", err)
+		}
+	}()
+	go func() {
+		<-watchCtx.Done()
+		ds.shutdown()
+	}()
+	Logger().Info("debug server listening",
+		"addr", lis.Addr().String(),
+		"endpoints", "/debug/vars /metrics /debug/pprof/")
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ds *DebugServer) Addr() string {
+	if ds == nil {
+		return ""
+	}
+	return ds.lis.Addr().String()
+}
+
+func (ds *DebugServer) shutdown() {
+	ds.once.Do(func() {
+		// Bounded graceful shutdown: in-flight scrapes get a moment to
+		// finish, then the server closes hard.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := ds.srv.Shutdown(ctx); err != nil {
+			ds.srv.Close()
+		}
+	})
+}
+
+// Close stops the server and waits for its goroutines to exit. Safe to
+// call multiple times and on a nil receiver.
+func (ds *DebugServer) Close() error {
+	if ds == nil {
+		return nil
+	}
+	ds.cancel()
+	ds.shutdown()
+	<-ds.done
+	return nil
+}

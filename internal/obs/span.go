@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	rtrace "runtime/trace"
+	"time"
+)
+
+// A SpanRecord is one completed pipeline stage: its name, wall-clock
+// duration, and the process CPU time (user+system, all threads) that
+// elapsed while it ran. CPU time is a process-wide delta — concurrent
+// stages each see the whole process's burn — which is exactly the
+// number the manifest wants: how much CPU the run spent while this
+// stage was the active phase.
+type SpanRecord struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	CPUNS  int64  `json:"cpu_ns"`
+}
+
+// A Span is an in-flight stage measurement. End records it into the
+// registry that created it. A nil Span (from a nil registry) is a
+// no-op, so instrumented code never guards span creation.
+type Span struct {
+	reg       *Registry
+	name      string
+	startWall time.Time
+	startCPU  time.Duration
+	region    *rtrace.Region
+}
+
+// StartSpan begins a named stage: it opens a runtime/trace region (free
+// unless `go tool trace` capture is on), snapshots wall and process-CPU
+// clocks, and returns the span to End. ctx associates the trace region
+// with any enclosing trace task; nil is allowed.
+func (r *Registry) StartSpan(ctx context.Context, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Span{
+		reg:       r,
+		name:      name,
+		startWall: time.Now(),
+		startCPU:  processCPUTime(),
+		region:    rtrace.StartRegion(ctx, name),
+	}
+}
+
+// End closes the span, appends its record to the registry, and logs the
+// stage timing at debug level.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name:   s.name,
+		WallNS: time.Since(s.startWall).Nanoseconds(),
+		CPUNS:  (processCPUTime() - s.startCPU).Nanoseconds(),
+	}
+	s.region.End()
+	s.reg.spanMu.Lock()
+	s.reg.spans = append(s.reg.spans, rec)
+	s.reg.spanMu.Unlock()
+	Logger().LogAttrs(context.Background(), slog.LevelDebug, "stage done",
+		slog.String("stage", s.name),
+		slog.Duration("wall", time.Duration(rec.WallNS)),
+		slog.Duration("cpu", time.Duration(rec.CPUNS)))
+}

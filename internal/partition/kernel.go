@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"sync"
+
+	"partitionshare/internal/obs"
 )
 
 // This file holds the single DP kernel shared by Optimize, OptimizeParallel,
@@ -291,6 +293,14 @@ func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 		if prevHi += hi; prevHi > C {
 			prevHi = C
 		}
+	}
+
+	// One batched observation per solve: with the registry disabled this
+	// is a single nil check, and even enabled it is two atomic adds for
+	// the whole O(P·C²) solve — the sweep's hot path stays untouched.
+	if reg := obs.Enabled(); reg != nil {
+		reg.Counter("partition_solves_total").Inc()
+		reg.Counter("partition_dp_cells_total").Add(int64(n) * int64(C+1))
 	}
 
 	if dp[C] == inf {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"partitionshare/internal/obs"
 )
 
 // OptimizeParallel computes the same optimum as Optimize but parallelizes
@@ -62,18 +64,27 @@ func newDPPool(workers, C int) *dpPool {
 }
 
 // helper processes chunk i+1 (the coordinator keeps chunk 0) each time it
-// is released, until its start channel is closed.
+// is released, until its start channel is closed. Per-worker tallies are
+// kept in locals and flushed to the registry once at worker exit, so
+// instrumentation adds zero synchronization to the layer barrier.
 func (p *dpPool) helper(i int) {
 	tLo := (i + 1) * p.chunk
 	tHi := tLo + p.chunk - 1
 	if tHi > p.cells-1 {
 		tHi = p.cells - 1
 	}
+	var layers, cells int64
 	for range p.start[i] {
 		if tLo <= tHi {
 			runLayerRange(p.spec, tLo, tHi)
+			layers++
+			cells += int64(tHi - tLo + 1)
 		}
 		p.wg.Done()
+	}
+	if reg := obs.Enabled(); reg != nil && layers > 0 {
+		reg.Counter("partition_pool_worker_layers_total").Add(layers)
+		reg.Counter("partition_pool_worker_cells_total").Add(cells)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"partitionshare/internal/obs"
 	"partitionshare/internal/trace"
 )
 
@@ -108,6 +109,11 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 				}
 			}
 			shards[s] = sp
+			// Per-worker tally: one batched add per completed shard, so
+			// the scan loop itself carries no instrumentation cost.
+			if reg := obs.Enabled(); reg != nil {
+				reg.Counter("reuse_worker_accesses_total").Add(int64(end - start))
+			}
 		}(s, start, end)
 	}
 	wg.Wait()
@@ -128,6 +134,7 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 	reuseHist := make([]int32, n+1)
 	firstHist := make([]int32, n+1)
 	m := 0
+	boundary := int64(0)
 	for _, sp := range shards {
 		for v, c := range sp.reuse {
 			if c != 0 {
@@ -137,11 +144,17 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 		sp.first.each(func(d uint32, f int32) {
 			if prev := global.set(d, sp.last.get(d)); prev != 0 {
 				reuseHist[f-prev]++
+				boundary++
 			} else {
 				firstHist[f]++
 				m++
 			}
 		})
+	}
+	if reg := obs.Enabled(); reg != nil {
+		reg.Counter("reuse_parallel_collects_total").Inc()
+		reg.Counter("reuse_shards_total").Add(int64(workers))
+		reg.Counter("reuse_boundary_reuses_total").Add(boundary)
 	}
 	lastHist := make([]int32, n+1)
 	global.each(func(_ uint32, p int32) {

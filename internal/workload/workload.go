@@ -26,6 +26,7 @@ import (
 
 	"partitionshare/internal/footprint"
 	"partitionshare/internal/mrc"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/trace"
 )
 
@@ -282,6 +283,10 @@ func ProfileAll(ctx context.Context, specs []Spec, cfg Config) ([]Program, error
 		if err != nil {
 			return nil, err
 		}
+	}
+	if reg := obs.Enabled(); reg != nil {
+		reg.Counter("workload_programs_profiled_total").Add(int64(len(specs)))
+		reg.Counter("workload_trace_accesses_total").Add(int64(len(specs)) * int64(cfg.TraceLen))
 	}
 	return progs, nil
 }

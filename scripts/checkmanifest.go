@@ -1,0 +1,65 @@
+//go:build ignore
+
+// Checkmanifest asserts that a run manifest written by cmd/experiments is
+// well-formed: it exists, parses as JSON, carries the expected schema
+// version and tool name, recorded at least one completed group, and — the
+// smoke gate's whole point — zero failed groups. CI runs it against the
+// manifest of an `experiments -small` run:
+//
+//	go run scripts/checkmanifest.go /tmp/obs-smoke/manifest.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: go run scripts/checkmanifest.go MANIFEST.json")
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var m struct {
+		ManifestVersion int            `json:"manifest_version"`
+		Tool            string         `json:"tool"`
+		Config          map[string]any `json:"config"`
+		Stages          []struct {
+			Name   string `json:"name"`
+			WallNS int64  `json:"wall_ns"`
+		} `json:"stages"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		fail("%s: not valid JSON: %v", path, err)
+	}
+	if m.ManifestVersion != 1 {
+		fail("%s: manifest_version = %d, want 1", path, m.ManifestVersion)
+	}
+	if m.Tool != "experiments" {
+		fail("%s: tool = %q, want \"experiments\"", path, m.Tool)
+	}
+	if len(m.Config) == 0 {
+		fail("%s: empty config section", path)
+	}
+	if len(m.Stages) == 0 {
+		fail("%s: no stage spans recorded", path)
+	}
+	if n := m.Counters["experiment_groups_completed_total"]; n <= 0 {
+		fail("%s: experiment_groups_completed_total = %d, want > 0", path, n)
+	}
+	if n := m.Counters["experiment_groups_failed_total"]; n != 0 {
+		fail("%s: experiment_groups_failed_total = %d, want 0", path, n)
+	}
+	fmt.Printf("manifest OK: %s (%d groups completed, %d stages)\n",
+		path, m.Counters["experiment_groups_completed_total"], len(m.Stages))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checkmanifest: "+format+"\n", args...)
+	os.Exit(1)
+}

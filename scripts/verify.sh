@@ -34,6 +34,15 @@ go test -run=NONE -fuzz='^FuzzProfileRoundTrip$' -fuzztime="$FUZZTIME" ./interna
 go test -run=NONE -fuzz='^FuzzCollect$' -fuzztime="$FUZZTIME" ./internal/reuse
 go test -run=NONE -fuzz='^FuzzOptimize$' -fuzztime="$FUZZTIME" ./internal/partition
 
+# Observability smoke: a real -small run must produce a manifest that
+# exists, parses, and reports zero failed groups (checkmanifest also
+# verifies schema version, stage spans, and a positive completed count).
+echo "== obs smoke: experiments -small + manifest check"
+OBS_SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_SMOKE_DIR"' EXIT
+go run ./cmd/experiments -small -out "$OBS_SMOKE_DIR" -manifest "$OBS_SMOKE_DIR/manifest.json" >/dev/null
+go run scripts/checkmanifest.go "$OBS_SMOKE_DIR/manifest.json"
+
 echo "== govulncheck"
 if command -v govulncheck >/dev/null 2>&1; then
 	# Exits non-zero (failing the gate, via set -e) only on real findings.
