@@ -1,0 +1,109 @@
+// Command benchdiff is the perf-regression watchdog: it compares two
+// benchsnap snapshot files benchstat-style and exits nonzero when any
+// benchmark slowed down past the threshold, so CI and scripts/verify.sh
+// can gate on it.
+//
+// Usage:
+//
+//	benchdiff [flags] OLD.json NEW.json
+//	benchdiff [flags] -run OLD.json
+//
+// Each positional file is a benchsnap snapshot; the label to compare is
+// taken from -old-label/-new-label, else from the BENCH_<label>.json
+// filename convention, else the file's only label. With -run the new
+// side is not a file: the benchmark suite is measured live in-process
+// (several minutes) and compared against OLD directly.
+//
+// Exit status: 0 when no benchmark regressed, 1 when at least one
+// regressed past -threshold, 2 on usage or file errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partitionshare/internal/benchdiff"
+	"partitionshare/internal/benchsuite"
+	"partitionshare/internal/obs"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", benchdiff.DefaultThresholdPct,
+		"regression threshold in percent; a benchmark slower by more than this fails the diff")
+	oldLabel := flag.String("old-label", "", "snapshot label to read from OLD (default: infer)")
+	newLabel := flag.String("new-label", "", "snapshot label to read from NEW (default: infer)")
+	run := flag.Bool("run", false, "measure the benchmark suite live instead of reading NEW.json")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] OLD.json NEW.json\n       benchdiff [flags] -run OLD.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	wantArgs := 2
+	if *run {
+		wantArgs = 1
+	}
+	if flag.NArg() != wantArgs {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldPath := flag.Arg(0)
+	oldFile, err := benchdiff.Load(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	oldName, err := benchdiff.ChooseLabel(oldFile, oldPath, *oldLabel)
+	if err != nil {
+		fatal(err)
+	}
+	oldSnap := oldFile.Snapshots[oldName]
+
+	var newSnap benchdiff.Snapshot
+	newName := *newLabel
+	if *run {
+		if newName == "" {
+			newName = "live"
+		}
+		obs.Logger().Info("profiling workloads (one-time setup)")
+		suite, err := benchsuite.New()
+		if err != nil {
+			fatal(err)
+		}
+		newSnap = benchsuite.Run(suite.Benches(), func(name string, nsPerOp int64, iters int) {
+			obs.Progressf("%-34s %12d ns/op  (%d iters)\n", name, nsPerOp, iters)
+		})
+	} else {
+		newPath := flag.Arg(1)
+		newFile, err := benchdiff.Load(newPath)
+		if err != nil {
+			fatal(err)
+		}
+		newName, err = benchdiff.ChooseLabel(newFile, newPath, *newLabel)
+		if err != nil {
+			fatal(err)
+		}
+		newSnap = newFile.Snapshots[newName]
+	}
+
+	deltas := benchdiff.Diff(oldSnap, newSnap)
+	fmt.Print(benchdiff.Format(deltas, oldName, newName))
+
+	regs := benchdiff.Regressions(deltas, *threshold)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.1f%%:\n", len(regs), *threshold)
+		for _, d := range regs {
+			fmt.Fprintf(os.Stderr, "  %s: %d -> %d ns/op (%+.2f%%)\n", d.Name, d.OldNS, d.NewNS, d.Pct)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions past %.1f%% (%s -> %s, %d benchmarks compared)\n",
+		*threshold, oldName, newName, len(deltas))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

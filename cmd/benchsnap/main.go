@@ -2,12 +2,9 @@
 // (via testing.Benchmark) and records the results in a JSON snapshot file,
 // so a PR can document its performance effect next to the code change.
 //
-// The measured paths mirror the named benchmarks of bench_test.go:
-// the per-group optimal-partition DP (pooled kernel, parallel layers, and
-// the preserved scatter-form reference), the baseline-constrained DP, the
-// DP granularity sweep, one full-trace profiling pass, the three
-// reuse-collection scans (dense, map reference, sharded parallel), and the
-// full Table I regeneration.
+// The benchmark definitions live in internal/benchsuite (shared with
+// cmd/benchdiff's -run mode); the snapshot schema lives in
+// internal/benchdiff, which also compares two snapshot files.
 //
 // Each run merges its numbers into the output file under -label, keeping
 // any other labels already present; a snapshot file therefore accumulates
@@ -26,41 +23,25 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
-	"testing"
 
 	"partitionshare/internal/atomicio"
-	"partitionshare/internal/experiment"
-	"partitionshare/internal/mrc"
+	"partitionshare/internal/benchdiff"
+	"partitionshare/internal/benchsuite"
 	"partitionshare/internal/obs"
-	"partitionshare/internal/partition"
-	"partitionshare/internal/reuse"
-	"partitionshare/internal/trace"
-	"partitionshare/internal/workload"
 )
 
 // obsOverheadLimitPct is the acceptance ceiling on the slowdown of the
 // per-group optimal-partition DP when the metrics registry is enabled.
 const obsOverheadLimitPct = 3.0
 
-// snapshot maps a benchmark name to nanoseconds per operation.
-type snapshot map[string]int64
-
-type snapFile struct {
-	GoOS      string              `json:"goos"`
-	GoArch    string              `json:"goarch"`
-	CPUs      int                 `json:"cpus"`
-	Snapshots map[string]snapshot `json:"snapshots"`
-}
-
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "snapshot file to create or merge into")
+	out := flag.String("out", "BENCH_PR5.json", "snapshot file to create or merge into")
 	label := flag.String("label", "current", "label for this run's column in the snapshot")
 	flag.Parse()
 
 	// Read (and validate) any existing snapshot up front, so a corrupt or
 	// unreadable -out fails before minutes of benchmarking, not after.
-	f := snapFile{Snapshots: map[string]snapshot{}}
+	f := benchdiff.File{Snapshots: map[string]benchdiff.Snapshot{}}
 	if data, err := os.ReadFile(*out); err == nil {
 		if err := json.Unmarshal(data, &f); err != nil {
 			fatal(fmt.Errorf("%s: %v", *out, err))
@@ -68,135 +49,25 @@ func main() {
 	}
 
 	obs.Logger().Info("profiling workloads (one-time setup)")
-	cfg := workload.TestConfig()
-	progs, err := workload.ProfileAll(nil, workload.Specs(), cfg)
+	suite, err := benchsuite.New()
 	if err != nil {
 		fatal(err)
 	}
-	full := workload.DefaultConfig()
-	full4, err := workload.ProfileAll(nil, workload.Specs()[:4], full)
-	if err != nil {
-		fatal(err)
-	}
-	fullCurves := make([]mrc.Curve, len(full4))
-	for i, p := range full4 {
-		fullCurves[i] = p.Curve
-	}
-	groupPr := partition.Problem{Curves: fullCurves, Units: 1024}
-	equalBase := partition.EqualAllocation(len(fullCurves), 1024)
 
-	spec := workload.Specs()[0]
-	gen := spec.Build(uint32(cfg.CacheBlocks()), cfg.Seed)
-	tr := trace.Generate(gen, cfg.TraceLen)
-
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"OptimalPartitionGroup", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := partition.Optimize(groupPr); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
-		{"OptimalPartitionGroupParallel", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := partition.OptimizeParallel(nil, groupPr, 0); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
-		{"OptimalPartitionGroupReference", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := partition.ReferenceOptimize(groupPr); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
-		{"BaselineOptimizationGroup", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := partition.OptimizeWithBaseline(fullCurves, 1024, equalBase); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
-		{"ProfileProgram", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := workload.Profile(spec, cfg); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
-		{"CollectReuse/dense", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				reuse.Collect(tr)
-			}
-		}},
-		{"CollectReuse/reference", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				reuse.CollectReference(tr)
-			}
-		}},
-		{"CollectReuse/parallel", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := reuse.CollectParallel(nil, tr, 0); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
-		{"TableI", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res, err := experiment.Run(nil, progs, 4, cfg.Units, cfg.BlocksPerUnit, experiment.RunOpts{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				experiment.TableI(res)
-			}
-		}},
-	}
-	for _, units := range []int{128, 256, 512, 1024, 2048} {
-		blocksPerUnit := full.CacheBlocks() / int64(units)
-		curves := make([]mrc.Curve, len(full4))
-		for i, p := range full4 {
-			curves[i] = mrc.FromFootprint(p.Name, p.Fp, units, blocksPerUnit, p.Rate)
-		}
-		pr := partition.Problem{Curves: curves, Units: units}
-		benches = append(benches, struct {
-			name string
-			fn   func(b *testing.B)
-		}{fmt.Sprintf("DPGranularity/units=%d", units), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := partition.Optimize(pr); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}})
-	}
-
-	snap := snapshot{}
-	for _, bm := range benches {
-		r := testing.Benchmark(bm.fn)
-		snap[bm.name] = r.NsPerOp()
-		obs.Progressf("%-34s %12d ns/op  (%d iters)\n", bm.name, r.NsPerOp(), r.N)
-	}
+	snap := benchdiff.Snapshot(benchsuite.Run(suite.Benches(), func(name string, nsPerOp int64, iters int) {
+		obs.Progressf("%-34s %12d ns/op  (%d iters)\n", name, nsPerOp, iters)
+	}))
 
 	// Observability overhead gate: the per-group DP with the registry
 	// disabled vs enabled, best of three runs each to suppress scheduler
 	// noise. Both numbers land in the snapshot; a regression past the
 	// limit fails the run (after the snapshot is written, so the evidence
 	// is preserved).
-	optimalBench := func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := partition.Optimize(groupPr); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
+	optimalBench := suite.OptimalBench()
 	obs.Enable(nil)
-	offNs := bestOf(3, optimalBench)
+	offNs := benchsuite.BestOf(3, optimalBench)
 	obs.Enable(obs.NewRegistry())
-	onNs := bestOf(3, optimalBench)
+	onNs := benchsuite.BestOf(3, optimalBench)
 	obs.Enable(nil)
 	snap["ObsOverhead/off"] = offNs
 	snap["ObsOverhead/on"] = onNs
@@ -207,7 +78,7 @@ func main() {
 
 	f.GoOS, f.GoArch, f.CPUs = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
 	if f.Snapshots == nil {
-		f.Snapshots = map[string]snapshot{}
+		f.Snapshots = map[string]benchdiff.Snapshot{}
 	}
 	f.Snapshots[*label] = snap
 
@@ -220,31 +91,12 @@ func main() {
 	if err := atomicio.WriteFileBytes(*out, append(data, '\n')); err != nil {
 		fatal(err)
 	}
-
-	labels := make([]string, 0, len(f.Snapshots))
-	for l := range f.Snapshots {
-		labels = append(labels, l)
-	}
-	sort.Strings(labels)
-	obs.Progressf("wrote %s (labels: %v)\n", *out, labels)
+	obs.Progressf("wrote %s (labels: %v)\n", *out, f.Labels())
 
 	if overheadPct > obsOverheadLimitPct {
 		fatal(fmt.Errorf("observability overhead %.2f%% exceeds the %.1f%% limit (off=%d ns/op, on=%d ns/op)",
 			overheadPct, obsOverheadLimitPct, offNs, onNs))
 	}
-}
-
-// bestOf runs the benchmark n times and returns the fastest ns/op — the
-// standard defense against one-off scheduling noise in a pass/fail gate.
-func bestOf(n int, fn func(b *testing.B)) int64 {
-	best := int64(0)
-	for i := 0; i < n; i++ {
-		r := testing.Benchmark(fn)
-		if ns := r.NsPerOp(); best == 0 || ns < best {
-			best = ns
-		}
-	}
-	return best
 }
 
 func fatal(err error) {

@@ -76,6 +76,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
+	traceEvents := flag.String("trace-events", "", "write a Chrome trace_event JSON timeline to this file (view in Perfetto)")
+	metricsInterval := flag.Duration("metrics-interval", 0, "sample registry metrics at this interval for /metrics/history and the manifest (0 disables)")
 	manifestPath := flag.String("manifest", "", "run-manifest path (default <out>/manifest.json; \"none\" disables)")
 	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit the diagnostic log as JSON instead of text")
@@ -123,6 +125,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tracer *obs.Tracer
+	if *traceEvents != "" {
+		tw, err := obs.StartTraceEvents(*traceEvents)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewTracer(0, tw)
+		obs.EnableTracer(tracer)
+	}
+	sampler := obs.StartSampler(ctx, obs.Enabled(), *metricsInterval, 0)
+	obs.EnableSampler(sampler)
 	stopCPU := func() error { return nil }
 	if *cpuProfile != "" {
 		if stopCPU, err = obs.StartCPUProfile(*cpuProfile); err != nil {
@@ -149,9 +162,15 @@ func main() {
 					obs.Logger().Error("heap profile", "err", err)
 				}
 			}
+			sampler.Stop()
+			obs.EnableSampler(nil)
+			if err := tracer.Close(); err != nil {
+				obs.Logger().Error("trace events", "err", err)
+			}
+			obs.EnableTracer(nil)
 			srv.Close()
 			if *manifestPath != "none" {
-				m := manifest.Build(obs.Enabled())
+				m := manifest.Build(obs.Enabled()).WithTimeSeries(sampler)
 				if err := m.Write(*manifestPath); err != nil {
 					obs.Logger().Error("manifest write", "err", err)
 				} else {
@@ -166,8 +185,8 @@ func main() {
 	start := time.Now()
 	obs.Progressf("profiling %d programs (units=%d, blocks/unit=%d, trace=%d)...\n",
 		len(workload.Specs()), cfg.Units, cfg.BlocksPerUnit, cfg.TraceLen)
-	profileSpan := obs.Enabled().StartSpan(ctx, "profile")
-	progs, err := workload.ProfileAll(ctx, workload.Specs(), cfg)
+	profileCtx, profileSpan := obs.Enabled().StartSpan(ctx, "profile")
+	progs, err := workload.ProfileAll(profileCtx, workload.Specs(), cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -195,8 +214,8 @@ func main() {
 	}
 
 	start = time.Now()
-	sweepSpan := obs.Enabled().StartSpan(ctx, "sweep")
-	res, err := experiment.Run(ctx, progs, *groupSize, cfg.Units, cfg.BlocksPerUnit, opts)
+	sweepCtx, sweepSpan := obs.Enabled().StartSpan(ctx, "sweep")
+	res, err := experiment.Run(sweepCtx, progs, *groupSize, cfg.Units, cfg.BlocksPerUnit, opts)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			obs.Logger().Warn("interrupted; checkpoint saved", "path", ckptPath)
@@ -215,7 +234,7 @@ func main() {
 		len(res.Groups), time.Since(start).Round(time.Millisecond),
 		float64(time.Since(start).Milliseconds())/float64(len(res.Groups)))
 
-	reportsSpan := obs.Enabled().StartSpan(ctx, "reports")
+	_, reportsSpan := obs.Enabled().StartSpan(ctx, "reports")
 
 	// ---- Table I ----
 	rows := experiment.TableI(res)
@@ -291,28 +310,28 @@ func main() {
 	reportsSpan.End()
 
 	if *validate {
-		span := obs.Enabled().StartSpan(ctx, "validate")
-		runValidation(ctx, cfg, *outDir)
+		vctx, span := obs.Enabled().StartSpan(ctx, "validate")
+		runValidation(vctx, cfg, *outDir)
 		span.End()
 	}
 	if *correlate {
-		span := obs.Enabled().StartSpan(ctx, "correlate")
-		runCorrelation(ctx, cfg, *outDir)
+		cctx, span := obs.Enabled().StartSpan(ctx, "correlate")
+		runCorrelation(cctx, cfg, *outDir)
 		span.End()
 	}
 	if *granularity {
-		span := obs.Enabled().StartSpan(ctx, "granularity")
+		_, span := obs.Enabled().StartSpan(ctx, "granularity")
 		runGranularity(res.Programs, cfg)
 		span.End()
 	}
 	if *policy {
-		span := obs.Enabled().StartSpan(ctx, "policy")
-		runPolicy(ctx, cfg)
+		pctx, span := obs.Enabled().StartSpan(ctx, "policy")
+		runPolicy(pctx, cfg)
 		span.End()
 	}
 	if *epochFlag {
-		span := obs.Enabled().StartSpan(ctx, "epoch")
-		runEpochStudy(ctx, cfg)
+		ectx, span := obs.Enabled().StartSpan(ctx, "epoch")
+		runEpochStudy(ectx, cfg)
 		span.End()
 	}
 }

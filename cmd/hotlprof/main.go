@@ -53,6 +53,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
+	traceEvents := flag.String("trace-events", "", "write a Chrome trace_event JSON timeline to this file (view in Perfetto)")
+	metricsInterval := flag.Duration("metrics-interval", 0, "sample registry metrics at this interval for /metrics/history and the manifest (0 disables)")
 	manifestPath := flag.String("manifest", "", "run-manifest path (empty disables)")
 	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit the diagnostic log as JSON instead of text")
@@ -80,6 +82,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tracer *obs.Tracer
+	if *traceEvents != "" {
+		tw, err := obs.StartTraceEvents(*traceEvents)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewTracer(0, tw)
+		obs.EnableTracer(tracer)
+	}
+	sampler := obs.StartSampler(ctx, obs.Enabled(), *metricsInterval, 0)
+	obs.EnableSampler(sampler)
 	stopCPU := func() error { return nil }
 	if *cpuProfile != "" {
 		if stopCPU, err = obs.StartCPUProfile(*cpuProfile); err != nil {
@@ -106,9 +119,15 @@ func main() {
 					obs.Logger().Error("heap profile", "err", err)
 				}
 			}
+			sampler.Stop()
+			obs.EnableSampler(nil)
+			if err := tracer.Close(); err != nil {
+				obs.Logger().Error("trace events", "err", err)
+			}
+			obs.EnableTracer(nil)
 			srv.Close()
 			if *manifestPath != "" {
-				if err := manifest.Build(obs.Enabled()).Write(*manifestPath); err != nil {
+				if err := manifest.Build(obs.Enabled()).WithTimeSeries(sampler).Write(*manifestPath); err != nil {
 					obs.Logger().Error("manifest write", "err", err)
 				}
 			}
@@ -116,7 +135,7 @@ func main() {
 	}
 	defer finish()
 
-	readSpan := obs.Enabled().StartSpan(ctx, "read")
+	_, readSpan := obs.Enabled().StartSpan(ctx, "read")
 	var tr trace.Trace
 	switch {
 	case *in != "" && *wl != "":
@@ -165,14 +184,14 @@ func main() {
 	}
 	readSpan.End()
 
-	collectSpan := obs.Enabled().StartSpan(ctx, "collect")
-	rp, err := reuse.CollectParallel(ctx, tr, *workers)
+	collectCtx, collectSpan := obs.Enabled().StartSpan(ctx, "collect")
+	rp, err := reuse.CollectParallel(collectCtx, tr, *workers)
 	if err != nil {
 		fatal(err)
 	}
 	collectSpan.End()
 
-	writeSpan := obs.Enabled().StartSpan(ctx, "write")
+	_, writeSpan := obs.Enabled().StartSpan(ctx, "write")
 	prof := profileio.Profile{Name: *name, Rate: *rate, Reuse: rp}
 	path := *out
 	if path == "" {

@@ -51,3 +51,11 @@ func writeManifest(path string, manifestJSON []byte) error {
 func writeMetricsSnapshot(path string) (*os.File, error) {
 	return os.Create(path) // want `os\.Create writes a durable artifact non-atomically`
 }
+
+// writeTraceJSON mimics dumping a rendered Chrome trace_event document
+// in one shot. Unlike the obs streamed writer (exempt: CreateTemp +
+// sync + rename), a direct one-shot dump of the trace is a durable
+// artifact like any other and must go through atomicio.
+func writeTraceJSON(path string, traceJSON []byte) error {
+	return os.WriteFile(path, traceJSON, 0o644) // want `internal/atomicio`
+}

@@ -42,3 +42,19 @@ func (f *streamedFile) abort() {
 	f.tmp.Close()
 	os.Remove(f.tmp.Name())
 }
+
+// startTraceEvents mimics the trace-timeline exporter: Chrome
+// trace_event JSON is streamed one span at a time for the whole run, so
+// it rides the same CreateTemp+sync+rename path as the profile writer.
+// Exempt for the same reason — the rename publishes only a synced file.
+func startTraceEvents(path string) (*streamedFile, error) {
+	f, err := newStreamedFile(path) // ok: streams into CreateTemp scratch
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.tmp.WriteString(`{"traceEvents":[`); err != nil {
+		f.abort()
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,164 @@
+// Package benchdiff compares two benchsnap snapshot files benchstat-style:
+// it loads the name → ns/op tables recorded under labels, computes
+// per-benchmark deltas, renders them as an aligned text table, and flags
+// regressions past a percentage threshold. cmd/benchdiff is the CLI; the
+// logic lives here so it is unit-testable without fixture processes.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DefaultThresholdPct is the regression threshold when the caller does
+// not set one: a benchmark must slow down by more than this percentage
+// to count as a regression. Benchmarks on this hardware are noisy at the
+// few-percent level, so the default is deliberately coarse.
+const DefaultThresholdPct = 10.0
+
+// Snapshot maps a benchmark name to nanoseconds per operation — one
+// label's column in a snapshot file.
+type Snapshot map[string]int64
+
+// File is the on-disk benchsnap snapshot schema. A file accumulates one
+// Snapshot per label (e.g. "seed", "pr1", "pr5") so a single artifact
+// documents a sequence of measurements on the same machine.
+type File struct {
+	GoOS      string              `json:"goos"`
+	GoArch    string              `json:"goarch"`
+	CPUs      int                 `json:"cpus"`
+	Snapshots map[string]Snapshot `json:"snapshots"`
+}
+
+// Load reads and parses a snapshot file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(f.Snapshots) == 0 {
+		return nil, fmt.Errorf("%s: no snapshot labels", path)
+	}
+	return f, nil
+}
+
+// Labels returns the file's snapshot labels, sorted.
+func (f *File) Labels() []string {
+	labels := make([]string, 0, len(f.Snapshots))
+	for l := range f.Snapshots {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// ChooseLabel picks which of the file's labels to compare. An explicit
+// label wins (and must exist). Otherwise the filename convention decides:
+// BENCH_PR4.json carries a "pr4" column, so the lowercased stem after
+// "BENCH_" is tried first. A single-label file is unambiguous regardless
+// of its name. Anything else is an error naming the candidates.
+func ChooseLabel(f *File, path, explicit string) (string, error) {
+	if explicit != "" {
+		if _, ok := f.Snapshots[explicit]; !ok {
+			return "", fmt.Errorf("%s: no label %q (have %v)", path, explicit, f.Labels())
+		}
+		return explicit, nil
+	}
+	base := strings.ToLower(filepath.Base(path))
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	if stem, ok := strings.CutPrefix(base, "bench_"); ok {
+		if _, ok := f.Snapshots[stem]; ok {
+			return stem, nil
+		}
+	}
+	if labels := f.Labels(); len(labels) == 1 {
+		return labels[0], nil
+	}
+	return "", fmt.Errorf("%s: ambiguous labels %v, pick one explicitly", path, f.Labels())
+}
+
+// A Delta is one benchmark's comparison. A zero OldNS or NewNS means the
+// benchmark exists on only one side; Pct is meaningful only when both
+// sides are present and positive.
+type Delta struct {
+	Name  string
+	OldNS int64
+	NewNS int64
+	Pct   float64 // 100 * (new - old) / old
+}
+
+// Both reports whether the benchmark was measured on both sides.
+func (d Delta) Both() bool { return d.OldNS > 0 && d.NewNS > 0 }
+
+// Diff compares two snapshots benchmark-by-benchmark, returning one
+// Delta per name from either side, sorted by name.
+func Diff(old, new Snapshot) []Delta {
+	names := map[string]bool{}
+	for n := range old {
+		names[n] = true
+	}
+	for n := range new {
+		names[n] = true
+	}
+	deltas := make([]Delta, 0, len(names))
+	for n := range names {
+		d := Delta{Name: n, OldNS: old[n], NewNS: new[n]}
+		if d.Both() {
+			d.Pct = 100 * (float64(d.NewNS) - float64(d.OldNS)) / float64(d.OldNS)
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// Regressions returns the deltas measured on both sides whose slowdown
+// exceeds thresholdPct (<= 0 selects DefaultThresholdPct).
+func Regressions(deltas []Delta, thresholdPct float64) []Delta {
+	if thresholdPct <= 0 {
+		thresholdPct = DefaultThresholdPct
+	}
+	var out []Delta
+	for _, d := range deltas {
+		if d.Both() && d.Pct > thresholdPct {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the deltas as an aligned table with oldLabel/newLabel
+// column headers. One-sided benchmarks show "-" on the missing side.
+func Format(deltas []Delta, oldLabel, newLabel string) string {
+	nameW := len("benchmark")
+	for _, d := range deltas {
+		if len(d.Name) > nameW {
+			nameW = len(d.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %14s  %14s  %9s\n", nameW, "benchmark",
+		oldLabel+" ns/op", newLabel+" ns/op", "delta")
+	for _, d := range deltas {
+		oldCol, newCol, pctCol := "-", "-", "-"
+		if d.OldNS > 0 {
+			oldCol = fmt.Sprintf("%d", d.OldNS)
+		}
+		if d.NewNS > 0 {
+			newCol = fmt.Sprintf("%d", d.NewNS)
+		}
+		if d.Both() {
+			pctCol = fmt.Sprintf("%+.2f%%", d.Pct)
+		}
+		fmt.Fprintf(&b, "%-*s  %14s  %14s  %9s\n", nameW, d.Name, oldCol, newCol, pctCol)
+	}
+	return b.String()
+}

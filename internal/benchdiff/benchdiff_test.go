@@ -1,0 +1,170 @@
+package benchdiff
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnap writes a snapshot file with the given labels to dir/name and
+// returns its path.
+func writeSnap(t *testing.T, dir, name string, snaps map[string]Snapshot) string {
+	t.Helper()
+	f := File{GoOS: "linux", GoArch: "amd64", CPUs: 8, Snapshots: snaps}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Load round-trips the benchsnap schema and rejects empty or corrupt
+// files before any comparison work.
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnap(t, dir, "BENCH_PR1.json", map[string]Snapshot{
+		"pr1": {"TableI": 100},
+	})
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Snapshots["pr1"]["TableI"] != 100 {
+		t.Errorf("loaded snapshot = %v", f.Snapshots)
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("Load of corrupt JSON succeeded")
+	}
+	empty := writeSnap(t, dir, "empty.json", map[string]Snapshot{})
+	if _, err := Load(empty); err == nil {
+		t.Error("Load of label-free file succeeded")
+	}
+}
+
+// ChooseLabel: explicit wins, then the BENCH_<label>.json filename
+// convention, then a lone label; multiple labels with no hint is an
+// error that names the candidates.
+func TestChooseLabel(t *testing.T) {
+	dir := t.TempDir()
+	multi := map[string]Snapshot{"pr1": {"a": 1}, "pr4": {"a": 2}}
+	path := writeSnap(t, dir, "BENCH_PR4.json", multi)
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, err := ChooseLabel(f, path, "pr1"); err != nil || got != "pr1" {
+		t.Errorf("explicit label = (%q, %v), want pr1", got, err)
+	}
+	if _, err := ChooseLabel(f, path, "nope"); err == nil {
+		t.Error("explicit missing label accepted")
+	}
+	if got, err := ChooseLabel(f, path, ""); err != nil || got != "pr4" {
+		t.Errorf("filename-derived label = (%q, %v), want pr4", got, err)
+	}
+
+	odd := writeSnap(t, dir, "results.json", map[string]Snapshot{"seed": {"a": 1}})
+	fo, err := Load(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ChooseLabel(fo, odd, ""); err != nil || got != "seed" {
+		t.Errorf("single-label fallback = (%q, %v), want seed", got, err)
+	}
+
+	amb := writeSnap(t, dir, "results2.json", multi)
+	fa, err := Load(amb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ChooseLabel(fa, amb, ""); err == nil {
+		t.Error("ambiguous labels with no hint accepted")
+	}
+}
+
+// Diff pairs benchmarks by name, computes percentage deltas for common
+// ones, and keeps one-sided entries visible with a zero missing side.
+func TestDiff(t *testing.T) {
+	old := Snapshot{"common": 100, "removed": 50, "steady": 40}
+	new := Snapshot{"common": 150, "added": 30, "steady": 40}
+	deltas := Diff(old, new)
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %d, want 4", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["common"]; !d.Both() || d.Pct != 50 {
+		t.Errorf("common delta = %+v, want +50%%", d)
+	}
+	if d := byName["steady"]; d.Pct != 0 {
+		t.Errorf("steady delta = %+v, want 0%%", d)
+	}
+	if d := byName["removed"]; d.NewNS != 0 || d.Both() {
+		t.Errorf("removed delta = %+v, want one-sided", d)
+	}
+	if d := byName["added"]; d.OldNS != 0 || d.Both() {
+		t.Errorf("added delta = %+v, want one-sided", d)
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i].Name < deltas[i-1].Name {
+			t.Fatal("deltas not sorted by name")
+		}
+	}
+}
+
+// Regressions flags only both-sided slowdowns past the threshold — a
+// synthetic +50% regression must trip it, improvements and one-sided
+// entries must not.
+func TestRegressions(t *testing.T) {
+	deltas := Diff(
+		Snapshot{"slow": 100, "fast": 100, "gone": 100, "edge": 100},
+		Snapshot{"slow": 150, "fast": 50, "new": 100, "edge": 110},
+	)
+	regs := Regressions(deltas, 10)
+	if len(regs) != 1 || regs[0].Name != "slow" {
+		t.Fatalf("regressions at 10%% = %+v, want just slow", regs)
+	}
+	// edge is exactly +10%: not strictly greater, so not a regression.
+	if regs := Regressions(deltas, 0); len(regs) != 1 || regs[0].Name != "slow" {
+		t.Errorf("default-threshold regressions = %+v, want just slow", regs)
+	}
+	if regs := Regressions(deltas, 60); len(regs) != 0 {
+		t.Errorf("regressions at 60%% = %+v, want none", regs)
+	}
+}
+
+// Format renders an aligned header + one row per delta, with "-" for
+// one-sided values.
+func TestFormat(t *testing.T) {
+	deltas := Diff(Snapshot{"a": 100, "gone": 10}, Snapshot{"a": 110})
+	out := Format(deltas, "pr1", "pr5")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "pr1 ns/op") || !strings.Contains(lines[0], "pr5 ns/op") {
+		t.Errorf("header lacks labels: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "+10.00%") {
+		t.Errorf("row a lacks delta: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Errorf("one-sided row lacks placeholder: %q", lines[2])
+	}
+}

@@ -1,0 +1,193 @@
+// Package benchsuite defines the repository's key benchmarks as data:
+// the one-time profiled fixtures plus a named list of benchmark
+// functions runnable through testing.Benchmark. cmd/benchsnap runs the
+// suite to record a PR's snapshot file, and cmd/benchdiff -run runs it
+// to compare a live measurement against a stored baseline — both see
+// the same definitions, so their numbers are comparable by name.
+//
+// The measured paths mirror the named benchmarks of bench_test.go: the
+// per-group optimal-partition DP (pooled kernel, parallel layers, and
+// the preserved scatter-form reference), the baseline-constrained DP,
+// the DP granularity sweep, one full-trace profiling pass, the three
+// reuse-collection scans (dense, map reference, sharded parallel), and
+// the full Table I regeneration.
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"partitionshare/internal/experiment"
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/partition"
+	"partitionshare/internal/reuse"
+	"partitionshare/internal/trace"
+	"partitionshare/internal/workload"
+)
+
+// A Bench is one named benchmark over the suite's shared fixtures.
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// A Suite holds the profiled fixtures the benchmarks run against. Build
+// one with New — profiling the workloads takes a few seconds and is
+// deliberately done once, outside any measurement.
+type Suite struct {
+	progs      []workload.Program
+	cfg        workload.Config
+	full4      []workload.Program
+	fullCfg    workload.Config
+	groupPr    partition.Problem
+	equalBase  partition.Allocation
+	fullCurves []mrc.Curve
+	spec       workload.Spec
+	tr         trace.Trace
+}
+
+// New profiles the fixtures: the 16-program suite at test geometry (for
+// the Table I sweep), the first four programs at full geometry (for the
+// group DP), and one generated trace (for the reuse scans).
+func New() (*Suite, error) {
+	s := &Suite{cfg: workload.TestConfig(), fullCfg: workload.DefaultConfig()}
+	var err error
+	s.progs, err = workload.ProfileAll(nil, workload.Specs(), s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.full4, err = workload.ProfileAll(nil, workload.Specs()[:4], s.fullCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.fullCurves = make([]mrc.Curve, len(s.full4))
+	for i, p := range s.full4 {
+		s.fullCurves[i] = p.Curve
+	}
+	s.groupPr = partition.Problem{Curves: s.fullCurves, Units: 1024}
+	s.equalBase = partition.EqualAllocation(len(s.fullCurves), 1024)
+	s.spec = workload.Specs()[0]
+	gen := s.spec.Build(uint32(s.cfg.CacheBlocks()), s.cfg.Seed)
+	s.tr = trace.Generate(gen, s.cfg.TraceLen)
+	return s, nil
+}
+
+// OptimalBench returns the per-group optimal-partition DP benchmark —
+// the subject of the ObsOverhead off/on gate, exposed separately so the
+// gate can run it under both registry states.
+func (s *Suite) OptimalBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := partition.Optimize(s.groupPr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Benches returns the full named benchmark list in its canonical order.
+func (s *Suite) Benches() []Bench {
+	benches := []Bench{
+		{"OptimalPartitionGroup", s.OptimalBench()},
+		{"OptimalPartitionGroupParallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.OptimizeParallel(nil, s.groupPr, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"OptimalPartitionGroupReference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.ReferenceOptimize(s.groupPr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BaselineOptimizationGroup", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.OptimizeWithBaseline(s.fullCurves, 1024, s.equalBase); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ProfileProgram", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := workload.Profile(s.spec, s.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CollectReuse/dense", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reuse.Collect(s.tr)
+			}
+		}},
+		{"CollectReuse/reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reuse.CollectReference(s.tr)
+			}
+		}},
+		{"CollectReuse/parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reuse.CollectParallel(nil, s.tr, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"TableI", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Run(nil, s.progs, 4, s.cfg.Units, s.cfg.BlocksPerUnit, experiment.RunOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				experiment.TableI(res)
+			}
+		}},
+	}
+	for _, units := range []int{128, 256, 512, 1024, 2048} {
+		blocksPerUnit := s.fullCfg.CacheBlocks() / int64(units)
+		curves := make([]mrc.Curve, len(s.full4))
+		for i, p := range s.full4 {
+			curves[i] = mrc.FromFootprint(p.Name, p.Fp, units, blocksPerUnit, p.Rate)
+		}
+		pr := partition.Problem{Curves: curves, Units: units}
+		benches = append(benches, Bench{
+			Name: fmt.Sprintf("DPGranularity/units=%d", units),
+			Fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := partition.Optimize(pr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+	return benches
+}
+
+// Run measures every benchmark once and returns name → ns/op. progress,
+// when non-nil, is called after each measurement.
+func Run(benches []Bench, progress func(name string, nsPerOp int64, iters int)) map[string]int64 {
+	out := make(map[string]int64, len(benches))
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.Fn)
+		out[bm.Name] = r.NsPerOp()
+		if progress != nil {
+			progress(bm.Name, r.NsPerOp(), r.N)
+		}
+	}
+	return out
+}
+
+// BestOf runs the benchmark n times and returns the fastest ns/op — the
+// standard defense against one-off scheduling noise in a pass/fail gate.
+func BestOf(n int, fn func(b *testing.B)) int64 {
+	best := int64(0)
+	for i := 0; i < n; i++ {
+		r := testing.Benchmark(fn)
+		if ns := r.NsPerOp(); best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}

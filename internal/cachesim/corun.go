@@ -1,12 +1,22 @@
 package cachesim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"partitionshare/internal/obs"
 	"partitionshare/internal/trace"
 )
+
+// simSpan opens a root trace span for one simulation. The simulators
+// take no context (they are pure CPU loops called from study helpers),
+// so their spans are parentless — they still land on the caller
+// goroutine's default lane and show where co-run simulation time goes.
+func simSpan(name string) *obs.TraceSpan {
+	_, ts := obs.StartTraceSpan(context.Background(), name, "sim")
+	return ts
+}
 
 // countSim batches one simulation's volume into the registry: a single
 // pair of atomic adds per simulated trace, never per access.
@@ -70,6 +80,8 @@ func SimulateShared(iv trace.Interleaved, capacity, warmup int) CoRunResult {
 	if warmup < 0 || warmup >= len(iv.Trace) {
 		panic(fmt.Sprintf("cachesim: warmup %d out of range for trace of %d", warmup, len(iv.Trace)))
 	}
+	ts := simSpan("cachesim.shared")
+	defer ts.Arg("accesses", int64(len(iv.Trace))).End()
 	res := CoRunResult{
 		Accesses:      make([]int64, nprogs),
 		Misses:        make([]int64, nprogs),
@@ -161,6 +173,8 @@ func SimulatePartitioned(traces []trace.Trace, capacities []int) PartitionResult
 	if len(traces) != len(capacities) {
 		panic(fmt.Sprintf("cachesim: %d traces but %d capacities", len(traces), len(capacities)))
 	}
+	ts := simSpan("cachesim.partitioned")
+	defer ts.End()
 	res := PartitionResult{
 		Accesses: make([]int64, len(traces)),
 		Misses:   make([]int64, len(traces)),
@@ -206,6 +220,8 @@ func SimulatePartitionShared(iv trace.Interleaved, groups [][]int, capacities []
 			panic(fmt.Sprintf("cachesim: program %d not in any group", p))
 		}
 	}
+	ts := simSpan("cachesim.partition_shared")
+	defer ts.Arg("accesses", int64(len(iv.Trace))).End()
 	res := CoRunResult{
 		Accesses:      make([]int64, nprogs),
 		Misses:        make([]int64, nprogs),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -91,6 +92,10 @@ func (c *Checkpoint) validate() error {
 // wrap ErrCheckpointCorrupt; a version mismatch wraps
 // ErrCheckpointVersion.
 func ReadCheckpoint(path string) (*Checkpoint, error) {
+	// A root span: loads happen at command startup, before any stage
+	// context exists.
+	_, ts := obs.StartTraceSpan(context.Background(), "checkpoint.load", "checkpoint")
+	defer ts.End()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -103,6 +108,7 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	obs.Enabled().Counter("experiment_checkpoint_loads_total").Inc()
+	ts.Arg("groups", int64(len(c.Groups)))
 	obs.Logger().Debug("checkpoint loaded", "path", path, "groups", len(c.Groups))
 	return &c, nil
 }
@@ -141,9 +147,13 @@ type checkpointer struct {
 	numProg int
 	size    int
 	bpu     int64
+	// ctx carries the sweep's trace span so flushes render as its
+	// children in -trace-events timelines. Never consulted for
+	// cancellation: the checkpointer must flush even on a cancelled run.
+	ctx context.Context
 }
 
-func startCheckpointer(res *Result, done []bool, numPrograms, groupSize int, blocksPerUnit int64, opts RunOpts) *checkpointer {
+func startCheckpointer(ctx context.Context, res *Result, done []bool, numPrograms, groupSize int, blocksPerUnit int64, opts RunOpts) *checkpointer {
 	if opts.CheckpointPath == "" {
 		return nil
 	}
@@ -161,6 +171,7 @@ func startCheckpointer(res *Result, done []bool, numPrograms, groupSize int, blo
 		numProg: numPrograms,
 		size:    groupSize,
 		bpu:     blocksPerUnit,
+		ctx:     ctx,
 	}
 	go c.run()
 	return c
@@ -209,6 +220,8 @@ func (c *checkpointer) run() {
 // lexicographic group order, which makes checkpoint bytes deterministic
 // for a given completion set.
 func (c *checkpointer) flush() error {
+	_, ts := obs.StartTraceSpan(c.ctx, "checkpoint.flush", "checkpoint")
+	defer ts.End()
 	snap := &Checkpoint{
 		Version:       CheckpointVersion,
 		NumPrograms:   c.numProg,
@@ -221,6 +234,7 @@ func (c *checkpointer) flush() error {
 			snap.Groups = append(snap.Groups, c.res.Groups[g])
 		}
 	}
+	ts.Arg("groups", int64(len(snap.Groups)))
 	if err := WriteCheckpoint(c.path, snap); err != nil {
 		return err
 	}

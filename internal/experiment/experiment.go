@@ -143,7 +143,7 @@ func Combinations(n, k int) ([][]int, error) {
 
 // EvaluateGroup runs all six schemes on one co-run group.
 func EvaluateGroup(progs []workload.Program, members []int, units int, blocksPerUnit int64) (GroupResult, error) {
-	return evaluateGroup(progs, members, units, blocksPerUnit, nil)
+	return evaluateGroup(context.Background(), progs, members, units, blocksPerUnit, nil)
 }
 
 // CostTable precomputes each program's miss-count column cost[p][u] =
@@ -164,8 +164,10 @@ func CostTable(progs []workload.Program, units int) [][]float64 {
 }
 
 // evaluateGroup is EvaluateGroup with an optional precomputed cost table
-// indexed by program (not group-member) position.
-func evaluateGroup(progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (GroupResult, error) {
+// indexed by program (not group-member) position. ctx carries the trace
+// parent (the worker's group span during a sweep), so each scheme's DP
+// solve renders as a child "dp.solve" span in -trace-events timelines.
+func evaluateGroup(ctx context.Context, progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (GroupResult, error) {
 	n := len(members)
 	if n == 0 {
 		return GroupResult{}, fmt.Errorf("experiment: empty group")
@@ -212,20 +214,33 @@ func evaluateGroup(progs []workload.Program, members []int, units int, blocksPer
 	}
 	record(Natural, sol)
 
+	// solveSpan traces one scheme's DP solve; a nil tracer makes this an
+	// atomic load per scheme, nothing more.
+	solveSpan := func(s Scheme) *obs.TraceSpan {
+		_, ts := obs.StartTraceSpan(ctx, "dp.solve", "dp")
+		return ts.Arg("scheme", int64(s))
+	}
+
 	// Baseline optimizations (§VI), sharing the group's cost table.
+	ts := solveSpan(EqualBaseline)
 	sol, err = partition.OptimizeBaseline(pr, equalAlloc)
+	ts.End()
 	if err != nil {
 		return GroupResult{}, fmt.Errorf("experiment: equal baseline: %w", err)
 	}
 	record(EqualBaseline, sol)
+	ts = solveSpan(NaturalBaseline)
 	sol, err = partition.OptimizeBaseline(pr, naturalAlloc)
+	ts.End()
 	if err != nil {
 		return GroupResult{}, fmt.Errorf("experiment: natural baseline: %w", err)
 	}
 	record(NaturalBaseline, sol)
 
 	// Optimal: unconstrained DP.
+	ts = solveSpan(Optimal)
 	sol, err = partition.Optimize(pr)
+	ts.End()
 	if err != nil {
 		return GroupResult{}, fmt.Errorf("experiment: optimal: %w", err)
 	}
@@ -294,7 +309,7 @@ type RunOpts struct {
 // evaluateGroupSafe runs evaluateGroup with panics recovered into errors,
 // so one pathological group (or a bug in a solver path) degrades to a
 // typed GroupError instead of crashing the whole sweep.
-func evaluateGroupSafe(progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (gr GroupResult, err error) {
+func evaluateGroupSafe(ctx context.Context, progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (gr GroupResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// A panic value that is itself an error stays in the chain
@@ -310,7 +325,7 @@ func evaluateGroupSafe(progs []workload.Program, members []int, units int, block
 	if testHookEvaluateGroup != nil {
 		testHookEvaluateGroup(members)
 	}
-	return evaluateGroup(progs, members, units, blocksPerUnit, costTab)
+	return evaluateGroup(ctx, progs, members, units, blocksPerUnit, costTab)
 }
 
 // testHookEvaluateGroup, when non-nil, runs at the top of every group
@@ -394,7 +409,7 @@ func Run(ctx context.Context, progs []workload.Program, groupSize, units int, bl
 	// result write, giving the checkpointer a happens-before edge), and
 	// the checkpointer flushes a deterministic, lexicographically sorted
 	// snapshot every CheckpointEvery completions plus once at the end.
-	ckpt := startCheckpointer(&res, done, len(progs), groupSize, blocksPerUnit, opts)
+	ckpt := startCheckpointer(ctx, &res, done, len(progs), groupSize, blocksPerUnit, opts)
 
 	// FailFast cancels this derived context so in-flight workers stop
 	// pulling jobs; parent cancellation flows through it too.
@@ -423,6 +438,9 @@ func Run(ctx context.Context, progs []workload.Program, groupSize, units int, bl
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one trace lane (row in the exported
+			// timeline); lane 0 stays the main goroutine's.
+			laneCtx := obs.WithTraceLane(runCtx, int64(w+1))
 			for g := range jobs {
 				// Prompt drain: once cancelled (Ctrl-C or FailFast), skip
 				// the remaining queue instead of solving it.
@@ -433,7 +451,9 @@ func Run(ctx context.Context, progs []workload.Program, groupSize, units int, bl
 				if reg != nil {
 					start = time.Now()
 				}
-				gr, err := evaluateGroupSafe(progs, groups[g], units, blocksPerUnit, costTab)
+				gctx, gspan := obs.StartTraceSpan(laneCtx, "experiment.group", "sweep")
+				gr, err := evaluateGroupSafe(gctx, progs, groups[g], units, blocksPerUnit, costTab)
+				gspan.Arg("group", int64(g)).End()
 				if reg != nil {
 					groupHist.Observe(time.Since(start).Nanoseconds())
 				}

@@ -26,16 +26,25 @@ func fixedManifest() *Manifest {
 	for i := 0; i < 1820; i++ {
 		h.Observe(int64(i%7) * 1_000_000)
 	}
-	reg.StartSpan(context.Background(), "profile").End()
-	reg.StartSpan(context.Background(), "sweep").End()
-	reg.StartSpan(context.Background(), "reports").End()
+	for _, stage := range []string{"profile", "sweep", "reports"} {
+		_, s := reg.StartSpan(context.Background(), stage)
+		s.End()
+	}
 
 	b := NewManifest("experiments", map[string]any{
 		"small":     true,
 		"groupsize": 4,
 		"units":     64,
 	})
-	return b.Build(reg)
+	m := b.Build(reg)
+	// A fixed sampled-history reduction: the summary values are
+	// timing-dependent in real runs, but Canonical keeps only the sorted
+	// name set, which is deterministic.
+	m.TimeSeries = map[string]SeriesSummary{
+		"experiment_groups_completed_total": {Samples: 3, Min: 0, Max: 1820, RatePerSec: 910},
+		"experiment_workers":                {Samples: 3, Min: 4, Max: 4},
+	}
+	return m
 }
 
 // The canonical (comparable) portion of the manifest must be

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // numRegShards is the number of lock shards in a Registry's name→metric
@@ -21,9 +22,16 @@ const numRegShards = 8
 type Registry struct {
 	shards [numRegShards]regShard
 
-	// spans is the ordered list of completed stage spans (span.go).
-	spanMu sync.Mutex
-	spans  []SpanRecord
+	// start anchors span StartNS offsets: every SpanRecord's StartNS is
+	// relative to the registry's creation, making stages orderable
+	// without wall-clock stamps in the manifest.
+	start time.Time
+
+	// spans is the ordered list of completed stage spans (span.go),
+	// capped at maxSpanRecords; spansDropped counts the overflow.
+	spanMu       sync.Mutex
+	spans        []SpanRecord
+	spansDropped int64
 }
 
 type regShard struct {
@@ -35,7 +43,7 @@ type regShard struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	r := &Registry{}
+	r := &Registry{start: time.Now()}
 	for i := range r.shards {
 		r.shards[i].counters = make(map[string]*Counter)
 		r.shards[i].gauges = make(map[string]*Gauge)
@@ -261,6 +269,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.spanMu.Lock()
 	snap.Spans = append([]SpanRecord(nil), r.spans...)
+	if r.spansDropped > 0 {
+		// Surface the overflow where dashboards and manifests already
+		// look, without a dedicated schema field.
+		snap.Counters["obs_spans_dropped_total"] = r.spansDropped
+	}
 	r.spanMu.Unlock()
 	return snap
 }

@@ -94,8 +94,10 @@ func TestNilSafety(t *testing.T) {
 	reg.Gauge("g").Set(1)
 	reg.Gauge("g").Add(-1)
 	reg.Histogram("h", DurationBuckets()).Observe(7)
-	reg.StartSpan(context.Background(), "stage").End()
-	reg.StartSpan(nil, "stage").End()
+	_, sp := reg.StartSpan(context.Background(), "stage")
+	sp.End()
+	_, sp = reg.StartSpan(nil, "stage")
+	sp.End()
 	if got := reg.Counter("c").Value(); got != 0 {
 		t.Errorf("nil counter value = %d, want 0", got)
 	}
@@ -135,9 +137,9 @@ func TestEnableDisable(t *testing.T) {
 // Spans record in completion order and measure non-negative durations.
 func TestSpans(t *testing.T) {
 	reg := NewRegistry()
-	s1 := reg.StartSpan(context.Background(), "profile")
+	_, s1 := reg.StartSpan(context.Background(), "profile")
 	s1.End()
-	s2 := reg.StartSpan(context.Background(), "sweep")
+	_, s2 := reg.StartSpan(context.Background(), "sweep")
 	s2.End()
 	spans := reg.Snapshot().Spans
 	if len(spans) != 2 || spans[0].Name != "profile" || spans[1].Name != "sweep" {

@@ -23,8 +23,17 @@
 //     that the instrumented packages (partition, reuse, experiment,
 //     cachesim, workload) feed; Snapshot() freezes it for export.
 //   - Manifest: the durable record of one run — config, version,
-//     per-stage wall/CPU time, counters, histogram summaries — written
-//     atomically so a crash never leaves a torn manifest.
+//     per-stage wall/CPU time, counters, histogram summaries, sampled
+//     time-series reductions — written atomically so a crash never
+//     leaves a torn manifest.
+//   - Tracer (tracer.go): hierarchical trace events — fine-grained
+//     parent/child spans with goroutine lanes, exported as Chrome
+//     trace_event JSON (-trace-events) for Perfetto. EnableTracer
+//     installs the process-global tracer the same way Enable installs
+//     the registry.
+//   - Sampler (sampler.go): background metrics-history sampling into a
+//     bounded ring, served at /metrics/history and reduced into the
+//     manifest. EnableSampler installs the process-global sampler.
 package obs
 
 import "sync/atomic"

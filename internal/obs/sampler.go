@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the metrics-history pillar: a background Sampler that
+// snapshots the registry's counters and gauges on a fixed interval into
+// a bounded ring buffer. The history serves over the debug server's
+// /metrics/history endpoint, and per-series min/max/rate summaries fold
+// into the run manifest (Manifest.TimeSeries) so a finished run records
+// not just end-of-run totals but how they evolved.
+
+// DefaultSamplerCapacity is the default ring-buffer size. At the
+// default 1 s interval that is ~8.5 minutes of history; longer runs
+// keep the newest window.
+const DefaultSamplerCapacity = 512
+
+// A SeriesPoint is one sampler tick: the offset from the sampler's
+// start and the registry's counter/gauge values at that instant.
+type SeriesPoint struct {
+	AtNS     int64            `json:"at_ns"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// A SeriesSummary reduces one metric's sampled history: how many ticks
+// observed it, its extremes, and its average rate of change over the
+// observed window (per second; for counters this is the throughput, for
+// gauges the net drift).
+type SeriesSummary struct {
+	Samples    int     `json:"samples"`
+	Min        int64   `json:"min"`
+	Max        int64   `json:"max"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+// A Sampler owns one background goroutine snapshotting a registry. The
+// zero value is not usable; call StartSampler. All methods on a nil
+// *Sampler are no-ops returning zero values, so commands pass their
+// (possibly disabled) sampler around unconditionally.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	start    time.Time
+
+	mu   sync.Mutex
+	ring []SeriesPoint
+	head int // next write position
+	n    int // filled entries (<= len(ring))
+
+	stop    chan struct{}
+	done    chan struct{} // closed when the sample goroutine exits
+	stopped sync.Once
+}
+
+// StartSampler begins sampling reg every interval into a ring buffer of
+// the given capacity (<= 0 means DefaultSamplerCapacity) and returns
+// the running sampler. Sampling stops when ctx is cancelled or Stop is
+// called, whichever comes first; both take a final sample before the
+// goroutine exits, so even a run shorter than one interval records its
+// end state. A nil registry or non-positive interval returns nil — the
+// disabled configuration.
+func StartSampler(ctx context.Context, reg *Registry, interval time.Duration, capacity int) *Sampler {
+	if reg == nil || interval <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if capacity <= 0 {
+		capacity = DefaultSamplerCapacity
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		start:    time.Now(),
+		ring:     make([]SeriesPoint, capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run(ctx)
+	Logger().Info("metrics sampler started", "interval", interval, "capacity", capacity)
+	return s
+}
+
+func (s *Sampler) run(ctx context.Context) {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.sample()
+		case <-ctx.Done():
+			s.sample()
+			return
+		case <-s.stop:
+			s.sample()
+			return
+		}
+	}
+}
+
+// sample appends one snapshot to the ring.
+func (s *Sampler) sample() {
+	snap := s.reg.Snapshot()
+	pt := SeriesPoint{
+		AtNS:     time.Since(s.start).Nanoseconds(),
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	}
+	s.mu.Lock()
+	s.ring[s.head] = pt
+	s.head = (s.head + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Stop ends sampling after one final snapshot and waits for the
+// goroutine to exit. Idempotent, safe concurrently and on nil.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopped.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// History returns the buffered samples in chronological order (oldest
+// first). The result is a copy.
+func (s *Sampler) History() []SeriesPoint {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesPoint, 0, s.n)
+	first := (s.head - s.n + len(s.ring)) % len(s.ring)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(first+i)%len(s.ring)])
+	}
+	return out
+}
+
+// Interval returns the sampling interval (0 on nil).
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Summaries reduces the sampled history to per-series min/max/rate.
+// The series name set is taken from the registry's current contents —
+// which for a deterministic run is itself deterministic — while the
+// values reduce whatever window the ring retained; a series absent
+// from every retained sample reports zero samples. Call after Stop (or
+// at manifest-build time) for the final-state view.
+func (s *Sampler) Summaries() map[string]SeriesSummary {
+	if s == nil {
+		return nil
+	}
+	hist := s.History()
+	snap := s.reg.Snapshot()
+	out := make(map[string]SeriesSummary, len(snap.Counters)+len(snap.Gauges))
+	summarize := func(name string, at func(SeriesPoint) (int64, bool)) {
+		var sum SeriesSummary
+		var firstAt, lastAt int64
+		var firstV, lastV int64
+		for _, pt := range hist {
+			v, ok := at(pt)
+			if !ok {
+				continue
+			}
+			if sum.Samples == 0 {
+				sum.Min, sum.Max = v, v
+				firstAt, firstV = pt.AtNS, v
+			}
+			if v < sum.Min {
+				sum.Min = v
+			}
+			if v > sum.Max {
+				sum.Max = v
+			}
+			lastAt, lastV = pt.AtNS, v
+			sum.Samples++
+		}
+		if sum.Samples > 1 && lastAt > firstAt {
+			sum.RatePerSec = float64(lastV-firstV) / (float64(lastAt-firstAt) / 1e9)
+		}
+		out[name] = sum
+	}
+	for name := range snap.Counters {
+		n := name
+		summarize(n, func(pt SeriesPoint) (int64, bool) { v, ok := pt.Counters[n]; return v, ok })
+	}
+	for name := range snap.Gauges {
+		n := name
+		summarize(n, func(pt SeriesPoint) (int64, bool) { v, ok := pt.Gauges[n]; return v, ok })
+	}
+	return out
+}
+
+// activeSampler is the process-wide sampler the debug server's
+// /metrics/history endpoint reads, nil when sampling is disabled.
+var activeSampler atomic.Pointer[Sampler]
+
+// EnableSampler installs s as the process-global sampler for the debug
+// server; EnableSampler(nil) detaches it.
+func EnableSampler(s *Sampler) { activeSampler.Store(s) }
+
+// ActiveSampler returns the process-global sampler, or nil.
+func ActiveSampler() *Sampler { return activeSampler.Load() }

@@ -18,12 +18,26 @@ import (
 // enabled at serve time — tests can start and stop debug servers freely.
 var publishOnce sync.Once
 
-func publishRegistry() {
+// PublishExpvar registers the "partitionshare" expvar export and
+// reports whether this call performed the registration. A false return
+// is the explicit already-published signal: expvar's namespace is
+// process-global, so only the first call in a process registers, and a
+// caller standing up a second registry must know its export rides the
+// existing Func — which reads whatever registry Enabled() returns at
+// serve time, not the registry that was live at publish time. The
+// skipped case is also logged at debug level.
+func PublishExpvar() bool {
+	published := false
 	publishOnce.Do(func() {
+		published = true
 		expvar.Publish("partitionshare", expvar.Func(func() any {
 			return Enabled().Snapshot()
 		}))
 	})
+	if !published {
+		Logger().Debug("expvar export already published; /debug/vars tracks the currently enabled registry")
+	}
+	return published
 }
 
 // A DebugServer is the optional -debug-addr HTTP listener: it serves
@@ -55,7 +69,7 @@ func StartDebugServer(ctx context.Context, addr string) (*DebugServer, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	publishRegistry()
+	PublishExpvar()
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -68,6 +82,20 @@ func StartDebugServer(ctx context.Context, addr string) (*DebugServer, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(Enabled().Snapshot())
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		samp := ActiveSampler()
+		hist := samp.History()
+		if hist == nil {
+			hist = []SeriesPoint{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			IntervalNS int64         `json:"interval_ns"`
+			Samples    []SeriesPoint `json:"samples"`
+		}{samp.Interval().Nanoseconds(), hist})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -151,3 +151,83 @@ func TestDebugServerBadAddr(t *testing.T) {
 	}
 	waitNoLeak(t, before)
 }
+
+// historyResponse mirrors the /metrics/history JSON shape.
+type historyResponse struct {
+	IntervalNS int64         `json:"interval_ns"`
+	Samples    []SeriesPoint `json:"samples"`
+}
+
+// /metrics/history serves the active sampler's buffered points, and an
+// empty (but valid) document when no sampler is installed.
+func TestDebugServerMetricsHistory(t *testing.T) {
+	before := runtime.NumGoroutine()
+	reg := NewRegistry()
+	reg.Counter("jobs_total").Add(5)
+	Enable(reg)
+	defer Enable(nil)
+
+	ds, err := StartDebugServer(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ds.Addr()
+
+	// No sampler installed: empty history, not an error.
+	code, body := get(t, base+"/metrics/history")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics/history status = %d with no sampler", code)
+	}
+	var hr historyResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatalf("/metrics/history is not JSON: %v", err)
+	}
+	if hr.IntervalNS != 0 || len(hr.Samples) != 0 {
+		t.Errorf("no-sampler history = %+v, want empty", hr)
+	}
+
+	samp := StartSampler(context.Background(), reg, time.Millisecond, 16)
+	EnableSampler(samp)
+	defer EnableSampler(nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(samp.History()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	code, body = get(t, base+"/metrics/history")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics/history status = %d", code)
+	}
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatalf("/metrics/history is not JSON: %v", err)
+	}
+	if hr.IntervalNS != time.Millisecond.Nanoseconds() {
+		t.Errorf("interval_ns = %d, want %d", hr.IntervalNS, time.Millisecond.Nanoseconds())
+	}
+	if len(hr.Samples) == 0 {
+		t.Fatal("history served no samples")
+	}
+	if hr.Samples[len(hr.Samples)-1].Counters["jobs_total"] != 5 {
+		t.Errorf("served sample counters = %v, want jobs_total=5",
+			hr.Samples[len(hr.Samples)-1].Counters)
+	}
+
+	samp.Stop()
+	EnableSampler(nil)
+	ds.Close()
+	waitNoLeak(t, before)
+}
+
+// PublishExpvar registers exactly once per process: whichever call is
+// first returns true, and every later call reports the duplicate with an
+// explicit false instead of panicking in expvar.
+func TestPublishExpvarReportsDuplicate(t *testing.T) {
+	// Another test (or a debug server) may have published already, so the
+	// first call's result is environment-dependent; the second call right
+	// after it must always be the duplicate.
+	first := PublishExpvar()
+	second := PublishExpvar()
+	if second {
+		t.Errorf("second PublishExpvar = true, want false (first = %v)", first)
+	}
+}

@@ -7,16 +7,28 @@ import (
 	"time"
 )
 
-// A SpanRecord is one completed pipeline stage: its name, wall-clock
-// duration, and the process CPU time (user+system, all threads) that
-// elapsed while it ran. CPU time is a process-wide delta — concurrent
-// stages each see the whole process's burn — which is exactly the
-// number the manifest wants: how much CPU the run spent while this
-// stage was the active phase.
+// maxSpanRecords caps the registry's stage-span list. Stage spans are
+// coarse (a handful per run), so hitting the cap means an instrumented
+// loop is misusing StartSpan; rather than growing without bound the
+// registry drops the overflow, logs one warning, and surfaces the drop
+// count as the obs_spans_dropped_total counter in snapshots and
+// manifests. Fine-grained, high-volume timing belongs to the Tracer
+// (tracer.go), whose buffer has its own cap.
+const maxSpanRecords = 4096
+
+// A SpanRecord is one completed pipeline stage: its name, the offset of
+// its start from the registry's creation (so manifest stages are
+// orderable even when stages overlap), its wall-clock duration, and the
+// process CPU time (user+system, all threads) that elapsed while it
+// ran. CPU time is a process-wide delta — concurrent stages each see
+// the whole process's burn — which is exactly the number the manifest
+// wants: how much CPU the run spent while this stage was the active
+// phase.
 type SpanRecord struct {
-	Name   string `json:"name"`
-	WallNS int64  `json:"wall_ns"`
-	CPUNS  int64  `json:"cpu_ns"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	WallNS  int64  `json:"wall_ns"`
+	CPUNS   int64  `json:"cpu_ns"`
 }
 
 // A Span is an in-flight stage measurement. End records it into the
@@ -28,43 +40,61 @@ type Span struct {
 	startWall time.Time
 	startCPU  time.Duration
 	region    *rtrace.Region
+	ts        *TraceSpan
 }
 
 // StartSpan begins a named stage: it opens a runtime/trace region (free
-// unless `go tool trace` capture is on), snapshots wall and process-CPU
-// clocks, and returns the span to End. ctx associates the trace region
-// with any enclosing trace task; nil is allowed.
-func (r *Registry) StartSpan(ctx context.Context, name string) *Span {
+// unless `go tool trace` capture is on), a hierarchical tracer span
+// (recorded in -trace-events output when tracing is enabled), snapshots
+// wall and process-CPU clocks, and returns the span to End. The
+// returned context carries the tracer span, so operations started under
+// it become its children in the trace timeline; with tracing disabled
+// it is the input context unchanged. ctx may be nil.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if r == nil {
-		return nil
+		return ctx, nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Span{
+	ctx, ts := StartTraceSpan(ctx, name, "stage")
+	return ctx, &Span{
 		reg:       r,
 		name:      name,
 		startWall: time.Now(),
 		startCPU:  processCPUTime(),
 		region:    rtrace.StartRegion(ctx, name),
+		ts:        ts,
 	}
 }
 
-// End closes the span, appends its record to the registry, and logs the
-// stage timing at debug level.
+// End closes the span, appends its record to the registry (dropping and
+// counting it past the cap), and logs the stage timing at debug level.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	rec := SpanRecord{
-		Name:   s.name,
-		WallNS: time.Since(s.startWall).Nanoseconds(),
-		CPUNS:  (processCPUTime() - s.startCPU).Nanoseconds(),
+		Name:    s.name,
+		StartNS: s.startWall.Sub(s.reg.start).Nanoseconds(),
+		WallNS:  time.Since(s.startWall).Nanoseconds(),
+		CPUNS:   (processCPUTime() - s.startCPU).Nanoseconds(),
 	}
 	s.region.End()
+	s.ts.End()
+	var dropped int64
 	s.reg.spanMu.Lock()
-	s.reg.spans = append(s.reg.spans, rec)
+	if len(s.reg.spans) < maxSpanRecords {
+		s.reg.spans = append(s.reg.spans, rec)
+	} else {
+		s.reg.spansDropped++
+		dropped = s.reg.spansDropped
+	}
 	s.reg.spanMu.Unlock()
+	if dropped == 1 {
+		Logger().Warn("stage span cap reached; dropping further spans",
+			"cap", maxSpanRecords, "stage", s.name)
+	}
 	Logger().LogAttrs(context.Background(), slog.LevelDebug, "stage done",
 		slog.String("stage", s.name),
 		slog.Duration("wall", time.Duration(rec.WallNS)),

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the second-generation span layer: a hierarchical,
+// time-resolved trace collector. Where the Registry's stage spans
+// (span.go) produce the manifest's flat per-stage totals, the Tracer
+// records every instrumented operation — per-group DP solves, DP pool
+// layers, reuse shards, cache simulations, workload profiling passes,
+// checkpoint flushes — as a TraceEvent carrying a span ID, its parent's
+// ID (threaded through context.Context), a lane (worker/goroutine row),
+// and wall-clock start/duration relative to the tracer's epoch. The
+// whole set exports as Chrome trace_event JSON (traceexport.go) that
+// loads directly in Perfetto or chrome://tracing.
+//
+// Like the Registry, the Tracer is nil-safe end to end: with no tracer
+// enabled, StartTraceSpan is one atomic load plus a nil check and every
+// span method is a no-op, so the instrumented hot paths cost nothing in
+// the default configuration (the benchsnap ObsOverhead gate covers
+// this).
+
+// numTraceShards is the number of lock shards in the tracer's event
+// buffer. Completed spans append under one shard mutex chosen by span
+// ID, so concurrent sweep workers rarely contend.
+const numTraceShards = 16
+
+// DefaultTraceEventCap bounds the tracer's in-memory event buffer. A
+// full -small experiments run records a few tens of thousands of
+// events (~100 B each); the cap exists so a pathological caller cannot
+// grow the buffer without bound. Events past the cap still stream to
+// the -trace-events sink (which is bounded by disk, not memory) and
+// are counted in Dropped.
+const DefaultTraceEventCap = 1 << 18
+
+// A TraceEvent is one completed span: an operation with identity,
+// hierarchy, placement, and timing. StartNS is the offset from the
+// tracer's epoch, so events are orderable without wall-clock stamps.
+type TraceEvent struct {
+	ID      int64            `json:"id"`
+	Parent  int64            `json:"parent,omitempty"`
+	Name    string           `json:"name"`
+	Cat     string           `json:"cat,omitempty"`
+	Lane    int64            `json:"lane"`
+	StartNS int64            `json:"start_ns"`
+	DurNS   int64            `json:"dur_ns"`
+	Args    map[string]int64 `json:"args,omitempty"`
+}
+
+type traceShard struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// A Tracer collects TraceEvents. The zero value is not usable; call
+// NewTracer. All methods are safe for concurrent use, and all methods
+// on a nil *Tracer (and the nil spans it hands out) are no-ops.
+type Tracer struct {
+	epoch   time.Time
+	nextID  atomic.Int64
+	count   atomic.Int64
+	dropped atomic.Int64
+	cap     int64
+	sink    *TraceWriter
+	shards  [numTraceShards]traceShard
+}
+
+// NewTracer returns an empty tracer whose in-memory buffer holds at
+// most capEvents events (<= 0 means DefaultTraceEventCap). sink, when
+// non-nil, receives every completed event as it ends — including those
+// past the in-memory cap — and is committed by Close.
+func NewTracer(capEvents int, sink *TraceWriter) *Tracer {
+	if capEvents <= 0 {
+		capEvents = DefaultTraceEventCap
+	}
+	return &Tracer{epoch: time.Now(), cap: int64(capEvents), sink: sink}
+}
+
+// activeTracer is the process-wide tracer, nil unless a command enabled
+// -trace-events (or a test installed one). Mirrors the Registry's
+// Enable/Enabled pattern.
+var activeTracer atomic.Pointer[Tracer]
+
+// EnableTracer installs t as the process-global tracer;
+// EnableTracer(nil) disables tracing again.
+func EnableTracer(t *Tracer) { activeTracer.Store(t) }
+
+// ActiveTracer returns the process-global tracer, or nil when tracing
+// is disabled.
+func ActiveTracer() *Tracer { return activeTracer.Load() }
+
+// traceRef is the context payload: the current span's ID (parent for
+// children) and the lane assigned to this goroutine's work.
+type traceRef struct {
+	id   int64
+	lane int64
+}
+
+type traceRefKey struct{}
+
+// WithTraceLane tags ctx with a lane number: spans started under the
+// returned context (and their descendants) render on that row of the
+// trace timeline. Lane numbers are caller-chosen labels — sweep workers
+// use their worker index, reuse shards their shard index — and need not
+// be unique across pipeline phases.
+func WithTraceLane(ctx context.Context, lane int64) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ref, _ := ctx.Value(traceRefKey{}).(traceRef)
+	ref.lane = lane
+	return context.WithValue(ctx, traceRefKey{}, ref)
+}
+
+// TraceParent returns the span ID and lane the given context carries
+// (zero values when untraced).
+func TraceParent(ctx context.Context) (id, lane int64) {
+	if ctx == nil {
+		return 0, 0
+	}
+	ref, _ := ctx.Value(traceRefKey{}).(traceRef)
+	return ref.id, ref.lane
+}
+
+// A TraceSpan is one in-flight traced operation. End records it. A nil
+// span (tracing disabled) is a no-op, so call sites never branch.
+type TraceSpan struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	lane   int64
+	name   string
+	cat    string
+	start  time.Time
+	args   map[string]int64
+}
+
+// StartTraceSpan begins a span on the process-global tracer, parented
+// under the span carried by ctx (none = a root span). The returned
+// context carries the new span, so operations started under it become
+// children. With tracing disabled this is one atomic load plus a nil
+// check, and ctx is returned unchanged.
+func StartTraceSpan(ctx context.Context, name, cat string) (context.Context, *TraceSpan) {
+	t := ActiveTracer()
+	if t == nil {
+		return ctx, nil
+	}
+	return t.Start(ctx, name, cat)
+}
+
+// Start is StartTraceSpan on an explicit tracer.
+func (t *Tracer) Start(ctx context.Context, name, cat string) (context.Context, *TraceSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ref, _ := ctx.Value(traceRefKey{}).(traceRef)
+	s := &TraceSpan{
+		tr:     t,
+		id:     t.nextID.Add(1),
+		parent: ref.id,
+		lane:   ref.lane,
+		name:   name,
+		cat:    cat,
+		start:  time.Now(),
+	}
+	return context.WithValue(ctx, traceRefKey{}, traceRef{id: s.id, lane: ref.lane}), s
+}
+
+// Arg attaches a small numeric argument to the span (visible in the
+// exported trace's args). Returns the span for chaining. Must not be
+// called concurrently with End.
+func (s *TraceSpan) Arg(key string, v int64) *TraceSpan {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]int64, 4)
+	}
+	s.args[key] = v
+	return s
+}
+
+// End completes the span and records its event: into the tracer's
+// sharded in-memory buffer (up to the cap) and, when a sink is
+// attached, into the streamed trace-events file.
+func (s *TraceSpan) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	ev := TraceEvent{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		Cat:     s.cat,
+		Lane:    s.lane,
+		StartNS: s.start.Sub(t.epoch).Nanoseconds(),
+		DurNS:   time.Since(s.start).Nanoseconds(),
+		Args:    s.args,
+	}
+	if t.count.Add(1) <= t.cap {
+		sh := &t.shards[s.id%numTraceShards]
+		sh.mu.Lock()
+		sh.events = append(sh.events, ev)
+		sh.mu.Unlock()
+	} else {
+		t.dropped.Add(1)
+	}
+	if t.sink != nil {
+		t.sink.emit(ev)
+	}
+}
+
+// Events returns every buffered event, sorted by start offset (ties by
+// span ID). The result is a copy; the tracer keeps collecting.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	var out []TraceEvent
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.events...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Dropped reports how many completed spans were discarded from the
+// in-memory buffer because the cap was reached (streamed sinks still
+// received them).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Close commits the tracer's streamed sink, if any, and returns its
+// error. The in-memory buffer stays readable. Safe on a nil tracer and
+// idempotent through the sink's own once-guard.
+func (t *Tracer) Close() error {
+	if t == nil || t.sink == nil {
+		return nil
+	}
+	return t.sink.Close()
+}

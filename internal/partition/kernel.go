@@ -224,6 +224,16 @@ func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 	}
 	n, C := len(pr.Curves), pr.Units
 
+	// Trace only the cancellable (ctx != nil) path: the serial Optimize
+	// calls in the sweep's inner loop pass nil and stay instrumentation-
+	// free — their timing is the ObsOverhead gate's subject — while the
+	// coarse parallel solves record a span with per-layer children.
+	if ctx != nil {
+		var ps *obs.TraceSpan
+		ctx, ps = obs.StartTraceSpan(ctx, "partition.solve", "dp")
+		defer ps.Arg("programs", int64(n)).Arg("units", int64(C)).End()
+	}
+
 	s := getScratch(n, C)
 	defer putScratch(s)
 	dp, next := s.dp, s.next
@@ -284,7 +294,9 @@ func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 		spec.prevLo, spec.prevHi = prevLo, prevHi
 		spec.checked = spec.checked || !(costBound < costSafeLimit)
 		if pool != nil {
+			_, ls := obs.StartTraceSpan(ctx, "dp.layer", "dp")
 			pool.runLayer(&spec)
+			ls.Arg("layer", int64(p)).End()
 		} else {
 			runLayerRange(&spec, 0, C)
 		}

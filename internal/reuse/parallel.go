@@ -54,6 +54,8 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 		return Collect(t), nil
 	}
 	n := len(t)
+	ctx, cps := obs.StartTraceSpan(ctx, "reuse.collect_parallel", "profile")
+	defer cps.Arg("workers", int64(workers)).End()
 
 	// One watcher flips the flag on cancellation; shards poll it every
 	// cancelStride accesses, which is far cheaper than calling ctx.Err()
@@ -84,6 +86,8 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 		wg.Add(1)
 		go func(s, start, end int) {
 			defer wg.Done()
+			_, ss := obs.StartTraceSpan(obs.WithTraceLane(ctx, int64(s+1)), "reuse.shard", "profile")
+			defer ss.Arg("accesses", int64(end-start)).End()
 			seg := t[start:end]
 			var maxAddr uint32
 			for _, d := range seg {

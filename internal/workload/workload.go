@@ -220,13 +220,26 @@ type Program struct {
 
 // Profile generates and profiles one program under the given geometry.
 func Profile(spec Spec, cfg Config) (Program, error) {
+	return profileCtx(context.Background(), spec, cfg)
+}
+
+// profileCtx is Profile with a trace-span parent: the whole pass records
+// as a "workload.profile" span with "trace.generate" and "reuse.collect"
+// children, so -trace-events timelines show where profiling time goes.
+func profileCtx(ctx context.Context, spec Spec, cfg Config) (Program, error) {
 	if err := cfg.validate(); err != nil {
 		return Program{}, err
 	}
+	ctx, ps := obs.StartTraceSpan(ctx, "workload.profile", "profile")
+	defer ps.End()
 	seed := cfg.Seed*0x100000001b3 ^ hashName(spec.Name)
 	gen := spec.Build(uint32(cfg.CacheBlocks()), seed)
+	_, gs := obs.StartTraceSpan(ctx, "trace.generate", "profile")
 	tr := trace.Generate(gen, cfg.TraceLen)
+	gs.Arg("accesses", int64(len(tr))).End()
+	_, cs := obs.StartTraceSpan(ctx, "reuse.collect", "profile")
 	fp := footprint.FromTrace(tr)
+	cs.End()
 	curve := mrc.FromFootprint(spec.Name, fp, cfg.Units, cfg.BlocksPerUnit, spec.Rate)
 	// Co-run programs run for the same wall time, so program i issues
 	// rate_i·T accesses: weight miss counts by access rate, as the paper
@@ -272,7 +285,9 @@ func ProfileAll(ctx context.Context, specs []Spec, cfg Config) ([]Program, error
 			if ctx.Err() != nil {
 				return
 			}
-			progs[i], errs[i] = Profile(s, cfg)
+			// One trace lane per program: profiling passes render as
+			// parallel rows in the exported timeline.
+			progs[i], errs[i] = profileCtx(obs.WithTraceLane(ctx, int64(i+1)), s, cfg)
 		}(i, s)
 	}
 	wg.Wait()

@@ -1,0 +1,87 @@
+//go:build ignore
+
+// Checktrace asserts that a -trace-events file written by cmd/experiments
+// is a well-formed Chrome trace_event document: it parses as JSON, holds
+// at least one complete ("X") event, names the expected pipeline spans
+// (a DP solve, a reuse collection, a checkpoint flush), and contains at
+// least one parented span — the hierarchy is the feature, so a flat
+// timeline fails the gate. CI runs it against the trace of an
+// `experiments -small -trace-events` run:
+//
+//	go run scripts/checktrace.go /tmp/obs-smoke/trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: go run scripts/checktrace.go TRACE.json")
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s: not valid JSON: %v", path, err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		fail("%s: displayTimeUnit = %q, want \"ms\"", path, doc.DisplayTimeUnit)
+	}
+	var complete, parented, lanes int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			lanes++
+		case "X":
+			complete++
+			names[ev.Name] = true
+			if _, ok := ev.Args["parent"]; ok {
+				parented++
+			}
+		}
+	}
+	if complete == 0 {
+		fail("%s: no complete (\"X\") events", path)
+	}
+	if parented == 0 {
+		fail("%s: no parented spans — the span hierarchy is missing", path)
+	}
+	if lanes == 0 {
+		fail("%s: no thread_name lane metadata", path)
+	}
+	for _, want := range []string{"dp.solve", "reuse.", "checkpoint."} {
+		found := false
+		for n := range names {
+			if strings.HasPrefix(n, strings.TrimSuffix(want, ".")) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fail("%s: no span matching %q among %d names", path, want, len(names))
+		}
+	}
+	fmt.Printf("trace OK: %s (%d events, %d parented, %d lanes)\n",
+		path, complete, parented, lanes)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checktrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -36,12 +36,28 @@ go test -run=NONE -fuzz='^FuzzOptimize$' -fuzztime="$FUZZTIME" ./internal/partit
 
 # Observability smoke: a real -small run must produce a manifest that
 # exists, parses, and reports zero failed groups (checkmanifest also
-# verifies schema version, stage spans, and a positive completed count).
-echo "== obs smoke: experiments -small + manifest check"
+# verifies schema version, stage spans, and a positive completed count),
+# plus a Chrome trace_event timeline with the expected parented pipeline
+# spans (checktrace) and a metrics time series folded into the manifest.
+echo "== obs smoke: experiments -small + manifest + trace checks"
 OBS_SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_SMOKE_DIR"' EXIT
-go run ./cmd/experiments -small -out "$OBS_SMOKE_DIR" -manifest "$OBS_SMOKE_DIR/manifest.json" >/dev/null
+go run ./cmd/experiments -small -out "$OBS_SMOKE_DIR" \
+	-manifest "$OBS_SMOKE_DIR/manifest.json" \
+	-trace-events "$OBS_SMOKE_DIR/trace.json" \
+	-metrics-interval 50ms >/dev/null
 go run scripts/checkmanifest.go "$OBS_SMOKE_DIR/manifest.json"
+go run scripts/checktrace.go "$OBS_SMOKE_DIR/trace.json"
+
+# Perf-regression watch: advisory here (hardware differs run to run, so
+# a local diff against the committed baseline must not fail the gate);
+# CI runs the same comparison. The || true keeps set -e from tripping.
+echo "== benchdiff (advisory): BENCH_PR4.json vs BENCH_PR5.json"
+if [ -f BENCH_PR4.json ] && [ -f BENCH_PR5.json ]; then
+	go run ./cmd/benchdiff BENCH_PR4.json BENCH_PR5.json || true
+else
+	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr5)"
+fi
 
 echo "== govulncheck"
 if command -v govulncheck >/dev/null 2>&1; then
