@@ -35,7 +35,7 @@ import (
 const obsOverheadLimitPct = 3.0
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "snapshot file to create or merge into")
+	out := flag.String("out", "BENCH_PR6.json", "snapshot file to create or merge into")
 	label := flag.String("label", "current", "label for this run's column in the snapshot")
 	flag.Parse()
 

@@ -49,6 +49,7 @@ import (
 	"partitionshare/internal/atomicio"
 	"partitionshare/internal/experiment"
 	"partitionshare/internal/obs"
+	"partitionshare/internal/partition"
 	"partitionshare/internal/textplot"
 	"partitionshare/internal/workload"
 )
@@ -71,6 +72,7 @@ func main() {
 	resume := flag.Bool("resume", false, "resume the group sweep from the checkpoint in -out")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after this many completed groups (0 = default interval)")
 	workers := flag.Int("workers", 0, "worker goroutines for the group sweep (0 = GOMAXPROCS)")
+	solverFlag := flag.String("solver", "auto", "DP solver for every scheme's solve: auto|exact|dc|refine")
 	failFast := flag.Bool("failfast", false, "abort the sweep on the first group error instead of collecting errors")
 	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics and pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -88,6 +90,10 @@ func main() {
 		fatal(err)
 	}
 	obs.InitLogging(os.Stderr, level, *logJSON)
+	solver, err := partition.ParseSolver(*solverFlag)
+	if err != nil {
+		fatal(err)
+	}
 	obs.Enable(obs.NewRegistry())
 
 	// SIGINT/SIGTERM cancel ctx; every stage below drains gracefully and
@@ -114,6 +120,7 @@ func main() {
 		"blocks_per_unit": cfg.BlocksPerUnit,
 		"trace_len":       cfg.TraceLen,
 		"workers":         *workers,
+		"solver":          solver.String(),
 		"validate":        *validate,
 		"correlate":       *correlate,
 		"granularity":     *granularity,
@@ -198,6 +205,7 @@ func main() {
 		FailFast:        *failFast,
 		CheckpointPath:  ckptPath,
 		CheckpointEvery: *checkpointEvery,
+		Solver:          solver,
 		OnProgress:      sweepProgress(),
 	}
 	if *resume {

@@ -4,9 +4,17 @@
 // Equal, Natural, Equal-baseline, Natural-baseline, Optimal, STTW — with
 // per-program allocations and miss ratios.
 //
+// -solver selects the DP strategy (auto walks the solver ladder of
+// DESIGN.md §13; exact, dc, and refine force a rung), -baselines=false
+// skips everything but the Optimal solve (the large-C timing
+// configuration: the baseline-constrained DPs are quadratic in C and
+// would dominate a solver-rung measurement), and -manifest writes a run
+// manifest recording the geometry, the solver counters, and the
+// SolverPath each DP scheme actually took.
+//
 // Usage:
 //
-//	optpart [-units 1024] [-blocksperunit 4] prog1.hotl prog2.hotl ...
+//	optpart [-units 1024] [-blocksperunit 4] [-solver auto] prog1.hotl prog2.hotl ...
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 
 	"partitionshare/internal/compose"
 	"partitionshare/internal/mrc"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/partition"
 	"partitionshare/internal/profileio"
 )
@@ -24,12 +33,19 @@ func main() {
 	units := flag.Int("units", 1024, "cache size in partition units")
 	blocksPerUnit := flag.Int64("blocksperunit", 4, "cache blocks per partition unit")
 	minimax := flag.Bool("minimax", false, "also print the minimax-fair optimal partition")
+	solverFlag := flag.String("solver", "auto", "DP solver: auto|exact|dc|refine")
+	baselines := flag.Bool("baselines", true, "compute the baseline schemes (Equal, Natural, Equal/Natural baseline, STTW), not just Optimal")
+	manifestPath := flag.String("manifest", "", "run-manifest path recording solver paths and counters (empty disables)")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		fatal(fmt.Errorf("need at least two profile files"))
 	}
 	if *units < 1 || *blocksPerUnit < 1 {
 		fatal(fmt.Errorf("invalid geometry"))
+	}
+	solver, err := partition.ParseSolver(*solverFlag)
+	if err != nil {
+		fatal(err)
 	}
 
 	var curves []mrc.Curve
@@ -46,54 +62,85 @@ func main() {
 		comps = append(comps, compose.Program{Name: p.Name, Fp: fp, Rate: p.Rate})
 	}
 
-	pr := partition.Problem{Curves: curves, Units: *units}
+	// The manifest, when requested, captures the flag record plus — filled
+	// in after each DP solve below — the ladder rung every scheme actually
+	// ran (solver_paths), alongside the registry's per-path counters.
+	solverPaths := map[string]any{}
+	var manifest *obs.ManifestBuilder
+	if *manifestPath != "" {
+		obs.Enable(obs.NewRegistry())
+		manifest = obs.NewManifest("optpart", map[string]any{
+			"units":           *units,
+			"blocks_per_unit": *blocksPerUnit,
+			"programs":        flag.NArg(),
+			"solver":          solver.String(),
+			"baselines":       *baselines,
+			"minimax":         *minimax,
+			"solver_paths":    solverPaths,
+		})
+	}
+
+	pr := partition.Problem{Curves: curves, Units: *units, Solver: solver}
 	show := func(label string, sol partition.Solution) {
+		if sol.SolverPath != "" {
+			solverPaths[label] = sol.SolverPath
+		}
 		fmt.Printf("%-17s group miss ratio %.6f\n", label, sol.GroupMissRatio)
 		for i, c := range curves {
 			fmt.Printf("  %-12s %5d units  mr %.6f\n", c.Name, sol.Alloc[i], sol.MissRatios[i])
 		}
 	}
 
-	equalAlloc := partition.EqualAllocation(len(curves), *units)
-	sol, err := partition.Evaluate(pr, equalAlloc)
-	if err != nil {
-		fatal(err)
-	}
-	show("Equal", sol)
+	if *baselines {
+		equalAlloc := partition.EqualAllocation(len(curves), *units)
+		sol, err := partition.Evaluate(pr, equalAlloc)
+		if err != nil {
+			fatal(err)
+		}
+		show("Equal", sol)
 
-	naturalAlloc := partition.Allocation(compose.NaturalPartitionUnits(comps, *units, *blocksPerUnit))
-	sol, err = partition.Evaluate(pr, naturalAlloc)
-	if err != nil {
-		fatal(err)
-	}
-	show("Natural", sol)
+		naturalAlloc := partition.Allocation(compose.NaturalPartitionUnits(comps, *units, *blocksPerUnit))
+		sol, err = partition.Evaluate(pr, naturalAlloc)
+		if err != nil {
+			fatal(err)
+		}
+		show("Natural", sol)
 
-	sol, err = partition.OptimizeWithBaseline(curves, *units, equalAlloc)
-	if err != nil {
-		fatal(err)
-	}
-	show("Equal baseline", sol)
+		sol, err = partition.OptimizeBaseline(pr, equalAlloc)
+		if err != nil {
+			fatal(err)
+		}
+		show("Equal baseline", sol)
 
-	sol, err = partition.OptimizeWithBaseline(curves, *units, naturalAlloc)
-	if err != nil {
-		fatal(err)
+		sol, err = partition.OptimizeBaseline(pr, naturalAlloc)
+		if err != nil {
+			fatal(err)
+		}
+		show("Natural baseline", sol)
 	}
-	show("Natural baseline", sol)
 
-	sol, err = partition.Optimize(pr)
+	sol, err := partition.Optimize(pr)
 	if err != nil {
 		fatal(err)
 	}
 	show("Optimal", sol)
 
-	show("STTW", partition.STTW(curves, *units))
+	if *baselines {
+		show("STTW", partition.STTW(curves, *units))
+	}
 
 	if *minimax {
-		sol, err = partition.Optimize(partition.Problem{Curves: curves, Units: *units, Combine: partition.Minimax})
+		sol, err = partition.Optimize(partition.Problem{Curves: curves, Units: *units, Combine: partition.Minimax, Solver: solver})
 		if err != nil {
 			fatal(err)
 		}
 		show("Minimax", sol)
+	}
+
+	if manifest != nil {
+		if err := manifest.Build(obs.Enabled()).Write(*manifestPath); err != nil {
+			fatal(err)
+		}
 	}
 }
 

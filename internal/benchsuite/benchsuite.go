@@ -72,6 +72,22 @@ func New() (*Suite, error) {
 	return s, nil
 }
 
+// largeCurves resamples the four full-geometry footprints at one block
+// per unit over a units-block modeled cache, duplicating the program set
+// when npr exceeds it.
+func (s *Suite) largeCurves(units, npr int) []mrc.Curve {
+	curves := make([]mrc.Curve, npr)
+	for i := range curves {
+		p := s.full4[i%len(s.full4)]
+		name := p.Name
+		if i >= len(s.full4) {
+			name = fmt.Sprintf("%s#%d", p.Name, i/len(s.full4)+1)
+		}
+		curves[i] = mrc.FromFootprint(name, p.Fp, units, 1, p.Rate)
+	}
+	return curves
+}
+
 // OptimalBench returns the per-group optimal-partition DP benchmark —
 // the subject of the ObsOverhead off/on gate, exposed separately so the
 // gate can run it under both registry states.
@@ -144,6 +160,43 @@ func (s *Suite) Benches() []Bench {
 			}
 		}},
 	}
+	// Large-C group solves (ROADMAP item 2): the same four profiled
+	// footprints resampled at one block per unit, modeling much larger
+	// caches at fine granularity, plus an npr=8 variant that duplicates
+	// the program set. Auto solver — these measure the refinement rung;
+	// the matching forced-exact entry pins down the speedup factor.
+	for _, lg := range []struct{ units, npr int }{{4096, 4}, {16384, 4}, {16384, 8}} {
+		pr := partition.Problem{Curves: s.largeCurves(lg.units, lg.npr), Units: lg.units}
+		name := fmt.Sprintf("OptimalPartitionGroup/units=%d", lg.units)
+		if lg.npr != len(s.full4) {
+			name = fmt.Sprintf("%s/npr=%d", name, lg.npr)
+		}
+		benches = append(benches, Bench{
+			Name: name,
+			Fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := partition.Optimize(pr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
+	prExact := partition.Problem{
+		Curves: s.largeCurves(4096, 4),
+		Units:  4096,
+		Solver: partition.SolverExact,
+	}
+	benches = append(benches, Bench{
+		Name: "OptimalPartitionExact/units=4096",
+		Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.Optimize(prExact); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
 	for _, units := range []int{128, 256, 512, 1024, 2048} {
 		blocksPerUnit := s.fullCfg.CacheBlocks() / int64(units)
 		curves := make([]mrc.Curve, len(s.full4))

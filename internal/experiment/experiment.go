@@ -143,7 +143,7 @@ func Combinations(n, k int) ([][]int, error) {
 
 // EvaluateGroup runs all six schemes on one co-run group.
 func EvaluateGroup(progs []workload.Program, members []int, units int, blocksPerUnit int64) (GroupResult, error) {
-	return evaluateGroup(context.Background(), progs, members, units, blocksPerUnit, nil)
+	return evaluateGroup(context.Background(), progs, members, units, blocksPerUnit, nil, partition.SolverAuto)
 }
 
 // CostTable precomputes each program's miss-count column cost[p][u] =
@@ -167,7 +167,10 @@ func CostTable(progs []workload.Program, units int) [][]float64 {
 // indexed by program (not group-member) position. ctx carries the trace
 // parent (the worker's group span during a sweep), so each scheme's DP
 // solve renders as a child "dp.solve" span in -trace-events timelines.
-func evaluateGroup(ctx context.Context, progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (GroupResult, error) {
+// solver selects the DP strategy for every scheme's solve; rungs an
+// instance cannot certify (the baseline-constrained problems, small C)
+// fall through to the exact kernel, so any value is safe here.
+func evaluateGroup(ctx context.Context, progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64, solver partition.Solver) (GroupResult, error) {
 	n := len(members)
 	if n == 0 {
 		return GroupResult{}, fmt.Errorf("experiment: empty group")
@@ -189,7 +192,7 @@ func evaluateGroup(ctx context.Context, progs []workload.Program, members []int,
 		}
 	}
 	res := GroupResult{Members: append([]int(nil), members...)}
-	pr := partition.Problem{Curves: curves, Units: units, CostTable: groupTab}
+	pr := partition.Problem{Curves: curves, Units: units, CostTable: groupTab, Solver: solver}
 
 	record := func(s Scheme, sol partition.Solution) {
 		res.GroupMR[s] = sol.GroupMissRatio
@@ -297,6 +300,10 @@ type RunOpts struct {
 	// checkpoint, reusing their recorded results. The checkpoint's
 	// geometry must match the run's (ErrCheckpointMismatch otherwise).
 	Resume *Checkpoint
+	// Solver selects the DP strategy for every scheme's solve (see
+	// partition.Solver). The zero value is SolverAuto — the solver
+	// ladder — which is the right choice outside A/B experiments.
+	Solver partition.Solver
 	// OnProgress, when non-nil, is called after every processed group
 	// (completed or failed, plus once up front covering any resumed
 	// groups) with the running processed count and the total. Calls come
@@ -309,7 +316,7 @@ type RunOpts struct {
 // evaluateGroupSafe runs evaluateGroup with panics recovered into errors,
 // so one pathological group (or a bug in a solver path) degrades to a
 // typed GroupError instead of crashing the whole sweep.
-func evaluateGroupSafe(ctx context.Context, progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64) (gr GroupResult, err error) {
+func evaluateGroupSafe(ctx context.Context, progs []workload.Program, members []int, units int, blocksPerUnit int64, costTab [][]float64, solver partition.Solver) (gr GroupResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// A panic value that is itself an error stays in the chain
@@ -325,7 +332,7 @@ func evaluateGroupSafe(ctx context.Context, progs []workload.Program, members []
 	if testHookEvaluateGroup != nil {
 		testHookEvaluateGroup(members)
 	}
-	return evaluateGroup(ctx, progs, members, units, blocksPerUnit, costTab)
+	return evaluateGroup(ctx, progs, members, units, blocksPerUnit, costTab, solver)
 }
 
 // testHookEvaluateGroup, when non-nil, runs at the top of every group
@@ -452,7 +459,7 @@ func Run(ctx context.Context, progs []workload.Program, groupSize, units int, bl
 					start = time.Now()
 				}
 				gctx, gspan := obs.StartTraceSpan(laneCtx, "experiment.group", "sweep")
-				gr, err := evaluateGroupSafe(gctx, progs, groups[g], units, blocksPerUnit, costTab)
+				gr, err := evaluateGroupSafe(gctx, progs, groups[g], units, blocksPerUnit, costTab, opts.Solver)
 				gspan.Arg("group", int64(g)).End()
 				if reg != nil {
 					groupHist.Observe(time.Since(start).Nanoseconds())

@@ -7,17 +7,21 @@ import (
 )
 
 // fuzzProblem decodes arbitrary fuzz bytes into a partitioning instance:
-// byte 0 picks the program count, byte 1 the unit count, and the rest
-// become miss-ratio points in [0, 1] — arbitrary shapes, including
-// non-monotone and non-convex curves, since the DP claims optimality with
-// no assumptions on the curves.
+// byte 0 picks the program count, byte 1 the unit count, byte 2 the
+// solver selection (auto, exact, forced d&c, forced refinement — the
+// forced rungs must still match the reference bit-for-bit, falling back
+// wherever their certificates reject the instance), and the rest become
+// miss-ratio points in [0, 1] — arbitrary shapes, including non-monotone
+// and non-convex curves, since the DP claims optimality with no
+// assumptions on the curves.
 func fuzzProblem(data []byte) (Problem, bool) {
-	if len(data) < 2 {
+	if len(data) < 3 {
 		return Problem{}, false
 	}
 	n := int(data[0])%3 + 2      // 2..4 programs
 	units := int(data[1])%24 + 2 // 2..25 units
-	data = data[2:]
+	solver := Solver(int(data[2]) % 4)
+	data = data[3:]
 	curves := make([]mrc.Curve, n)
 	for p := range curves {
 		mr := make([]float64, units+1)
@@ -30,7 +34,7 @@ func fuzzProblem(data []byte) (Problem, bool) {
 		}
 		curves[p] = mrc.Curve{Name: "f", MR: mr, Accesses: int64(100 * (p + 1))}
 	}
-	return Problem{Curves: curves, Units: units}, true
+	return Problem{Curves: curves, Units: units, Solver: solver}, true
 }
 
 // FuzzOptimize differentially tests the pooled gather-form DP kernel
@@ -39,15 +43,23 @@ func fuzzProblem(data []byte) (Problem, bool) {
 // panic. The parallel solver must agree too.
 func FuzzOptimize(f *testing.F) {
 	f.Add([]byte{2, 8, 200, 150, 100, 50, 25, 10, 5, 1})
-	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 0, 0})
 	f.Add([]byte{3, 23, 255, 0, 255, 0, 255, 0, 128, 128, 64, 32})
+	// One seed per forced solver rung: exact, d&c, refinement.
+	f.Add([]byte{2, 20, 1, 240, 200, 160, 120, 90, 60, 40, 20, 10})
+	f.Add([]byte{2, 20, 2, 240, 200, 160, 120, 90, 60, 40, 20, 10})
+	f.Add([]byte{2, 20, 3, 240, 200, 160, 120, 90, 60, 40, 20, 10})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pr, ok := fuzzProblem(data)
 		if !ok {
 			return
 		}
-		want, errRef := ReferenceOptimize(pr)
+		// The reference is solver-blind; the selection must not change
+		// results, only the computation strategy.
+		refPr := pr
+		refPr.Solver = SolverAuto
+		want, errRef := ReferenceOptimize(refPr)
 		got, errOpt := Optimize(pr)
 		if (errRef == nil) != (errOpt == nil) {
 			t.Fatalf("error disagreement: reference %v, optimized %v", errRef, errOpt)

@@ -8,8 +8,8 @@ import (
 	"partitionshare/internal/obs"
 )
 
-// This file holds the single DP kernel shared by Optimize, OptimizeParallel,
-// and (through Optimize) OptimizeWithBaseline and the other constrained
+// This file holds the DP core shared by Optimize, OptimizeParallel, and
+// (through Optimize) OptimizeWithBaseline and the other constrained
 // optimizers. The kernel computes one layer of the Eq. 16 recurrence in
 // gather form — next[t] = min over u of combine(dp[t−u], cost(u)) — which
 // keeps the running minimum in a register instead of read-modify-writing
@@ -19,7 +19,7 @@ import (
 // output bit relative to the original scatter implementation:
 //
 //  1. Specialization: the Sum/Minimax branch is hoisted out of the inner
-//     loop into two dedicated kernels, chosen once per solve.
+//     loop into dedicated kernels, chosen once per solve.
 //
 //  2. Feasible-interval trimming: each program's allocation range [lo, hi]
 //     is a contiguous interval, so the set of reachable unit totals after p
@@ -34,11 +34,19 @@ import (
 //     reversed makes both streams ascend, so the inner loop is two
 //     contiguous reads, an add (or max), and a register compare.
 //
-// Bit-exactness: for a fixed t the scatter form visits predecessors k
-// ascending and takes strict improvements, so ties keep the smallest k
-// (largest unit count u). The gather kernels visit j (=k) ascending with the
-// same strict compare and the same float operation dp[j]+cost (or
-// math.Max), reproducing both the dp values and the choice table exactly.
+// Values-only rows + lazy reconstruction: the kernels compute DP values
+// only — no per-cell choice table. Every layer's full row is retained in
+// the scratch arena, and after the last layer the allocation is rebuilt by
+// rescanning, at each of the n on-path cells, the leftmost strict-improve
+// argmin over the cell's full candidate window (reconstructAlloc). The
+// scatter reference visits predecessors k ascending with a strict compare,
+// so ties keep the smallest k (largest unit count u); the rescan replays
+// exactly that order and compare over exactly the reference's candidate
+// values, so the allocation — including tie-breaking — is bit-identical to
+// ReferenceOptimize *regardless of how the layer values were computed*.
+// That independence is what lets the structured solvers (structured.go,
+// refine.go) schedule the min computations differently while keeping every
+// output bit: they only ever have to reproduce the row values.
 
 const inf = math.MaxFloat64
 
@@ -55,23 +63,33 @@ const costSafeLimit = 8.9e307
 type layerSpec struct {
 	dp, next []float64
 	costsRev []float64 // costsRev[i] = cost(hi − i)
-	ch       []int32   // this layer's choice row, len C+1
 	lo, hi   int
 	// prevLo, prevHi delimit the previous layer's feasible interval.
 	prevLo, prevHi int
 	minimax        bool
 	checked        bool
+	blocked        bool
 }
 
-// runLayerRange fills next[tLo..tHi] and the matching choice cells.
+// layerMeta records, per solved layer, the geometry reconstructAlloc needs
+// to replay the layer's candidate windows.
+type layerMeta struct {
+	lo, hi         int
+	prevLo, prevHi int
+}
+
+// runLayerRange fills next[tLo..tHi] with the layer's DP values.
 func runLayerRange(sp *layerSpec, tLo, tHi int) {
+	if sp.blocked && !sp.checked && !sp.minimax {
+		runLayerRangeBlockedSum(sp, tLo, tHi)
+		return
+	}
 	newLo := sp.prevLo + sp.lo
 	newHi := sp.prevHi + sp.hi
-	dp, next, ch := sp.dp, sp.next, sp.ch
+	dp, next := sp.dp, sp.next
 	for t := tLo; t <= tHi; t++ {
 		if t < newLo || t > newHi {
 			next[t] = inf
-			ch[t] = 0
 			continue
 		}
 		j0, j1 := sp.prevLo, sp.prevHi
@@ -81,30 +99,130 @@ func runLayerRange(sp *layerSpec, tLo, tHi int) {
 		if v := t - sp.lo; v < j1 {
 			j1 = v
 		}
-		var best float64
-		var bestJ int
 		switch {
 		case sp.checked && sp.minimax:
-			best, bestJ = cellMinimaxChecked(dp, sp.costsRev, sp.hi-t, j0, j1)
+			next[t] = cellMinimaxCheckedVal(dp, sp.costsRev, sp.hi-t, j0, j1)
 		case sp.checked:
-			best, bestJ = cellSumChecked(dp, sp.costsRev, sp.hi-t, j0, j1)
+			next[t] = cellSumCheckedVal(dp, sp.costsRev, sp.hi-t, j0, j1)
 		case sp.minimax:
-			best, bestJ = cellMinimax(dp, sp.costsRev, sp.hi-t, j0, j1)
+			next[t] = cellMinimaxVal(dp, sp.costsRev, sp.hi-t, j0, j1)
 		default:
-			best, bestJ = cellSum(dp, sp.costsRev, sp.hi-t, j0, j1)
-		}
-		next[t] = best
-		if bestJ < 0 {
-			ch[t] = 0
-		} else {
-			ch[t] = int32(t - bestJ)
+			next[t] = cellSumVal(dp, sp.costsRev, sp.hi-t, j0, j1)
 		}
 	}
 }
 
-// cellSum scans candidates for one cell with no feasibility check: every
+// Blocked tile sizes for the large-window Sum kernel: one j-tile of dp plus
+// the matching slice of the reversed cost row stay L1-resident while the
+// t-tile reuses them, instead of streaming the full O(C) window through the
+// cache once per cell.
+const (
+	blockedTileT = 256
+	blockedTileJ = 3072
+	// blockedMinWindow gates the tiled layout to layers whose candidate
+	// windows are large enough to thrash L1; below it the flat scan's
+	// simplicity wins.
+	blockedMinWindow = 2 * blockedTileJ
+)
+
+// runLayerRangeBlockedSum is the cache-blocked form of the Sum layer loop.
+// For each (t, j) tile it merges tile minima into next[t] with the same
+// strict compare, visiting j strictly ascending across tiles — the running
+// minimum evolves through the identical sequence of float compares as the
+// flat scan, so every value bit matches.
+func runLayerRangeBlockedSum(sp *layerSpec, tLo, tHi int) {
+	newLo := sp.prevLo + sp.lo
+	newHi := sp.prevHi + sp.hi
+	dp, next := sp.dp, sp.next
+	for t := tLo; t <= tHi; t++ {
+		next[t] = inf
+	}
+	a, b := tLo, tHi
+	if a < newLo {
+		a = newLo
+	}
+	if b > newHi {
+		b = newHi
+	}
+	for tb := a; tb <= b; tb += blockedTileT {
+		te := tb + blockedTileT - 1
+		if te > b {
+			te = b
+		}
+		jMin := sp.prevLo
+		if v := tb - sp.hi; v > jMin {
+			jMin = v
+		}
+		jMax := sp.prevHi
+		if v := te - sp.lo; v < jMax {
+			jMax = v
+		}
+		for jb := jMin; jb <= jMax; jb += blockedTileJ {
+			je := jb + blockedTileJ - 1
+			if je > jMax {
+				je = jMax
+			}
+			for t := tb; t <= te; t++ {
+				j0, j1 := jb, je
+				if v := t - sp.hi; v > j0 {
+					j0 = v
+				}
+				if v := t - sp.lo; v < j1 {
+					j1 = v
+				}
+				if j0 > j1 {
+					continue
+				}
+				off := sp.hi - t
+				dpw := dp[j0 : j1+1]
+				cw := sp.costsRev[off+j0 : off+j1+1 : off+j1+1]
+				cw = cw[:len(dpw)]
+				best := next[t]
+				for i, v := range dpw {
+					if cand := v + cw[i]; cand < best {
+						best = cand
+					}
+				}
+				next[t] = best
+			}
+		}
+	}
+}
+
+// cellSumVal scans candidates for one cell with no feasibility check: every
 // dp[j] in [j0, j1] is finite by the interval invariant, and cost magnitudes
 // are bounded, so the first candidate always improves on inf.
+func cellSumVal(dp, costsRev []float64, off, j0, j1 int) float64 {
+	dpw := dp[j0 : j1+1]
+	cw := costsRev[off+j0 : off+j1+1 : off+j1+1]
+	cw = cw[:len(dpw)]
+	// Two independent accumulators break the serial min dependency chain;
+	// float64 min is exact (no rounding), so any accumulation order gives
+	// the bit-identical value.
+	best, best2 := inf, inf
+	i := 0
+	for ; i+1 < len(dpw); i += 2 {
+		if cand := dpw[i] + cw[i]; cand < best {
+			best = cand
+		}
+		if cand := dpw[i+1] + cw[i+1]; cand < best2 {
+			best2 = cand
+		}
+	}
+	if i < len(dpw) {
+		if cand := dpw[i] + cw[i]; cand < best {
+			best = cand
+		}
+	}
+	if best2 < best {
+		best = best2
+	}
+	return best
+}
+
+// cellSum is cellSumVal plus the leftmost strict-improve argmin, used by
+// the divide-and-conquer scheduler, which needs the argmin to split its
+// column windows.
 func cellSum(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
 	dpw := dp[j0 : j1+1]
 	cw := costsRev[off+j0 : off+j1+1 : off+j1+1]
@@ -123,32 +241,26 @@ func cellSum(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
 	return best, j0 + bestI
 }
 
-// cellMinimax is cellSum with the max combine. math.Max is used (not a
-// hand-rolled compare) so NaN and signed-zero handling match the original.
-func cellMinimax(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
+// cellMinimaxVal is cellSumVal with the max combine. math.Max is used (not
+// a hand-rolled compare) so NaN and signed-zero handling match the original.
+func cellMinimaxVal(dp, costsRev []float64, off, j0, j1 int) float64 {
 	dpw := dp[j0 : j1+1]
 	cw := costsRev[off+j0 : off+j1+1 : off+j1+1]
 	cw = cw[:len(dpw)]
 	best := inf
-	bestI := -1
 	for i, v := range dpw {
 		if cand := math.Max(v, cw[i]); cand < best {
 			best = cand
-			bestI = i
 		}
 	}
-	if bestI < 0 {
-		return inf, -1
-	}
-	return best, j0 + bestI
+	return best
 }
 
-// cellSumChecked is the exact-semantics fallback: it skips sentinel cells
-// the way the scatter implementation skipped dp[k] == inf, which matters
-// only when custom costs are non-finite or astronomically large.
-func cellSumChecked(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
+// cellSumCheckedVal is the exact-semantics fallback: it skips sentinel
+// cells the way the scatter implementation skipped dp[k] == inf, which
+// matters only when custom costs are non-finite or astronomically large.
+func cellSumCheckedVal(dp, costsRev []float64, off, j0, j1 int) float64 {
 	best := inf
-	bestJ := -1
 	for j := j0; j <= j1; j++ {
 		prev := dp[j]
 		if prev == inf {
@@ -156,15 +268,13 @@ func cellSumChecked(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
 		}
 		if cand := prev + costsRev[off+j]; cand < best {
 			best = cand
-			bestJ = j
 		}
 	}
-	return best, bestJ
+	return best
 }
 
-func cellMinimaxChecked(dp, costsRev []float64, off, j0, j1 int) (float64, int) {
+func cellMinimaxCheckedVal(dp, costsRev []float64, off, j0, j1 int) float64 {
 	best := inf
-	bestJ := -1
 	for j := j0; j <= j1; j++ {
 		prev := dp[j]
 		if prev == inf {
@@ -172,38 +282,77 @@ func cellMinimaxChecked(dp, costsRev []float64, off, j0, j1 int) (float64, int) 
 		}
 		if cand := math.Max(prev, costsRev[off+j]); cand < best {
 			best = cand
-			bestJ = j
 		}
 	}
-	return best, bestJ
+	return best
 }
 
-// scratch is a reusable arena for one solve: the two DP rows, the reversed
-// per-layer cost window, and the flattened choice table. Pooling it makes
-// repeated solves allocation-free in the DP hot path, which is what the
-// experiment sweep (thousands of solves per run) leans on.
+// scratch is a reusable arena for one solve: the full stack of DP rows
+// (base row plus one per layer, backing lazy reconstruction), the reversed
+// per-layer cost window, per-layer window geometry, and — for the
+// refinement solver — a materialized cost table. Pooling it makes repeated
+// solves allocation-free in the DP hot path, which is what the experiment
+// sweep (thousands of solves per run) leans on.
 type scratch struct {
-	dp, next []float64
+	buf      []float64   // (n+1)×(C+1) backing store for rows
+	rows     [][]float64 // rows[0] = base row; rows[p+1] = dp after layer p
 	costsRev []float64
-	choice   []int32 // n rows of C+1, flattened
+	metas    []layerMeta
+	// refine-only buffers, grown on demand (refine.go). The level tables
+	// ping-pong between lvlBuf0/lvlBuf1 because one level's bounds are
+	// still being read (banding) while the next level's are written. None
+	// of them is cleared on reuse: every cell the refinement reads is
+	// written first, by construction.
+	costBuf  []float64
+	lvlBuf0  []float64
+	lvlBuf1  []float64
+	upBuf    []float64
+	cminBuf  []float64
+	sweepBuf []float64
+	chBuf    []int32
+	dqBuf    []int32
+	maskBuf  []bool
 }
+
+// maxPooledCells caps the arena size kept alive by the pool: large-C solves
+// (satellite audit: C=65536 and beyond) allocate their rows fresh and
+// release them to the GC instead of pinning tens of megabytes per P.
+const maxPooledCells = 1 << 22
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
 
 func getScratch(n, C int) *scratch {
 	s := scratchPool.Get().(*scratch)
-	s.dp = growFloats(s.dp, C+1)
-	s.next = growFloats(s.next, C+1)
-	s.costsRev = growFloats(s.costsRev, C+1)
-	if need := n * (C + 1); cap(s.choice) < need {
-		s.choice = make([]int32, need)
+	need := (n + 1) * (C + 1)
+	if cap(s.buf) < need {
+		s.buf = make([]float64, need)
 	} else {
-		s.choice = s.choice[:need]
+		s.buf = s.buf[:need]
+	}
+	if cap(s.rows) < n+1 {
+		s.rows = make([][]float64, n+1)
+	} else {
+		s.rows = s.rows[:n+1]
+	}
+	for i := 0; i <= n; i++ {
+		s.rows[i] = s.buf[i*(C+1) : (i+1)*(C+1)]
+	}
+	s.costsRev = growFloats(s.costsRev, C+1)
+	if cap(s.metas) < n {
+		s.metas = make([]layerMeta, n)
+	} else {
+		s.metas = s.metas[:n]
 	}
 	return s
 }
 
-func putScratch(s *scratch) { scratchPool.Put(s) }
+func putScratch(s *scratch) {
+	if len(s.buf) > maxPooledCells || len(s.costBuf) > maxPooledCells ||
+		len(s.cminBuf) > maxPooledCells || len(s.lvlBuf0) > maxPooledCells {
+		return
+	}
+	scratchPool.Put(s)
+}
 
 func growFloats(b []float64, n int) []float64 {
 	if cap(b) < n {
@@ -212,50 +361,130 @@ func growFloats(b []float64, n int) []float64 {
 	return b[:n]
 }
 
+// reconstructAlloc rebuilds the optimal allocation from the retained DP
+// rows. At each on-path cell it replays the layer's candidate scan — j
+// ascending, strict improvement, skipping sentinel cells — over the same
+// candidate values the layer kernels saw, so the chosen predecessor (and
+// with it the whole allocation, ties included) is exactly the one the
+// scatter reference records in its choice table. Costs are re-evaluated
+// through pr.cost, which is why Problem.Cost must be deterministic.
+func reconstructAlloc(pr *Problem, s *scratch, C int, minimax bool) (Allocation, error) {
+	n := len(s.metas)
+	alloc := make(Allocation, n)
+	k := C
+	for p := n - 1; p >= 0; p-- {
+		m := s.metas[p]
+		prev := s.rows[p]
+		j0, j1 := m.prevLo, m.prevHi
+		if v := k - m.hi; v > j0 {
+			j0 = v
+		}
+		if v := k - m.lo; v < j1 {
+			j1 = v
+		}
+		best := inf
+		bestJ := -1
+		for j := j0; j <= j1; j++ {
+			pv := prev[j]
+			if pv == inf {
+				continue
+			}
+			c := pr.cost(p, k-j)
+			var cand float64
+			if minimax {
+				cand = math.Max(pv, c)
+			} else {
+				cand = pv + c
+			}
+			if cand < best {
+				best = cand
+				bestJ = j
+			}
+		}
+		if bestJ < 0 {
+			return nil, errNoFeasible()
+		}
+		alloc[p] = k - bestJ
+		k = bestJ
+	}
+	if k != 0 {
+		return nil, errLeftover(k)
+	}
+	return alloc, nil
+}
+
 // solve is the shared core of Optimize and OptimizeParallel. A nil ctx
 // (the serial Optimize path) skips cancellation checks entirely;
 // otherwise ctx is polled between DP layers, the natural preemption
-// point: each layer is a bounded O(C²) burst, and aborting between layers
+// point: each layer is a bounded burst, and aborting between layers
 // leaves no partial state beyond the pooled scratch, which is returned
 // intact.
+//
+// The solver ladder (DESIGN.md §13) runs top to bottom, every rung gated
+// by an exactness certificate and falling through on failure:
+//
+//	refine  — whole-solve coarse-to-fine bound pruning (refine.go)
+//	dc      — per-layer divide and conquer + SMAWK on certified-convex
+//	          cost rows (structured.go)
+//	exact   — the gather kernel above, blocked at large windows
 func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 	if err := pr.validate(); err != nil {
 		return Solution{}, err
 	}
 	n, C := len(pr.Curves), pr.Units
+	minimax := pr.Combine == Minimax
+	mode := pr.Solver
 
 	// Trace only the cancellable (ctx != nil) path: the serial Optimize
 	// calls in the sweep's inner loop pass nil and stay instrumentation-
 	// free — their timing is the ObsOverhead gate's subject — while the
 	// coarse parallel solves record a span with per-layer children.
+	var path solvePath
 	if ctx != nil {
 		var ps *obs.TraceSpan
 		ctx, ps = obs.StartTraceSpan(ctx, "partition.solve", "dp")
-		defer ps.Arg("programs", int64(n)).Arg("units", int64(C)).End()
+		defer func() {
+			ps.Arg("programs", int64(n)).Arg("units", int64(C)).
+				Arg("dc_layers", int64(path.dcLayers)).
+				Arg("refine", boolArg(path.refine)).End()
+		}()
 	}
 
 	s := getScratch(n, C)
 	defer putScratch(s)
-	dp, next := s.dp, s.next
-	for k := range dp {
-		dp[k] = inf
+	base := s.rows[0]
+	for k := range base {
+		base[k] = inf
 	}
-	minimax := pr.Combine == Minimax
 	// The empty-set objective: 0 for Sum, -Inf for Minimax (the identity
 	// of max), so the first program's cost passes through unchanged even
 	// if negative.
 	if minimax {
-		dp[0] = math.Inf(-1)
+		base[0] = math.Inf(-1)
 	} else {
-		dp[0] = 0
+		base[0] = 0
 	}
 
+	// Rung 1: whole-solve coarse-to-fine refinement.
+	if mode == SolverRefine || (mode == SolverAuto && C >= refineAutoMinUnits) {
+		ok, err := refineSolve(ctx, pr, s, &path)
+		if err != nil {
+			return Solution{}, err
+		}
+		if ok {
+			return finishSolve(pr, s, C, minimax, &path)
+		}
+	}
+
+	// Rungs 2–3: per-layer d&c/SMAWK on certified layers, exact kernel
+	// otherwise.
 	var pool *dpPool
 	if workers > 1 {
 		pool = newDPPool(workers, C)
 		defer pool.close()
 	}
 
+	tryDC := !minimax && (mode == SolverDC || mode == SolverAuto || mode == SolverRefine)
 	spec := layerSpec{minimax: minimax}
 	prevLo, prevHi := 0, 0
 	costBound := 0.0
@@ -270,6 +499,7 @@ func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 		lo, hi := pr.bounds(p)
 		costsRev := s.costsRev[:hi-lo+1]
 		layerMax := 0.0
+		cert := newLayerCert(tryDC)
 		for u := lo; u <= hi; u++ {
 			c := pr.cost(p, u)
 			costsRev[hi-lo-(u-lo)] = c
@@ -281,52 +511,89 @@ func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 					layerMax = math.Inf(1)
 				}
 			}
+			cert.observe(c)
 		}
 		if minimax {
 			costBound = math.Max(costBound, layerMax)
 		} else {
 			costBound += layerMax
 		}
-		spec.dp, spec.next = dp, next
+		spec.dp, spec.next = s.rows[p], s.rows[p+1]
 		spec.costsRev = costsRev
-		spec.ch = s.choice[p*(C+1) : (p+1)*(C+1)]
 		spec.lo, spec.hi = lo, hi
 		spec.prevLo, spec.prevHi = prevLo, prevHi
 		spec.checked = spec.checked || !(costBound < costSafeLimit)
-		if pool != nil {
+		spec.blocked = !spec.minimax && !spec.checked &&
+			spec.prevHi-spec.prevLo+1 >= blockedMinWindow
+		useDC := tryDC && !spec.checked && cert.certified() &&
+			(mode == SolverDC || hi-lo+1 >= dcAutoMinWindow)
+		switch {
+		case useDC:
+			_, ls := obs.StartTraceSpan(ctx, "dp.layer", "dp")
+			dcLayer(&spec, &path)
+			ls.Arg("layer", int64(p)).Arg("dc", 1).End()
+			path.dcLayers++
+		case pool != nil:
 			_, ls := obs.StartTraceSpan(ctx, "dp.layer", "dp")
 			pool.runLayer(&spec)
 			ls.Arg("layer", int64(p)).End()
-		} else {
+			path.exactLayers++
+		default:
 			runLayerRange(&spec, 0, C)
+			path.exactLayers++
 		}
-		dp, next = next, dp
+		s.metas[p] = layerMeta{lo: lo, hi: hi, prevLo: prevLo, prevHi: prevHi}
+		path.cells += int64(C + 1)
 		prevLo += lo
 		if prevHi += hi; prevHi > C {
 			prevHi = C
 		}
 	}
 
+	return finishSolve(pr, s, C, minimax, &path)
+}
+
+// finishSolve records the solve's observability batch, reconstructs the
+// allocation from the retained rows, and assembles the Solution.
+func finishSolve(pr *Problem, s *scratch, C int, minimax bool, path *solvePath) (Solution, error) {
+	n := len(s.metas)
 	// One batched observation per solve: with the registry disabled this
-	// is a single nil check, and even enabled it is two atomic adds for
-	// the whole O(P·C²) solve — the sweep's hot path stays untouched.
+	// is a single nil check, and even enabled it is a handful of atomic
+	// adds for the whole solve — the sweep's hot path stays untouched.
 	if reg := obs.Enabled(); reg != nil {
 		reg.Counter("partition_solves_total").Inc()
-		reg.Counter("partition_dp_cells_total").Add(int64(n) * int64(C+1))
+		reg.Counter("partition_dp_cells_total").Add(path.cells)
+		if path.refine {
+			reg.Counter("partition_path_refine_solves_total").Inc()
+			reg.Counter("partition_refine_band_cells_total").Add(path.bandCells)
+		}
+		if path.refineFallback {
+			reg.Counter("partition_refine_fallback_total").Inc()
+		}
+		if path.dcLayers > 0 {
+			reg.Counter("partition_path_dc_layers_total").Add(int64(path.dcLayers))
+		}
+		if path.exactLayers > 0 {
+			reg.Counter("partition_path_exact_layers_total").Add(int64(path.exactLayers))
+		}
 	}
 
-	if dp[C] == inf {
+	final := s.rows[n]
+	if final[C] == inf {
 		return Solution{}, errNoFeasible()
 	}
-	alloc := make(Allocation, n)
-	k := C
-	for p := n - 1; p >= 0; p-- {
-		u := int(s.choice[p*(C+1)+k])
-		alloc[p] = u
-		k -= u
+	alloc, err := reconstructAlloc(pr, s, C, minimax)
+	if err != nil {
+		return Solution{}, err
 	}
-	if k != 0 {
-		return Solution{}, errLeftover(k)
+	sol := pr.solution(alloc, final[C])
+	sol.SolverPath = path.String()
+	return sol, nil
+}
+
+func boolArg(b bool) int64 {
+	if b {
+		return 1
 	}
-	return pr.solution(alloc, dp[C]), nil
+	return 0
 }

@@ -54,7 +54,10 @@ type Problem struct {
 	MinAlloc, MaxAlloc []int
 	// Cost gives program p's cost at u units. nil means miss count,
 	// Curves[p].MissCount(u). Any function is legal: the optimizer makes
-	// no convexity or monotonicity assumption.
+	// no convexity or monotonicity assumption. The function must be
+	// deterministic — the optimizer may re-evaluate it (the lazy
+	// allocation reconstruction rescans candidate windows after the value
+	// pass) and assumes repeated calls return identical float64 values.
 	Cost func(p, u int) float64
 	// CostTable, when non-nil, holds precomputed costs: CostTable[p][u] is
 	// program p's cost at u units, for u in [0, Units]. It takes precedence
@@ -65,7 +68,23 @@ type Problem struct {
 	CostTable [][]float64
 	// Combine selects the aggregation (default Sum).
 	Combine Combine
+	// Solver selects the solving strategy (default SolverAuto). Every
+	// strategy returns bit-identical Solutions; see solver.go and
+	// DESIGN.md §13.
+	Solver Solver
 }
+
+// MaxUnits bounds Problem.Units. It exists to keep every index product in
+// the DP — (P+1)·(C+1) scratch cells, C² candidate scans — comfortably
+// inside int64 even on 32-bit int platforms, and to fail fast on garbage
+// sizes before allocating gigabytes of scratch.
+const MaxUnits = 1 << 24
+
+// maxSolveCells bounds the DP table size (programs+1)·(units+1) a single
+// solve may allocate (1 GiB of float64s). C=65536 with hundreds of
+// programs stays well inside; genuinely larger instances need a sharded
+// solver, not a bigger buffer.
+const maxSolveCells = 1 << 27
 
 func (pr *Problem) cost(p, u int) float64 {
 	if pr.CostTable != nil {
@@ -95,6 +114,12 @@ func (pr *Problem) validate() error {
 	}
 	if pr.Units <= 0 {
 		return fmt.Errorf("partition: non-positive cache size %d", pr.Units)
+	}
+	if pr.Units > MaxUnits {
+		return fmt.Errorf("partition: cache size %d exceeds MaxUnits %d", pr.Units, MaxUnits)
+	}
+	if cells := (int64(n) + 1) * (int64(pr.Units) + 1); cells > maxSolveCells {
+		return fmt.Errorf("partition: DP table needs %d cells for %d programs × %d units (limit %d)", cells, n, pr.Units, maxSolveCells)
 	}
 	if pr.MinAlloc != nil && len(pr.MinAlloc) != n {
 		return fmt.Errorf("partition: MinAlloc has %d entries for %d programs", len(pr.MinAlloc), n)
@@ -145,6 +170,11 @@ type Solution struct {
 	GroupMissRatio float64
 	// MissRatios holds each program's miss ratio under Alloc.
 	MissRatios []float64
+	// SolverPath records which rungs of the solver ladder actually ran
+	// ("exact", "dc+exact", "refine", "refine-fallback+exact", …). Purely
+	// informational: every path produces bit-identical results. Only
+	// Optimize and OptimizeParallel populate it.
+	SolverPath string
 }
 
 func (pr *Problem) solution(alloc Allocation, obj float64) Solution {
@@ -163,11 +193,15 @@ func (pr *Problem) solution(alloc Allocation, obj float64) Solution {
 // Optimize finds the allocation minimizing the combined objective subject
 // to the allocation summing exactly to Units and respecting the per-program
 // bounds. It examines the entire solution space by dynamic programming —
-// no convexity assumption — in O(P·C²) time and O(P·C) space. The DP runs
-// on the pooled layer kernel (kernel.go): repeated solves reuse their
-// working buffers and the hot loop is specialized per objective, but every
-// output — objective, allocation, even tie-breaking — is bit-identical to
-// the reference implementation (see ReferenceOptimize).
+// no convexity assumption — in O(P·C²) worst-case time and O(P·C) space.
+// The DP runs on a ladder of solvers (solver.go, DESIGN.md §13): exact
+// structure certificates route eligible instances through coarse-to-fine
+// refinement or divide-and-conquer/SMAWK layer schedules — near-linear in
+// C in practice — while anything uncertified drops to the pooled exact
+// gather kernel (kernel.go). Every rung, on every input, produces output —
+// objective, allocation, even tie-breaking — bit-identical to the
+// reference implementation (see ReferenceOptimize); Problem.Solver can
+// force a rung and Solution.SolverPath reports what ran.
 func Optimize(pr Problem) (Solution, error) {
 	return solve(nil, &pr, 1)
 }

@@ -1,0 +1,277 @@
+package partition
+
+import "math"
+
+// This file implements the ladder's structured per-layer rung: an exact
+// convexity certificate over a layer's cost row, and — for rows that pass
+// it — divide-and-conquer scheduling of the layer minimization with SMAWK
+// on the constant-window middle band, O(W log T) / O(W + T) instead of the
+// exact kernel's O(W·T).
+//
+// Why convexity is the right check: the layer matrix is
+//
+//	A[t][j] = dp[j] + c(t−j)
+//
+// and its Monge cross-difference A[t][j] + A[t+1][j+1] − A[t][j+1] −
+// A[t+1][j] = c(t−j) + c(t−j) − c(t−j+1) − c(t−j−1) — the dp term cancels,
+// so A is (inverse) Monge over the real numbers if and only if the cost
+// row c is convex. Monge implies the leftmost row argmin is non-decreasing
+// in t, which is exactly what both schedulers exploit.
+//
+// Exactness: the certificate tests convexity of the *stored float64
+// values* exactly (error-free twoSum comparison, no tolerance), so the
+// Monge property holds over the reals for the numbers the kernels actually
+// combine. Both schedulers compute each selected cell with the same
+// float64 operation (dp[j] + c) and a strict-improve compare over a
+// restricted window, so a scheduled cell's value equals the full scan's
+// value whenever the restricted window contains a global argmin — which
+// the Monge argmin monotonicity guarantees. Sub-ulp caveat, documented in
+// DESIGN.md §13: when two columns' real sums differ by less than one ulp
+// their float64 minima coincide, and the window split may follow either
+// column; the minimum *value* is unchanged by construction, and the
+// allocation never depends on the split because reconstructAlloc rescans
+// full windows. The certificate additionally requires non-negative costs
+// with no negative zeros, so tie values cannot differ in sign bits either.
+// Differential tests and FuzzOptimize compare every path against
+// ReferenceOptimize bit for bit.
+
+// layerCert incrementally certifies one layer's cost row while the solve
+// materializes it: every cost finite and non-negative (no -0), and the
+// row exactly convex. Rows failing any clause route to the exact kernel.
+type layerCert struct {
+	active bool
+	count  int
+	prev1  float64
+	prev2  float64
+}
+
+func newLayerCert(active bool) layerCert {
+	return layerCert{active: active}
+}
+
+func (lc *layerCert) observe(c float64) {
+	if !lc.active {
+		return
+	}
+	if !(c >= 0) || (c == 0 && math.Signbit(c)) {
+		lc.active = false
+		return
+	}
+	if lc.count >= 2 && !secondDiffNonneg(lc.prev2, lc.prev1, c) {
+		lc.active = false
+		return
+	}
+	lc.prev2, lc.prev1 = lc.prev1, c
+	lc.count++
+}
+
+func (lc *layerCert) certified() bool { return lc.active && lc.count >= 2 }
+
+// secondDiffNonneg reports whether a + c ≥ 2b holds over the reals for the
+// given float64 values — the convexity condition at one interior point —
+// using the error-free twoSum transformation, so the comparison is exact
+// with no tolerance. Inputs are non-negative and below costSafeLimit, so
+// neither a+c nor 2b can overflow.
+func secondDiffNonneg(a, b, c float64) bool {
+	s, e := twoSum(a, c)
+	d := 2 * b
+	if s > d {
+		return true
+	}
+	if s < d {
+		return false
+	}
+	// s == d as floats; the discarded rounding error decides the real
+	// comparison: a + c = s + e exactly.
+	return e >= 0
+}
+
+// twoSum returns s = fl(a+b) and the exact rounding error e such that
+// a + b = s + e over the reals (Knuth's branch-free two-sum).
+func twoSum(a, b float64) (s, e float64) {
+	s = a + b
+	bb := s - a
+	e = (a - bb) + (b - (s - bb))
+	return s, e
+}
+
+// smawkMinDim gates the SMAWK middle band: below it the d&c scheduler's
+// tight contiguous scans win over SMAWK's indirect lookups.
+const smawkMinDim = 64
+
+// dcLayer computes one certified-convex layer: SMAWK over the middle band
+// of rows whose candidate window is the full previous interval, and
+// monotone divide and conquer over the two staircase ends where the window
+// is clipped by the layer bounds.
+func dcLayer(sp *layerSpec, path *solvePath) {
+	C := len(sp.next) - 1
+	newLo := sp.prevLo + sp.lo
+	newHi := sp.prevHi + sp.hi
+	if newHi > C {
+		newHi = C
+	}
+	for t := 0; t < newLo; t++ {
+		sp.next[t] = inf
+	}
+	for t := newHi + 1; t <= C; t++ {
+		sp.next[t] = inf
+	}
+	if newLo > newHi {
+		return
+	}
+	// Middle band: window = [prevLo, prevHi] exactly.
+	mLo := sp.prevHi + sp.lo
+	mHi := sp.prevLo + sp.hi
+	if mLo < newLo {
+		mLo = newLo
+	}
+	if mHi > newHi {
+		mHi = newHi
+	}
+	cols := sp.prevHi - sp.prevLo + 1
+	if mHi-mLo+1 >= smawkMinDim && cols >= smawkMinDim {
+		argLo, argHi := smawkBand(sp, mLo, mHi)
+		path.smawkRows += mHi - mLo + 1
+		dcRec(sp, newLo, mLo-1, sp.prevLo, argLo)
+		dcRec(sp, mHi+1, newHi, argHi, sp.prevHi)
+		return
+	}
+	dcRec(sp, newLo, newHi, sp.prevLo, sp.prevHi)
+}
+
+// dcRec fills next[tA..tB] given that every row's leftmost argmin lies in
+// [jA, jB]: it solves the middle row with one restricted scan and splits
+// the column range at its argmin — the classic monotone divide and
+// conquer, O((tB−tA) log + (jB−jA)) cell candidates total.
+func dcRec(sp *layerSpec, tA, tB, jA, jB int) {
+	for tA <= tB {
+		mid := tA + (tB-tA)/2
+		j0, j1 := jA, jB
+		if v := mid - sp.hi; v > j0 {
+			j0 = v
+		}
+		if sp.prevLo > j0 {
+			j0 = sp.prevLo
+		}
+		if v := mid - sp.lo; v < j1 {
+			j1 = v
+		}
+		if sp.prevHi < j1 {
+			j1 = sp.prevHi
+		}
+		if j0 > j1 {
+			// Defensive: the staircase invariants make the window
+			// non-empty; if violated, fall back to the full window so the
+			// cell value stays exact.
+			j0, j1 = sp.prevLo, sp.prevHi
+			if v := mid - sp.hi; v > j0 {
+				j0 = v
+			}
+			if v := mid - sp.lo; v < j1 {
+				j1 = v
+			}
+		}
+		best, bestJ := cellSum(sp.dp, sp.costsRev, sp.hi-mid, j0, j1)
+		sp.next[mid] = best
+		// Recurse on the smaller left half, iterate on the right.
+		dcRec(sp, tA, mid-1, jA, bestJ)
+		tA = mid + 1
+		jA = bestJ
+	}
+}
+
+// smawkBand runs SMAWK over rows [mLo, mHi] (full window [prevLo, prevHi])
+// and returns the argmins of the band's first and last rows, which bound
+// the staircase recursions on either side.
+func smawkBand(sp *layerSpec, mLo, mHi int) (argLo, argHi int) {
+	rows := make([]int, mHi-mLo+1)
+	for i := range rows {
+		rows[i] = mLo + i
+	}
+	cols := make([]int, sp.prevHi-sp.prevLo+1)
+	for i := range cols {
+		cols[i] = sp.prevLo + i
+	}
+	lookup := func(t, j int) float64 {
+		return sp.dp[j] + sp.costsRev[sp.hi-t+j]
+	}
+	arg := smawkSolve(rows, cols, lookup)
+	for i, t := range rows {
+		sp.next[t] = lookup(t, arg[i])
+	}
+	return arg[0], arg[len(arg)-1]
+}
+
+// smawkSolve returns, for each row of an (implicitly stored) totally
+// monotone matrix, a column attaining the row minimum, with argmins
+// non-decreasing across rows. Comparisons pop strictly smaller entries
+// only, so tied columns keep the earlier (leftmost) candidate.
+func smawkSolve(rows, cols []int, A func(t, j int) float64) []int {
+	if len(rows) == 1 {
+		best := cols[0]
+		for _, c := range cols[1:] {
+			if A(rows[0], c) < A(rows[0], best) {
+				best = c
+			}
+		}
+		return []int{best}
+	}
+	cols = smawkReduce(rows, cols, A)
+	odd := make([]int, 0, len(rows)/2)
+	for i := 1; i < len(rows); i += 2 {
+		odd = append(odd, rows[i])
+	}
+	res := make([]int, len(rows))
+	if len(odd) > 0 {
+		oddArg := smawkSolve(odd, cols, A)
+		for i, oi := 1, 0; i < len(rows); i, oi = i+2, oi+1 {
+			res[i] = oddArg[oi]
+		}
+	}
+	// Interpolate the even rows: row i's argmin lies between its solved
+	// neighbors' argmins, and cols is sorted ascending, so one forward
+	// sweep over cols covers all even rows.
+	ci := 0
+	for i := 0; i < len(rows); i += 2 {
+		loC := cols[0]
+		if i > 0 {
+			loC = res[i-1]
+		}
+		hiC := cols[len(cols)-1]
+		if i+1 < len(rows) {
+			hiC = res[i+1]
+		}
+		for cols[ci] < loC {
+			ci++
+		}
+		r := rows[i]
+		best := cols[ci]
+		for k := ci + 1; k < len(cols) && cols[k] <= hiC; k++ {
+			if A(r, cols[k]) < A(r, best) {
+				best = cols[k]
+			}
+		}
+		res[i] = best
+	}
+	return res
+}
+
+// smawkReduce prunes cols to at most len(rows) candidates that can still
+// hold some row's minimum (the classic stack REDUCE step).
+func smawkReduce(rows, cols []int, A func(t, j int) float64) []int {
+	stack := make([]int, 0, len(rows))
+	for _, c := range cols {
+		for len(stack) > 0 {
+			r := rows[len(stack)-1]
+			if A(r, c) < A(r, stack[len(stack)-1]) {
+				stack = stack[:len(stack)-1]
+			} else {
+				break
+			}
+		}
+		if len(stack) < len(rows) {
+			stack = append(stack, c)
+		}
+	}
+	return stack
+}

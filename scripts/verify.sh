@@ -49,14 +49,28 @@ go run ./cmd/experiments -small -out "$OBS_SMOKE_DIR" \
 go run scripts/checkmanifest.go "$OBS_SMOKE_DIR/manifest.json"
 go run scripts/checktrace.go "$OBS_SMOKE_DIR/trace.json"
 
+# Solver-ladder smoke: a large-C auto solve through the real optimizer
+# CLI must take the coarse-to-fine refinement rung and record it.
+# Profiles come from hotlprof at the reduced geometry; the solve itself
+# runs at units=16384 (-baselines=false skips the quadratic
+# baseline-constrained DPs, which are not what this gate measures), and
+# checksolver pins the Optimal scheme's recorded path to "refine".
+echo "== obs smoke: optpart large-C solver path"
+go run ./cmd/hotlprof -workload lbm -small -out "$OBS_SMOKE_DIR/lbm.hotl" >/dev/null
+go run ./cmd/hotlprof -workload mcf -small -out "$OBS_SMOKE_DIR/mcf.hotl" >/dev/null
+go run ./cmd/optpart -units 16384 -blocksperunit 1 -solver auto -baselines=false \
+	-manifest "$OBS_SMOKE_DIR/optpart.json" \
+	"$OBS_SMOKE_DIR/lbm.hotl" "$OBS_SMOKE_DIR/mcf.hotl" >/dev/null
+go run scripts/checksolver.go "$OBS_SMOKE_DIR/optpart.json" refine
+
 # Perf-regression watch: advisory here (hardware differs run to run, so
 # a local diff against the committed baseline must not fail the gate);
 # CI runs the same comparison. The || true keeps set -e from tripping.
-echo "== benchdiff (advisory): BENCH_PR4.json vs BENCH_PR5.json"
-if [ -f BENCH_PR4.json ] && [ -f BENCH_PR5.json ]; then
-	go run ./cmd/benchdiff BENCH_PR4.json BENCH_PR5.json || true
+echo "== benchdiff (advisory): BENCH_PR5.json vs BENCH_PR6.json"
+if [ -f BENCH_PR5.json ] && [ -f BENCH_PR6.json ]; then
+	go run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json || true
 else
-	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr5)"
+	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr6)"
 fi
 
 echo "== govulncheck"
