@@ -75,6 +75,7 @@ func main() {
 		newSnap = benchsuite.Run(suite.Benches(), func(name string, nsPerOp int64, iters int) {
 			obs.Progressf("%-34s %12d ns/op  (%d iters)\n", name, nsPerOp, iters)
 		})
+		suite.Close()
 	} else {
 		newPath := flag.Arg(1)
 		newFile, err := benchdiff.Load(newPath)

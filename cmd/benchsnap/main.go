@@ -35,7 +35,7 @@ import (
 const obsOverheadLimitPct = 3.0
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "snapshot file to create or merge into")
+	out := flag.String("out", "BENCH_PR7.json", "snapshot file to create or merge into")
 	label := flag.String("label", "current", "label for this run's column in the snapshot")
 	flag.Parse()
 
@@ -53,6 +53,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer suite.Close()
 
 	snap := benchdiff.Snapshot(benchsuite.Run(suite.Benches(), func(name string, nsPerOp int64, iters int) {
 		obs.Progressf("%-34s %12d ns/op  (%d iters)\n", name, nsPerOp, iters)

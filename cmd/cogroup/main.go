@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"partitionshare/internal/compose"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/profileio"
 	"partitionshare/internal/symbiosis"
 )
@@ -47,16 +49,19 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("predicted overall miss ratio: %.6f\n", grouping.MissRatio)
+	obs.Progressf("predicted overall miss ratio: %.6f\n", grouping.MissRatio)
 	for c, members := range grouping.Caches {
-		fmt.Printf("cache %d (%.0f blocks):", c, *cacheBlocks)
+		// Assemble the membership line whole so the serialized reporter
+		// emits it in one write, never split mid-line.
+		var line strings.Builder
+		fmt.Fprintf(&line, "cache %d (%.0f blocks):", c, *cacheBlocks)
 		if len(members) == 0 {
-			fmt.Print(" (empty)")
+			line.WriteString(" (empty)")
 		}
 		for _, p := range members {
-			fmt.Printf(" %s", progs[p].Name)
+			fmt.Fprintf(&line, " %s", progs[p].Name)
 		}
-		fmt.Println()
+		obs.Progressln(line.String())
 	}
 
 	// Per-cache detail: natural occupancies and per-program miss ratios.
@@ -71,7 +76,7 @@ func main() {
 		occ := compose.NaturalPartition(sub, *cacheBlocks)
 		mrs := compose.SharedMissRatios(sub, *cacheBlocks)
 		for i, p := range members {
-			fmt.Printf("  cache %d %-12s occupancy %8.1f blocks  mr %.6f\n",
+			obs.Progressf("  cache %d %-12s occupancy %8.1f blocks  mr %.6f\n",
 				c, progs[p].Name, occ[i], mrs[i])
 		}
 	}

@@ -12,22 +12,48 @@
 // manifest recording the geometry, the solver counters, and the
 // SolverPath each DP scheme actually took.
 //
+// SIGINT/SIGTERM drain gracefully: the in-flight solve finishes (the
+// Optimal DP itself is cancellable between layers), the manifest is
+// written with whatever schemes completed, and the process exits 130.
+//
 // Usage:
 //
 //	optpart [-units 1024] [-blocksperunit 4] [-solver auto] prog1.hotl prog2.hotl ...
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"partitionshare/internal/compose"
+	"partitionshare/internal/faultinject"
 	"partitionshare/internal/mrc"
 	"partitionshare/internal/obs"
 	"partitionshare/internal/partition"
 	"partitionshare/internal/profileio"
 )
+
+// FaultSolve fires before each scheme's solve; the drain test arms it
+// with a delay to hold the optimizer mid-run while a signal lands.
+const FaultSolve = "optpart.solve"
+
+// options carries the parsed flag record into run, so tests can drive
+// the full pipeline in-process.
+type options struct {
+	units         int
+	blocksPerUnit int64
+	minimax       bool
+	solver        partition.Solver
+	baselines     bool
+	manifestPath  string
+	paths         []string
+}
 
 func main() {
 	units := flag.Int("units", 1024, "cache size in partition units")
@@ -48,15 +74,45 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT/SIGTERM cancel ctx; run drains at the next solve boundary
+	// (or mid-DP: the kernel polls ctx between layers), the deferred
+	// manifest write still lands, and the exit status is the
+	// conventional 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = run(ctx, os.Stdout, options{
+		units:         *units,
+		blocksPerUnit: *blocksPerUnit,
+		minimax:       *minimax,
+		solver:        solver,
+		baselines:     *baselines,
+		manifestPath:  *manifestPath,
+		paths:         flag.Args(),
+	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "optpart: interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// run executes the optimizer pipeline, writing scheme reports to w. It
+// returns context.Canceled when interrupted; the manifest (when
+// requested) is written on every exit path, recording whichever schemes
+// completed before the interruption.
+func run(ctx context.Context, w io.Writer, opts options) (err error) {
 	var curves []mrc.Curve
 	var comps []compose.Program
-	for _, path := range flag.Args() {
-		p, err := profileio.ReadFile(path)
-		if err != nil {
-			fatal(err)
+	for _, path := range opts.paths {
+		p, rerr := profileio.ReadFile(path)
+		if rerr != nil {
+			return rerr
 		}
 		fp := p.Footprint()
-		curve := mrc.FromFootprint(p.Name, fp, *units, *blocksPerUnit, p.Rate)
+		curve := mrc.FromFootprint(p.Name, fp, opts.units, opts.blocksPerUnit, p.Rate)
 		curve.Accesses = int64(float64(curve.Accesses) * p.Rate)
 		curves = append(curves, curve)
 		comps = append(comps, compose.Program{Name: p.Name, Fp: fp, Rate: p.Rate})
@@ -66,82 +122,111 @@ func main() {
 	// in after each DP solve below — the ladder rung every scheme actually
 	// ran (solver_paths), alongside the registry's per-path counters.
 	solverPaths := map[string]any{}
-	var manifest *obs.ManifestBuilder
-	if *manifestPath != "" {
+	if opts.manifestPath != "" {
 		obs.Enable(obs.NewRegistry())
-		manifest = obs.NewManifest("optpart", map[string]any{
-			"units":           *units,
-			"blocks_per_unit": *blocksPerUnit,
-			"programs":        flag.NArg(),
-			"solver":          solver.String(),
-			"baselines":       *baselines,
-			"minimax":         *minimax,
+		manifest := obs.NewManifest("optpart", map[string]any{
+			"units":           opts.units,
+			"blocks_per_unit": opts.blocksPerUnit,
+			"programs":        len(opts.paths),
+			"solver":          opts.solver.String(),
+			"baselines":       opts.baselines,
+			"minimax":         opts.minimax,
 			"solver_paths":    solverPaths,
 		})
+		defer func() {
+			if werr := manifest.Build(obs.Enabled()).Write(opts.manifestPath); werr != nil && err == nil {
+				err = werr
+			}
+		}()
 	}
 
-	pr := partition.Problem{Curves: curves, Units: *units, Solver: solver}
+	pr := partition.Problem{Curves: curves, Units: opts.units, Solver: opts.solver}
 	show := func(label string, sol partition.Solution) {
 		if sol.SolverPath != "" {
 			solverPaths[label] = sol.SolverPath
 		}
-		fmt.Printf("%-17s group miss ratio %.6f\n", label, sol.GroupMissRatio)
+		fmt.Fprintf(w, "%-17s group miss ratio %.6f\n", label, sol.GroupMissRatio)
 		for i, c := range curves {
-			fmt.Printf("  %-12s %5d units  mr %.6f\n", c.Name, sol.Alloc[i], sol.MissRatios[i])
+			fmt.Fprintf(w, "  %-12s %5d units  mr %.6f\n", c.Name, sol.Alloc[i], sol.MissRatios[i])
 		}
 	}
+	// step gates each scheme's solve: the armed fault point (drain tests
+	// hold the pipeline here) and then the cancellation poll.
+	step := func() error {
+		if err := faultinject.Hit(FaultSolve); err != nil {
+			return err
+		}
+		return ctx.Err()
+	}
 
-	if *baselines {
-		equalAlloc := partition.EqualAllocation(len(curves), *units)
+	if opts.baselines {
+		equalAlloc := partition.EqualAllocation(len(curves), opts.units)
+		if err := step(); err != nil {
+			return err
+		}
 		sol, err := partition.Evaluate(pr, equalAlloc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		show("Equal", sol)
 
-		naturalAlloc := partition.Allocation(compose.NaturalPartitionUnits(comps, *units, *blocksPerUnit))
+		naturalAlloc := partition.Allocation(compose.NaturalPartitionUnits(comps, opts.units, opts.blocksPerUnit))
+		if err := step(); err != nil {
+			return err
+		}
 		sol, err = partition.Evaluate(pr, naturalAlloc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		show("Natural", sol)
 
+		if err := step(); err != nil {
+			return err
+		}
 		sol, err = partition.OptimizeBaseline(pr, equalAlloc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		show("Equal baseline", sol)
 
+		if err := step(); err != nil {
+			return err
+		}
 		sol, err = partition.OptimizeBaseline(pr, naturalAlloc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		show("Natural baseline", sol)
 	}
 
-	sol, err := partition.Optimize(pr)
+	if err := step(); err != nil {
+		return err
+	}
+	// workers=1: the serial solve, but cancellable between DP layers.
+	sol, err := partition.OptimizeParallel(ctx, pr, 1)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	show("Optimal", sol)
 
-	if *baselines {
-		show("STTW", partition.STTW(curves, *units))
+	if opts.baselines {
+		if err := step(); err != nil {
+			return err
+		}
+		show("STTW", partition.STTW(curves, opts.units))
 	}
 
-	if *minimax {
-		sol, err = partition.Optimize(partition.Problem{Curves: curves, Units: *units, Combine: partition.Minimax, Solver: solver})
+	if opts.minimax {
+		if err := step(); err != nil {
+			return err
+		}
+		sol, err = partition.OptimizeParallel(ctx, partition.Problem{Curves: curves, Units: opts.units, Combine: partition.Minimax, Solver: opts.solver}, 1)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		show("Minimax", sol)
 	}
-
-	if manifest != nil {
-		if err := manifest.Build(obs.Enabled()).Write(*manifestPath); err != nil {
-			fatal(err)
-		}
-	}
+	return nil
 }
 
 func fatal(err error) {

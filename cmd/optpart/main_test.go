@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"partitionshare/internal/faultinject"
+	"partitionshare/internal/profileio"
+	"partitionshare/internal/reuse"
+	"partitionshare/internal/trace"
+)
+
+// writeProfiles generates two small hotlprof files for driving run().
+func writeProfiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var paths []string
+	for i := uint64(1); i <= 2; i++ {
+		g := trace.NewZipf(512, 0.7, i)
+		p := profileio.Profile{
+			Name:  fmt.Sprintf("p%d", i),
+			Rate:  1.0,
+			Reuse: reuse.Collect(trace.Generate(g, 4096)),
+		}
+		path := filepath.Join(dir, p.Name+".hotl")
+		if err := profileio.WriteFile(path, p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+func testOptions(t *testing.T, dir string) options {
+	t.Helper()
+	return options{
+		units:         64,
+		blocksPerUnit: 4,
+		baselines:     true,
+		paths:         writeProfiles(t, dir),
+	}
+}
+
+// TestRunProducesSchemes: the happy path prints all six schemes and
+// records their solver paths in the manifest.
+func TestRunProducesSchemes(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t, dir)
+	opts.manifestPath = filepath.Join(dir, "manifest.json")
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, scheme := range []string{"Equal", "Natural", "Equal baseline", "Natural baseline", "Optimal", "STTW"} {
+		if !strings.Contains(out, scheme) {
+			t.Fatalf("output lacks scheme %q:\n%s", scheme, out)
+		}
+	}
+	data, err := os.ReadFile(opts.manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Config struct {
+			SolverPaths map[string]string `json:"solver_paths"`
+		} `json:"config"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if m.Config.SolverPaths["Optimal"] == "" {
+		t.Fatalf("manifest lacks the Optimal solver path: %s", data)
+	}
+}
+
+// TestRunCancelledDrainsCleanly: a cancelled context stops the pipeline
+// with context.Canceled, still writes the manifest (the drain
+// contract), and leaks no goroutines.
+func TestRunCancelledDrainsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t, dir)
+	opts.manifestPath = filepath.Join(dir, "manifest.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	before := runtime.NumGoroutine()
+	var buf bytes.Buffer
+	err := run(ctx, &buf, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(opts.manifestPath); err != nil {
+		t.Fatalf("interrupted run skipped the manifest: %v", err)
+	}
+	// Give any stray worker a moment, then require the goroutine count
+	// back at (or below) the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, got)
+	}
+}
+
+// TestRunMidPipelineCancel interrupts between schemes via the armed
+// fault point: completed schemes are printed, later ones are not, and
+// the manifest records only the completed solver paths.
+func TestRunMidPipelineCancel(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t, dir)
+	opts.manifestPath = filepath.Join(dir, "manifest.json")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan := faultinject.NewPlan()
+	// Second step: a long benign delay holds the pipeline inside step 2
+	// while the watcher cancels; the step's ctx poll must stop the run.
+	// The hit counter increments before the injected sleep, so the
+	// watcher reliably observes hit 2 during the delay — a short delay
+	// loses this race on a single-CPU container.
+	plan.Set(FaultSolve, faultinject.Rule{After: 1, Count: 1, Err: faultinject.Benign, Delay: 250 * time.Millisecond})
+	faultinject.Enable(plan)
+	defer faultinject.Enable(nil)
+	go func() {
+		for plan.Hits(FaultSolve) < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	var buf bytes.Buffer
+	err := run(ctx, &buf, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(buf.String(), "Equal") {
+		t.Fatalf("first scheme missing from interrupted output:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "STTW") {
+		t.Fatalf("schemes after the interrupt still ran:\n%s", buf.String())
+	}
+	if _, err := os.Stat(opts.manifestPath); err != nil {
+		t.Fatalf("interrupted run skipped the manifest: %v", err)
+	}
+}
+
+// TestOptpartSIGTERMExit130 is the end-to-end drain test: a re-exec'd
+// optpart main is SIGTERMed mid-pipeline and must exit 130 with the
+// manifest written.
+func TestOptpartSIGTERMExit130(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	paths := writeProfiles(t, dir)
+	manifest := filepath.Join(dir, "manifest.json")
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestOptpartMainHelper")
+	cmd.Env = append(os.Environ(),
+		"OPTPART_MAIN_HELPER=1",
+		"OPTPART_ARGS=-units 64 -manifest "+manifest+" "+paths[0]+" "+paths[1],
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the first scheme to print, then signal while the armed
+	// delay holds the pipeline before the next solve.
+	sc := bufio.NewScanner(stdout)
+	found := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "Equal") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("helper never printed the first scheme")
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 130 {
+		t.Fatalf("helper exit = %v, want status 130", err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("SIGTERM exit skipped the manifest: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest does not parse after SIGTERM: %v", err)
+	}
+}
+
+// TestOptpartMainHelper is the subprocess half of the SIGTERM test: it
+// arms a long delay on the solve fault point and runs the real main.
+func TestOptpartMainHelper(t *testing.T) {
+	if os.Getenv("OPTPART_MAIN_HELPER") == "" {
+		t.Skip("helper process only")
+	}
+	plan := faultinject.NewPlan()
+	plan.Set(FaultSolve, faultinject.Rule{After: 1, Err: faultinject.Benign, Delay: 250 * time.Millisecond})
+	faultinject.Enable(plan)
+	os.Args = append([]string{"optpart"}, strings.Fields(os.Getenv("OPTPART_ARGS"))...)
+	main()
+}

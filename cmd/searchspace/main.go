@@ -6,9 +6,9 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"math/big"
 
+	"partitionshare/internal/obs"
 	"partitionshare/internal/sharing"
 )
 
@@ -22,14 +22,14 @@ func main() {
 	s2 := sharing.SpacePartitionSharing(*npr, *c)
 	s3 := sharing.SpacePartitioningOnly(*npr, *c)
 
-	fmt.Printf("programs npr = %d, cache units C = %d\n\n", *npr, *c)
-	fmt.Printf("S1  sharing, %d caches (Stirling {npr,nc}):  %s\n", *nc, group(s1))
-	fmt.Printf("S2  partition-sharing, single cache:         %s\n", group(s2))
-	fmt.Printf("S3  partitioning only:                       %s\n", group(s3))
+	obs.Progressf("programs npr = %d, cache units C = %d\n\n", *npr, *c)
+	obs.Progressf("S1  sharing, %d caches (Stirling {npr,nc}):  %s\n", *nc, group(s1))
+	obs.Progressf("S2  partition-sharing, single cache:         %s\n", group(s2))
+	obs.Progressf("S3  partitioning only:                       %s\n", group(s3))
 
 	ratio := new(big.Float).Quo(new(big.Float).SetInt(s3), new(big.Float).SetInt(s2))
 	f, _ := ratio.Float64()
-	fmt.Printf("\npartitioning-only covers %.6f%% of the partition-sharing space\n", f*100)
+	obs.Progressf("\npartitioning-only covers %.6f%% of the partition-sharing space\n", f*100)
 }
 
 // group inserts thousands separators, matching the paper's presentation.

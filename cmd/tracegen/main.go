@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"partitionshare/internal/obs"
 	"partitionshare/internal/trace"
 	"partitionshare/internal/workload"
 )
@@ -78,7 +79,7 @@ func main() {
 	if err := trace.WriteFile(*out, tr, *binaryFormat); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %d accesses (%d distinct blocks) to %s\n", len(tr), tr.DistinctData(), *out)
+	obs.Progressf("wrote %d accesses (%d distinct blocks) to %s\n", len(tr), tr.DistinctData(), *out)
 }
 
 func flagSet(name string) bool {

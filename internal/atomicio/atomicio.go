@@ -12,6 +12,21 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"partitionshare/internal/faultinject"
+)
+
+// Fault points (internal/faultinject) in the atomic write path. They are
+// nil-check no-ops in production; chaos tests arm them to prove that an
+// I/O error or torn write at any step leaves the destination untouched.
+const (
+	// FaultWrite wraps the writer handed to the write callback: a firing
+	// partial-write rule truncates the temp-file content mid-stream.
+	FaultWrite = "atomicio.write"
+	// FaultSync fires between the content sync and the rename — the
+	// widest crash window: the temp file is complete but the destination
+	// still holds the old content.
+	FaultSync = "atomicio.sync"
 )
 
 // WriteFile writes the output of write to path atomically. The write
@@ -35,7 +50,7 @@ func WriteFile(path string, write func(w io.Writer) error) (err error) {
 		}
 	}()
 	bw := bufio.NewWriter(tmp)
-	if err = write(bw); err != nil {
+	if err = write(faultinject.Writer(FaultWrite, bw)); err != nil {
 		return err
 	}
 	if err = bw.Flush(); err != nil {
@@ -44,6 +59,9 @@ func WriteFile(path string, write func(w io.Writer) error) (err error) {
 	// Sync before rename so a crash right after the rename cannot leave an
 	// empty or partial file under the final name.
 	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	if err = faultinject.Hit(FaultSync); err != nil {
 		return fmt.Errorf("atomicio: %w", err)
 	}
 	if err = tmp.Chmod(0o644); err != nil {

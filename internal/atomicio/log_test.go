@@ -1,0 +1,248 @@
+package atomicio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partitionshare/internal/faultinject"
+)
+
+func replayAll(t *testing.T, path string) (recs [][]byte, torn bool) {
+	t.Helper()
+	torn, err := ReplayLog(path, func(rec []byte) error {
+		recs = append(recs, append([]byte{}, rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayLog: %v", err)
+	}
+	return recs, torn
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("one"), []byte(""), bytes.Repeat([]byte{0xab}, 4096)}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, torn := replayAll(t, path)
+	if torn {
+		t.Fatalf("clean log reported torn")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogMissingFileReplaysEmpty(t *testing.T) {
+	recs, torn := replayAll(t, filepath.Join(t.TempDir(), "absent.log"))
+	if torn || len(recs) != 0 {
+		t.Fatalf("missing log: recs=%d torn=%v", len(recs), torn)
+	}
+}
+
+// TestLogTornTail simulates a kill mid-append: a partial final frame on
+// disk. Replay must deliver every earlier record and flag the tear.
+func TestLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("tear-me-apart")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(data) - 1; cut > len(data)-13; cut-- {
+		trimmed := filepath.Join(t.TempDir(), "trimmed.log")
+		writeRaw(t, trimmed, data[:cut])
+		recs, torn := replayAll(t, trimmed)
+		if !torn {
+			t.Fatalf("cut at %d/%d not reported torn", cut, len(data))
+		}
+		if len(recs) != 1 || string(recs[0]) != "keep-me" {
+			t.Fatalf("cut at %d: surviving records %q", cut, recs)
+		}
+	}
+}
+
+// TestLogCorruptTail flips a payload byte in the final record: the CRC
+// must reject it while preserving everything before it.
+func TestLogCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("corrupt-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	writeRaw(t, path, data)
+	recs, torn := replayAll(t, path)
+	if !torn || len(recs) != 1 || string(recs[0]) != "keep-me" {
+		t.Fatalf("corrupt tail: recs=%q torn=%v", recs, torn)
+	}
+}
+
+// TestLogInjectedTornAppendRollsBack arms the partial-write fault: the
+// failed append must truncate itself off so later appends stay intact.
+func TestLogInjectedTornAppendRollsBack(t *testing.T) {
+	plan := faultinject.NewPlan()
+	plan.Set(FaultLogAppend, Rule2())
+	faultinject.Enable(plan)
+	defer faultinject.Enable(nil)
+
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("first")); err != nil {
+		t.Fatalf("append 0: %v", err)
+	}
+	if err := l.Append([]byte("torn-record")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("append 1 = %v, want injected error", err)
+	}
+	if err := l.Append([]byte("third")); err != nil {
+		t.Fatalf("append 2 after rollback: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn := replayAll(t, path)
+	if torn {
+		t.Fatalf("rolled-back log reported torn")
+	}
+	if len(recs) != 2 || string(recs[0]) != "first" || string(recs[1]) != "third" {
+		t.Fatalf("surviving records %q", recs)
+	}
+}
+
+// Rule2 arms the second hit (index 1) with a 3-byte truncation.
+func Rule2() faultinject.Rule {
+	return faultinject.Rule{After: 1, Count: 1, TruncateAt: 3}
+}
+
+// TestLogInjectedSyncFailure arms the pre-sync fault point: the append
+// reports failure and rolls the frame back.
+func TestLogInjectedSyncFailure(t *testing.T) {
+	plan := faultinject.NewPlan()
+	plan.Set(FaultLogSync, faultinject.Rule{Count: 1})
+	faultinject.Enable(plan)
+	defer faultinject.Enable(nil)
+
+	path := filepath.Join(t.TempDir(), "j.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("doomed")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("append = %v, want injected error", err)
+	}
+	if err := l.Append([]byte("fine")); err != nil {
+		t.Fatalf("append after failure: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn := replayAll(t, path)
+	if torn || len(recs) != 1 || string(recs[0]) != "fine" {
+		t.Fatalf("surviving records %q torn=%v", recs, torn)
+	}
+}
+
+// TestWriteFileInjectedFaults proves the WriteFile crash windows: a torn
+// content write and a failed pre-rename sync both leave the destination
+// byte-identical to its previous content.
+func TestWriteFileInjectedFaults(t *testing.T) {
+	for _, point := range []string{FaultWrite, FaultSync} {
+		t.Run(point, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "out.txt")
+			if err := WriteFileBytes(path, []byte("old content")); err != nil {
+				t.Fatal(err)
+			}
+			plan := faultinject.NewPlan()
+			plan.Set(point, faultinject.Rule{Count: 1, TruncateAt: 2})
+			faultinject.Enable(plan)
+			defer faultinject.Enable(nil)
+
+			err := WriteFileBytes(path, []byte("new content"))
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("WriteFileBytes = %v, want injected error", err)
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "old content" {
+				t.Fatalf("destination = %q after injected fault, want old content", got)
+			}
+			ents, err := os.ReadDir(filepath.Dir(path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != 1 {
+				t.Fatalf("temp litter left behind: %v", ents)
+			}
+		})
+	}
+}
+
+func writeRaw(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleReplayLog() {
+	dir, _ := os.MkdirTemp("", "log")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "j.log")
+	l, _ := OpenLog(path)
+	l.Append([]byte("a"))
+	l.Append([]byte("b"))
+	l.Close()
+	n := 0
+	ReplayLog(path, func(rec []byte) error { n++; return nil })
+	fmt.Println(n)
+	// Output: 2
+}

@@ -9,18 +9,24 @@
 // per-group optimal-partition DP (pooled kernel, parallel layers, and
 // the preserved scatter-form reference), the baseline-constrained DP,
 // the DP granularity sweep, one full-trace profiling pass, the three
-// reuse-collection scans (dense, map reference, sharded parallel), and
-// the full Table I regeneration.
+// reuse-collection scans (dense, map reference, sharded parallel), the
+// full Table I regeneration, and the daemon's service paths: the
+// admission-gated plan request and the warm-vs-cold re-optimization
+// epoch.
 package benchsuite
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"partitionshare/internal/experiment"
 	"partitionshare/internal/mrc"
 	"partitionshare/internal/partition"
+	"partitionshare/internal/profileio"
 	"partitionshare/internal/reuse"
+	"partitionshare/internal/service"
 	"partitionshare/internal/trace"
 	"partitionshare/internal/workload"
 )
@@ -44,6 +50,18 @@ type Suite struct {
 	fullCurves []mrc.Curve
 	spec       workload.Spec
 	tr         trace.Trace
+
+	// Service fixture: a daemon service over a throwaway store with four
+	// registered tenants, for the plan-request-path benchmark. Close
+	// releases it.
+	storeDir string
+	store    *service.Store
+	svc      *service.Service
+	tenants  []string
+	// groupA/groupB are the tenant curves and a one-member-churned
+	// variant, the two endpoints of the ReOptimize epoch benchmarks.
+	groupA []mrc.Curve
+	groupB []mrc.Curve
 }
 
 // New profiles the fixtures: the 16-program suite at test geometry (for
@@ -69,7 +87,57 @@ func New() (*Suite, error) {
 	s.spec = workload.Specs()[0]
 	gen := s.spec.Build(uint32(s.cfg.CacheBlocks()), s.cfg.Seed)
 	s.tr = trace.Generate(gen, s.cfg.TraceLen)
+
+	// The service fixture: four Zipf tenants registered through the real
+	// store, so ServicePlanRequest measures the daemon's full plan path
+	// (admission, curve gather, cancellable DP) at default geometry.
+	s.storeDir, err = os.MkdirTemp("", "benchsuite-store-")
+	if err != nil {
+		return nil, err
+	}
+	s.store, err = service.OpenStore(s.storeDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.svc, err = service.New(service.Config{Units: 1024, BlocksPerUnit: 4, Seed: 1}, s.store)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(1); i <= 4; i++ {
+		name := fmt.Sprintf("t%d", i)
+		p := profileio.Profile{
+			Name:  name,
+			Rate:  1.0,
+			Reuse: reuse.Collect(trace.Generate(trace.NewZipf(512, 0.7, i), 4096)),
+		}
+		if err := s.svc.Register(name, p); err != nil {
+			return nil, err
+		}
+		s.tenants = append(s.tenants, name)
+	}
+	s.groupA = make([]mrc.Curve, len(s.tenants))
+	for i, name := range s.tenants {
+		if s.groupA[i], err = s.svc.CurveFor(name, 1024); err != nil {
+			return nil, err
+		}
+	}
+	// groupB churns the last member: same curve data under a different
+	// identity, so a rebase keeps the three-layer prefix and re-pushes
+	// exactly one layer.
+	s.groupB = append(append([]mrc.Curve{}, s.groupA[:len(s.groupA)-1]...), s.groupA[0])
+	s.groupB[len(s.groupB)-1].Name = "t1-churned"
 	return s, nil
+}
+
+// Close releases the service fixture's store and its throwaway
+// directory.
+func (s *Suite) Close() {
+	if s.store != nil {
+		s.store.Close()
+	}
+	if s.storeDir != "" {
+		os.RemoveAll(s.storeDir)
+	}
 }
 
 // largeCurves resamples the four full-geometry footprints at one block
@@ -215,6 +283,62 @@ func (s *Suite) Benches() []Bench {
 			},
 		})
 	}
+
+	// Service paths (PR 7). ServicePlanRequest is the daemon's plan
+	// request end to end minus HTTP: admission, curve gather, and the
+	// cancellable DP under the default deadline. The ReOptimize pair
+	// measures one churn epoch — the group's last member swapped — as the
+	// background loop runs it: warm rebases onto the shared three-layer
+	// prefix and pushes one layer, cold re-runs the full DP from scratch;
+	// their ratio is the warm-start payoff the incremental optimizer buys.
+	benches = append(benches, Bench{
+		Name: "ServicePlanRequest",
+		Fn: func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.svc.PlanFor(ctx, s.tenants, 1024); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	benches = append(benches, Bench{
+		Name: "ReOptimize/warm",
+		Fn: func(b *testing.B) {
+			inc := partition.NewIncremental(1024)
+			if _, err := inc.Rebase(nil, s.groupA); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target := s.groupA
+				if i%2 == 0 {
+					target = s.groupB
+				}
+				if _, err := inc.Rebase(nil, target); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := inc.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	benches = append(benches, Bench{
+		Name: "ReOptimize/cold",
+		Fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				target := s.groupA
+				if i%2 == 0 {
+					target = s.groupB
+				}
+				pr := partition.Problem{Curves: target, Units: 1024}
+				if _, err := partition.OptimizeParallel(nil, pr, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
 	return benches
 }
 

@@ -1,0 +1,197 @@
+// Package faultinject is the chaos-test substrate: named fault points in
+// production code (the atomic writer, the tenant store, the service's
+// solver calls) consult a process-global plan that tests arm with
+// deterministic error, latency, and partial-write rules. The design
+// mirrors internal/obs's registry: a single atomic pointer that is nil in
+// production, so every hook in a hot path costs one atomic load and a
+// nil check — no build tags, no interfaces threaded through APIs.
+//
+// Determinism is the point. A rule fires on exact hit indices (skip the
+// first After hits, then fire Count times), so a chaos test that arms
+// "fail the second store save" exercises the same failure path on every
+// run, and the recovery it asserts is reproducible bit for bit.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by armed fault points; chaos
+// tests assert recovery paths with errors.Is against it (or against the
+// rule's custom Err).
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// A Rule arms one fault point. The zero value fires on every hit with
+// ErrInjected and no delay.
+type Rule struct {
+	// After is the number of hits that pass through before the rule
+	// starts firing (0 = fire from the first hit).
+	After int
+	// Count is how many hits fire once triggered (0 = every hit after
+	// After, forever).
+	Count int
+	// Err is the error returned by firing hits. nil means ErrInjected —
+	// a Rule used purely for Delay should set Err to Benign.
+	Err error
+	// Delay is slept (uninterruptibly) by firing hits before returning,
+	// modeling slow I/O or slow solves.
+	Delay time.Duration
+	// TruncateAt bounds the bytes a Writer-wrapped sink accepts while the
+	// rule fires: writes past the limit fail with Err, modeling a torn
+	// write. Ignored by Hit.
+	TruncateAt int
+}
+
+// Benign marks a rule that delays without failing: a firing Hit sleeps
+// Rule.Delay and then returns nil.
+var Benign = errors.New("faultinject: benign (delay only)")
+
+// A Plan is a set of armed fault points. The zero value is unusable;
+// construct with NewPlan. Methods are safe for concurrent use.
+type Plan struct {
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+type point struct {
+	rule Rule
+	hits int
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{points: make(map[string]*point)}
+}
+
+// Set arms (or re-arms, resetting the hit counter) the named point.
+func (p *Plan) Set(name string, r Rule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.points[name] = &point{rule: r}
+}
+
+// Clear disarms the named point.
+func (p *Plan) Clear(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.points, name)
+}
+
+// Hits returns how many times the named point was consulted (armed or
+// not, it counts only while armed — an unarmed point reports 0).
+func (p *Plan) Hits(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pt := p.points[name]; pt != nil {
+		return pt.hits
+	}
+	return 0
+}
+
+// hit consults the named point, returning the rule's verdict for this
+// hit index: the delay to sleep, the error to return, and the byte limit
+// for writer wrapping (-1 = unlimited).
+func (p *Plan) hit(name string) (delay time.Duration, err error, limit int) {
+	p.mu.Lock()
+	pt := p.points[name]
+	if pt == nil {
+		p.mu.Unlock()
+		return 0, nil, -1
+	}
+	idx := pt.hits
+	pt.hits++
+	r := pt.rule
+	p.mu.Unlock()
+	if idx < r.After {
+		return 0, nil, -1
+	}
+	if r.Count > 0 && idx >= r.After+r.Count {
+		return 0, nil, -1
+	}
+	err = r.Err
+	if err == nil {
+		err = fmt.Errorf("%w: point %q hit %d", ErrInjected, name, idx)
+	}
+	if errors.Is(err, Benign) {
+		err = nil
+	}
+	limit = -1
+	if r.TruncateAt > 0 || (r.TruncateAt == 0 && err != nil) {
+		limit = r.TruncateAt
+	}
+	return r.Delay, err, limit
+}
+
+// active is the process-global plan. nil (the default, and the only
+// state production processes ever see) disables every fault point.
+var active atomic.Pointer[Plan]
+
+// Enable installs p as the process-global plan; Enable(nil) disarms
+// everything. Tests that arm a plan must disarm it on cleanup.
+func Enable(p *Plan) { active.Store(p) }
+
+// Active returns the installed plan, or nil when fault injection is off.
+func Active() *Plan { return active.Load() }
+
+// Hit consults the named fault point against the active plan: it sleeps
+// the armed delay (if any) and returns the armed error (if the rule
+// fires on this hit). With no plan installed it is a nil-check no-op —
+// safe to leave in production hot paths.
+func Hit(name string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	delay, err, _ := p.hit(name)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// Writer wraps w with the named point's partial-write rule: if the rule
+// fires on this hit, the returned writer accepts at most TruncateAt
+// bytes and then fails with the rule's error — the injected torn write.
+// With no plan installed (or a non-firing hit) it returns w unchanged.
+func Writer(name string, w io.Writer) io.Writer {
+	p := active.Load()
+	if p == nil {
+		return w
+	}
+	delay, err, limit := p.hit(name)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err == nil || limit < 0 {
+		return w
+	}
+	return &truncWriter{w: w, left: limit, err: err}
+}
+
+type truncWriter struct {
+	w    io.Writer
+	left int
+	err  error
+}
+
+func (t *truncWriter) Write(b []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, t.err
+	}
+	if len(b) <= t.left {
+		n, err := t.w.Write(b)
+		t.left -= n
+		return n, err
+	}
+	n, err := t.w.Write(b[:t.left])
+	t.left -= n
+	if err != nil {
+		return n, err
+	}
+	return n, t.err
+}

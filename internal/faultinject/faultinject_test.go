@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Enable(nil)
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+	var buf bytes.Buffer
+	w := Writer("anything", &buf)
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatalf("disabled Writer failed: %v", err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("disabled Writer mangled output: %q", buf.String())
+	}
+}
+
+func TestHitAfterCount(t *testing.T) {
+	p := NewPlan()
+	p.Set("pt", Rule{After: 2, Count: 2})
+	Enable(p)
+	defer Enable(nil)
+
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Hit("pt") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if h := p.Hits("pt"); h != 6 {
+		t.Fatalf("Hits = %d, want 6", h)
+	}
+}
+
+func TestHitWrapsErrInjected(t *testing.T) {
+	p := NewPlan()
+	p.Set("pt", Rule{})
+	Enable(p)
+	defer Enable(nil)
+	if err := Hit("pt"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default error %v does not wrap ErrInjected", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	p := NewPlan()
+	p.Set("pt", Rule{Err: custom})
+	Enable(p)
+	defer Enable(nil)
+	if err := Hit("pt"); !errors.Is(err, custom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+}
+
+func TestBenignDelayOnly(t *testing.T) {
+	p := NewPlan()
+	p.Set("pt", Rule{Err: Benign, Delay: 10 * time.Millisecond})
+	Enable(p)
+	defer Enable(nil)
+	start := time.Now()
+	if err := Hit("pt"); err != nil {
+		t.Fatalf("benign rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("benign rule did not delay (took %v)", d)
+	}
+}
+
+func TestWriterTruncates(t *testing.T) {
+	p := NewPlan()
+	p.Set("pt", Rule{TruncateAt: 3})
+	Enable(p)
+	defer Enable(nil)
+
+	var buf bytes.Buffer
+	w := Writer("pt", &buf)
+	n, err := w.Write([]byte("hello"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	if buf.String() != "hel" {
+		t.Fatalf("sink got %q, want the 3-byte prefix", buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-truncation write succeeded")
+	}
+}
+
+func TestWriterPassThroughWhenNotFiring(t *testing.T) {
+	p := NewPlan()
+	p.Set("pt", Rule{After: 1, TruncateAt: 1})
+	Enable(p)
+	defer Enable(nil)
+
+	var buf bytes.Buffer
+	w := Writer("pt", &buf) // hit 0 < After: passes through
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatalf("non-firing Writer failed: %v", err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("non-firing Writer truncated: %q", buf.String())
+	}
+}
+
+func TestSetResetsHitCounter(t *testing.T) {
+	p := NewPlan()
+	p.Set("pt", Rule{After: 1})
+	Enable(p)
+	defer Enable(nil)
+	Hit("pt")
+	p.Set("pt", Rule{After: 1})
+	if err := Hit("pt"); err != nil {
+		t.Fatalf("re-armed rule fired on hit 0: %v", err)
+	}
+	if err := Hit("pt"); err == nil {
+		t.Fatalf("re-armed rule did not fire on hit 1")
+	}
+}
+
+func TestClear(t *testing.T) {
+	p := NewPlan()
+	p.Set("pt", Rule{})
+	Enable(p)
+	defer Enable(nil)
+	p.Clear("pt")
+	if err := Hit("pt"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+}

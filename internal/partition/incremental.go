@@ -1,11 +1,21 @@
 package partition
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"partitionshare/internal/mrc"
 )
+
+// ErrWarmStartStale reports that an incremental warm start could not be
+// reused for the requested group — the cached layers do not extend to
+// the target curve list (a mid-prefix change, an invalid curve, an
+// internally inconsistent DP). Callers test it with errors.Is and fall
+// back to a cold solve; the differential tests assert the fallback is
+// bit-exact vs ReferenceOptimize.
+var ErrWarmStartStale = errors.New("partition: warm start stale")
 
 // Incremental maintains the optimal-partition DP as programs join and
 // leave, reusing all unchanged layers. Adding a program costs one O(C²)
@@ -62,7 +72,12 @@ func (inc *Incremental) Push(c mrc.Curve) error {
 			best = c.MissCount(t)
 			bestU = int32(t)
 		} else {
-			for u := 0; u <= t; u++ {
+			// Candidates in descending u — the same order the batch DP
+			// (ReferenceOptimize's ascending-k outer loop) visits them —
+			// so strict < resolves exact-cost ties to the identical
+			// allocation and warm-started plans stay bit-exact vs a cold
+			// solve.
+			for u := t; u >= 0; u-- {
 				if prev[t-u] == inf {
 					continue
 				}
@@ -88,6 +103,61 @@ func (inc *Incremental) Pop() error {
 	return nil
 }
 
+// Units returns the cache size the optimizer was constructed for.
+func (inc *Incremental) Units() int { return inc.units }
+
+// Rebase warm-starts the DP onto the target curve list: the longest
+// shared prefix of the current layers is kept, everything after it is
+// popped, and the remaining targets are pushed. It returns how many
+// layers were reused. A target the DP cannot extend to — an invalid
+// curve mid-push, a cancelled context — fails with an error wrapping
+// ErrWarmStartStale, and the optimizer is left empty so a later Rebase
+// starts cold rather than on half-rebuilt state; callers fall back to a
+// cold solve (Optimize), which the differential tests pin bit-exact.
+// ctx (nil = never cancels) is polled between layer pushes, the same
+// O(C²) granularity the batch DP polls at.
+func (inc *Incremental) Rebase(ctx context.Context, curves []mrc.Curve) (reused int, err error) {
+	keep := 0
+	for keep < len(inc.layers) && keep < len(curves) && curveIdentical(inc.layers[keep].curve, curves[keep]) {
+		keep++
+	}
+	inc.layers = inc.layers[:keep]
+	for _, c := range curves[keep:] {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				inc.layers = inc.layers[:0]
+				return 0, fmt.Errorf("%w: %v", ErrWarmStartStale, ctx.Err())
+			default:
+			}
+		}
+		if err := inc.Push(c); err != nil {
+			inc.layers = inc.layers[:0]
+			return 0, fmt.Errorf("%w: push %q: %v", ErrWarmStartStale, c.Name, err)
+		}
+	}
+	return keep, nil
+}
+
+// curveIdentical reports bitwise equality of two curves — the identity a
+// warm start needs: any difference in the miss-ratio column or access
+// count changes DP cell values, so "close enough" reuse would silently
+// break the bit-exactness contract.
+func curveIdentical(a, b mrc.Curve) bool {
+	if a.Name != b.Name || a.Accesses != b.Accesses || len(a.MR) != len(b.MR) {
+		return false
+	}
+	if math.Float64bits(a.AccessRate) != math.Float64bits(b.AccessRate) {
+		return false
+	}
+	for i := range a.MR {
+		if math.Float64bits(a.MR[i]) != math.Float64bits(b.MR[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Solve reconstructs the optimal allocation for the current group.
 func (inc *Incremental) Solve() (Solution, error) {
 	n := len(inc.layers)
@@ -106,7 +176,9 @@ func (inc *Incremental) Solve() (Solution, error) {
 		k -= u
 	}
 	if k != 0 {
-		return Solution{}, fmt.Errorf("partition: reconstruction leftover %d units (internal)", k)
+		// An inconsistent reconstruction means the cached layers no longer
+		// describe a coherent DP — stale state, not a caller mistake.
+		return Solution{}, fmt.Errorf("%w: reconstruction leftover %d units", ErrWarmStartStale, k)
 	}
 	pr := Problem{Curves: curves, Units: inc.units}
 	return pr.solution(alloc, inc.layers[n-1].dp[inc.units]), nil

@@ -1,0 +1,220 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"partitionshare/internal/mrc"
+)
+
+// assertBitExact fails unless two solutions agree bit for bit: objective
+// and per-program miss ratios by Float64bits, allocation exactly.
+func assertBitExact(t *testing.T, label string, got, want Solution) {
+	t.Helper()
+	if math.Float64bits(got.Objective) != math.Float64bits(want.Objective) {
+		t.Fatalf("%s: objective %v (bits %x) vs %v (bits %x)", label,
+			got.Objective, math.Float64bits(got.Objective),
+			want.Objective, math.Float64bits(want.Objective))
+	}
+	if len(got.Alloc) != len(want.Alloc) {
+		t.Fatalf("%s: alloc length %d vs %d", label, len(got.Alloc), len(want.Alloc))
+	}
+	for i := range got.Alloc {
+		if got.Alloc[i] != want.Alloc[i] {
+			t.Fatalf("%s: alloc %v vs %v", label, got.Alloc, want.Alloc)
+		}
+	}
+	for i := range got.MissRatios {
+		if math.Float64bits(got.MissRatios[i]) != math.Float64bits(want.MissRatios[i]) {
+			t.Fatalf("%s: miss ratio %d: %v vs %v", label, i, got.MissRatios[i], want.MissRatios[i])
+		}
+	}
+}
+
+// TestIncrementalBitExactVsReference pins the warm-start DP to the
+// reference oracle bit for bit — objective, allocation (including
+// tie-breaking), and per-program miss ratios — across growing prefixes.
+func TestIncrementalBitExactVsReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 7))
+	units := 32
+	var curves []mrc.Curve
+	inc := NewIncremental(units)
+	for i := 0; i < 5; i++ {
+		curves = append(curves, randCurve(rng, string(rune('a'+i)), units))
+		if err := inc.Push(curves[i]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := inc.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReferenceOptimize(Problem{Curves: curves[:i+1], Units: units})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitExact(t, "prefix", got, want)
+	}
+}
+
+// TestIncrementalTieBreaking constructs flat (plateau) curves where every
+// split of the cache has the identical objective, so the allocation is
+// decided purely by tie-breaking order — the case where a wrong scan
+// direction diverges from the reference.
+func TestIncrementalTieBreaking(t *testing.T) {
+	units := 12
+	flat := func(name string) mrc.Curve {
+		mr := make([]float64, units+1)
+		for i := range mr {
+			mr[i] = 0.5
+		}
+		return mrc.Curve{Name: name, MR: mr, Accesses: 1000, AccessRate: 1}
+	}
+	curves := []mrc.Curve{flat("p"), flat("q"), flat("r")}
+	inc := NewIncremental(units)
+	for _, c := range curves {
+		if err := inc.Push(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceOptimize(Problem{Curves: curves, Units: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, "plateau", got, want)
+}
+
+// TestRebaseChurnBitExact drives the warm start through a churn sequence
+// — arrivals, departures, mid-list changes — and requires every
+// rebased solve to match the reference oracle bit for bit while actually
+// reusing shared prefixes.
+func TestRebaseChurnBitExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 99))
+	units := 24
+	pool := make([]mrc.Curve, 6)
+	for i := range pool {
+		pool[i] = randCurve(rng, string(rune('a'+i)), units)
+	}
+	states := [][]int{
+		{0, 1},          // initial pair
+		{0, 1, 2},       // arrival: full prefix reuse
+		{0, 1, 2, 3},    // arrival
+		{0, 1, 3},       // mid-list departure: prefix reuse up to 2
+		{0, 1, 3, 4, 5}, // arrivals on the shorter prefix
+		{2, 4},          // near-total turnover
+		{2, 4},          // no-op churn: everything reused
+	}
+	wantReused := []int{0, 2, 3, 2, 3, 0, 2}
+	inc := NewIncremental(units)
+	for si, idx := range states {
+		curves := make([]mrc.Curve, len(idx))
+		for i, j := range idx {
+			curves[i] = pool[j]
+		}
+		reused, err := inc.Rebase(context.Background(), curves)
+		if err != nil {
+			t.Fatalf("state %d: Rebase: %v", si, err)
+		}
+		if reused != wantReused[si] {
+			t.Fatalf("state %d: reused %d layers, want %d", si, reused, wantReused[si])
+		}
+		got, err := inc.Solve()
+		if err != nil {
+			t.Fatalf("state %d: Solve: %v", si, err)
+		}
+		want, err := ReferenceOptimize(Problem{Curves: curves, Units: units})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitExact(t, "churn state", got, want)
+	}
+}
+
+// TestRebaseStaleFallsBackColdBitExact is the satellite's differential:
+// a rejected warm start must surface ErrWarmStartStale via errors.Is,
+// and the cold solve the caller falls back to must be bit-exact vs
+// ReferenceOptimize.
+func TestRebaseStaleFallsBackColdBitExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 2))
+	units := 24
+	good := []mrc.Curve{randCurve(rng, "a", units), randCurve(rng, "b", units)}
+	inc := NewIncremental(units)
+	if _, err := inc.Rebase(nil, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// A target list with an invalid curve rejects the warm start.
+	bad := []mrc.Curve{good[0], {Name: "broken"}}
+	_, err := inc.Rebase(nil, bad)
+	if !errors.Is(err, ErrWarmStartStale) {
+		t.Fatalf("Rebase with invalid curve = %v, want ErrWarmStartStale", err)
+	}
+	if inc.Len() != 0 {
+		t.Fatalf("failed Rebase left %d layers; want empty state", inc.Len())
+	}
+
+	// The fallback path: cold solve of the group the caller actually
+	// wanted, bit-exact vs the oracle.
+	target := []mrc.Curve{good[0], randCurve(rng, "c", units)}
+	cold, err := Optimize(Problem{Curves: target, Units: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceOptimize(Problem{Curves: target, Units: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, "cold fallback", cold, want)
+
+	// And the optimizer recovers: a fresh Rebase after the failure works.
+	if _, err := inc.Rebase(nil, target); err != nil {
+		t.Fatalf("Rebase after failure: %v", err)
+	}
+	warm, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, "recovered warm", warm, want)
+}
+
+// TestRebaseCancelledContext: a cancelled deadline rejects the warm
+// start with the stale sentinel (the service maps this to a cold solve
+// or a degraded response).
+func TestRebaseCancelledContext(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	units := 16
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inc := NewIncremental(units)
+	_, err := inc.Rebase(ctx, []mrc.Curve{randCurve(rng, "a", units)})
+	if !errors.Is(err, ErrWarmStartStale) {
+		t.Fatalf("cancelled Rebase = %v, want ErrWarmStartStale", err)
+	}
+}
+
+// TestSolveLeftoverWrapsStale corrupts the cached choice table to force
+// the reconstruction-leftover path and asserts it carries the sentinel.
+func TestSolveLeftoverWrapsStale(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	units := 8
+	inc := NewIncremental(units)
+	if err := inc.Push(randCurve(rng, "a", units)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Push(randCurve(rng, "b", units)); err != nil {
+		t.Fatal(err)
+	}
+	// Force the reconstruction to leave units unassigned: the last layer
+	// claims 0 units and the first layer's choice row under-allocates.
+	inc.layers[1].choice[units] = 0
+	inc.layers[0].choice[units] = int32(units - 1)
+	if _, err := inc.Solve(); !errors.Is(err, ErrWarmStartStale) {
+		t.Fatalf("corrupted Solve = %v, want ErrWarmStartStale", err)
+	}
+}

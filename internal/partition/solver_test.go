@@ -286,7 +286,7 @@ func TestSecondDiffNonnegExact(t *testing.T) {
 	}{
 		{0, 0, 0, true},
 		{1, 1, 1, true},
-		{1, 2, 3, true},  // exactly linear
+		{1, 2, 3, true}, // exactly linear
 		{1, 2, 2.5, false},
 		{1e16, 1e16 + 1, 1e16 + 2, true}, // linear at the ulp edge
 		{1e16, 1e16 + 2, 1e16 + 2, false},

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"partitionshare/internal/obs"
+	"partitionshare/internal/profileio"
+)
+
+// maxProfileBody bounds a profile upload (16 MiB) so a misbehaving
+// client cannot balloon the daemon's memory.
+const maxProfileBody = 16 << 20
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error  string `json:"error"`  // stable machine-readable code
+	Detail string `json:"detail"` // human-readable cause
+}
+
+// errorCode maps service sentinels to (HTTP status, stable code).
+func errorCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrNoPlan):
+		return http.StatusServiceUnavailable, "no_plan"
+	case errors.Is(err, ErrTenantNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		return 499, "canceled" // client went away; nginx's convention
+	default:
+		return http.StatusBadRequest, "bad_request"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	obs.Enabled().Counter("service.http.errors." + code).Add(1)
+	writeJSON(w, status, apiError{Error: code, Detail: err.Error()})
+}
+
+// Handler builds the service's HTTP API:
+//
+//	PUT    /v1/tenants/{name}       register/replace (body: hotlprof profile)
+//	DELETE /v1/tenants/{name}       unregister
+//	GET    /v1/tenants              list tenants
+//	GET    /v1/tenants/{name}/mrc   miss-ratio curve (?units=N)
+//	POST   /v1/plan                 ad-hoc group plan (JSON body)
+//	GET    /v1/plan                 current background epoch plan
+//	GET    /healthz                 liveness (always 200 while the process runs)
+//	GET    /readyz                  readiness (503 while draining)
+//
+// Every handler runs under a request deadline (?deadline_ms or the
+// configured default), propagated through admission into the DP solve.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/tenants/{name}", s.wrap("put_tenant", s.handlePutTenant))
+	mux.HandleFunc("DELETE /v1/tenants/{name}", s.wrap("delete_tenant", s.handleDeleteTenant))
+	mux.HandleFunc("GET /v1/tenants", s.wrap("list_tenants", s.handleListTenants))
+	mux.HandleFunc("GET /v1/tenants/{name}/mrc", s.wrap("mrc", s.handleMRC))
+	mux.HandleFunc("POST /v1/plan", s.wrap("plan_post", s.handlePlanPost))
+	mux.HandleFunc("GET /v1/plan", s.wrap("plan_get", s.handlePlanGet))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, fmt.Errorf("not ready: %w", ErrDraining))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+// wrap applies the common robustness envelope: drain refusal, request
+// deadline, per-route metrics, and panic containment (a handler bug
+// becomes a 500, never a daemon crash).
+func (s *Service) wrap(route string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg := obs.Enabled()
+		reg.Counter("service.http.requests." + route).Add(1)
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				reg.Counter("service.http.panics").Add(1)
+				obs.Logger().Error("handler panic", "route", route, "panic", fmt.Sprint(p))
+				writeJSON(w, http.StatusInternalServerError, apiError{Error: "internal", Detail: "handler panic"})
+			}
+			reg.Histogram("service.http.latency_ns."+route, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+		}()
+		if s.draining.Load() {
+			writeError(w, ErrDraining)
+			return
+		}
+		ctx, cancel, err := s.requestContext(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer cancel()
+		if err := fn(w, r.WithContext(ctx)); err != nil {
+			writeError(w, err)
+		}
+	}
+}
+
+// requestContext derives the per-request deadline: ?deadline_ms if the
+// client set one (bounded above by the service default so a client
+// cannot pin a solve slot arbitrarily long), the default otherwise.
+func (s *Service) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultDeadline
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("service: invalid deadline_ms %q", raw)
+		}
+		if req := time.Duration(ms) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+func (s *Service) handlePutTenant(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	p, err := profileio.Read(http.MaxBytesReader(w, r.Body, maxProfileBody))
+	if err != nil {
+		return fmt.Errorf("service: profile body: %w", err)
+	}
+	if err := s.Register(name, p); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": name, "seq": s.store.Seq()})
+	return nil
+}
+
+func (s *Service) handleDeleteTenant(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	if err := s.Unregister(name); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": name, "seq": s.store.Seq()})
+	return nil
+}
+
+func (s *Service) handleListTenants(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants":  s.Tenants(),
+		"seq":      s.store.Seq(),
+		"degraded": s.Degraded(),
+	})
+	return nil
+}
+
+func (s *Service) handleMRC(w http.ResponseWriter, r *http.Request) error {
+	units := 0
+	if raw := r.URL.Query().Get("units"); raw != "" {
+		u, err := strconv.Atoi(raw)
+		if err != nil || u <= 0 {
+			return fmt.Errorf("service: invalid units %q", raw)
+		}
+		units = u
+	}
+	c, err := s.CurveFor(r.PathValue("name"), units)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, c)
+	return nil
+}
+
+// planRequest is POST /v1/plan's body: the co-run group and optionally
+// a non-default cache size.
+type planRequest struct {
+	Tenants []string `json:"tenants"`
+	Units   int      `json:"units,omitempty"`
+}
+
+func (s *Service) handlePlanPost(w http.ResponseWriter, r *http.Request) error {
+	var req planRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		return fmt.Errorf("service: plan request body: %w", err)
+	}
+	plan, err := s.PlanFor(r.Context(), req.Tenants, req.Units)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, plan)
+	return nil
+}
+
+func (s *Service) handlePlanGet(w http.ResponseWriter, r *http.Request) error {
+	plan, ok := s.CurrentPlan()
+	if !ok {
+		return ErrNoPlan
+	}
+	writeJSON(w, http.StatusOK, plan)
+	return nil
+}

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"partitionshare/internal/obs"
+)
+
+// A Server binds a Service to a TCP listener and owns its lifecycle:
+// start, serve, and a graceful drain that lets every in-flight request
+// finish before the process exits.
+type Server struct {
+	svc  *Service
+	http *http.Server
+	lis  net.Listener
+	err  chan error
+}
+
+// StartServer starts the service's background loop and its HTTP
+// listener on addr (use "127.0.0.1:0" for an ephemeral port). The
+// returned server is accepting requests; ctx bounds the background
+// re-optimization loop.
+func StartServer(ctx context.Context, svc *Service, addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	svc.Start(ctx)
+	srv := &Server{
+		svc:  svc,
+		http: &http.Server{Handler: svc.Handler()},
+		lis:  lis,
+		err:  make(chan error, 1),
+	}
+	go func() {
+		if err := srv.http.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			srv.err <- err
+		}
+		close(srv.err)
+	}()
+	obs.Logger().Info("partitiond listening", "addr", lis.Addr().String())
+	return srv, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Err reports a serve failure; the channel closes when the serve loop
+// exits.
+func (s *Server) Err() <-chan error { return s.err }
+
+// Drain gracefully shuts the server down: readiness flips, listeners
+// stop accepting, every in-flight request runs to completion (bounded
+// by timeout), and the background loop is left to its context. It
+// returns nil when the drain completed with zero dropped requests; a
+// deadline error means stragglers were cut off.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.svc.SetDraining(true)
+	obs.Logger().Info("draining", "timeout", timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	err := s.http.Shutdown(ctx)
+	reg := obs.Enabled()
+	reg.Counter("service.drains").Add(1)
+	reg.Histogram("service.drain_ns", obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		reg.Counter("service.drain_timeouts").Add(1)
+		return fmt.Errorf("service: drain: %w", err)
+	}
+	return nil
+}
+
+// Close force-closes the listener and all connections; prefer Drain.
+func (s *Server) Close() error { return s.http.Close() }

@@ -1,0 +1,524 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partitionshare/internal/faultinject"
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/obs"
+	"partitionshare/internal/partition"
+	"partitionshare/internal/profileio"
+)
+
+// Fault points in the solve paths.
+const (
+	// FaultSolve fires at the head of every ad-hoc plan solve (after
+	// admission); a Delay rule simulates a slow solve, an error rule a
+	// failing one.
+	FaultSolve = "service.solve"
+	// FaultReopt fires at the head of every background re-optimization
+	// attempt; error rules with a Count window simulate transient
+	// failures (driving the retry path), unbounded ones a persistent
+	// outage (driving degraded mode).
+	FaultReopt = "service.reopt"
+)
+
+// ErrNoPlan reports that no background plan has been published yet —
+// either no tenants are registered or the first epoch has not finished.
+var ErrNoPlan = errors.New("service: no plan published yet")
+
+// Config parameterizes a Service. The zero value is not usable; fill in
+// at least Units and BlocksPerUnit or use DefaultConfig.
+type Config struct {
+	// Units is the cache size in partition units for the shared plan and
+	// the default geometry for ad-hoc requests.
+	Units int
+	// BlocksPerUnit scales footprint blocks to partition units.
+	BlocksPerUnit int64
+	// MaxInflight bounds concurrent solves; QueueDepth bounds how many
+	// more may wait for a slot before requests shed with ErrOverloaded.
+	MaxInflight int
+	QueueDepth  int
+	// DefaultDeadline applies to ad-hoc plan requests whose context has
+	// no deadline; ReoptDeadline bounds each background epoch attempt.
+	DefaultDeadline time.Duration
+	ReoptDeadline   time.Duration
+	// RetryMax is how many times a failed epoch re-optimization retries
+	// (with exponential backoff from RetryBase, jittered) before the
+	// service enters degraded mode and keeps serving the last good plan.
+	RetryMax  int
+	RetryBase time.Duration
+	// Seed makes the backoff jitter deterministic for tests.
+	Seed uint64
+}
+
+// DefaultConfig mirrors cmd/optpart's geometry so daemon plans are
+// directly comparable to offline solves.
+func DefaultConfig() Config {
+	return Config{
+		Units:           1024,
+		BlocksPerUnit:   4,
+		MaxInflight:     8,
+		QueueDepth:      64,
+		DefaultDeadline: 2 * time.Second,
+		ReoptDeadline:   10 * time.Second,
+		RetryMax:        3,
+		RetryBase:       50 * time.Millisecond,
+		Seed:            1,
+	}
+}
+
+func (c *Config) normalize() {
+	d := DefaultConfig()
+	if c.Units <= 0 {
+		c.Units = d.Units
+	}
+	if c.BlocksPerUnit <= 0 {
+		c.BlocksPerUnit = d.BlocksPerUnit
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = d.MaxInflight
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = d.DefaultDeadline
+	}
+	if c.ReoptDeadline <= 0 {
+		c.ReoptDeadline = d.ReoptDeadline
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = d.RetryMax
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = d.RetryBase
+	}
+}
+
+// A Plan is a served partition decision: the co-run group, the optimal
+// allocation, and its objective, all bit-exact with what a cold
+// ReferenceOptimize of the same group computes (the differential tests
+// pin this for fresh, warm-started, and degraded-stale plans alike).
+type Plan struct {
+	Epoch          int64     `json:"epoch"`
+	Tenants        []string  `json:"tenants"`
+	Units          int       `json:"units"`
+	Alloc          []int     `json:"alloc"`
+	Objective      float64   `json:"objective"`
+	GroupMissRatio float64   `json:"group_miss_ratio"`
+	MissRatios     []float64 `json:"miss_ratios"`
+	SolverPath     string    `json:"solver_path,omitempty"`
+	WarmReused     int       `json:"warm_reused_layers"`
+	// Degraded marks a plan served while it no longer reflects the
+	// current tenant set — background re-optimization is failing or has
+	// not caught up. The allocation is still the exact optimum for the
+	// group listed in Tenants.
+	Degraded bool `json:"degraded"`
+}
+
+// A Service owns the tenant registry, serves plan queries under
+// admission control with deadline propagation, and re-optimizes the
+// shared plan in the background as tenants churn, warm-starting from
+// the incremental DP and falling back cold when the warm start is
+// stale. Construct with New, then Start the background loop.
+type Service struct {
+	cfg     Config
+	store   *Store
+	limiter *Limiter
+
+	mu     sync.Mutex
+	curves map[string]mrc.Curve // derived at cfg geometry
+	order  []string             // registration order: the warm start's stable prefix
+
+	// inc and rng are owned by the reopt goroutine exclusively.
+	inc *partition.Incremental
+	rng *rand.Rand
+
+	plan     atomic.Pointer[Plan]
+	epoch    atomic.Int64
+	degraded atomic.Bool
+	draining atomic.Bool
+
+	churn   chan struct{}
+	stopped chan struct{}
+	started atomic.Bool
+}
+
+// New builds a Service over an opened store, deriving curves for every
+// already-registered tenant at the configured geometry.
+func New(cfg Config, store *Store) (*Service, error) {
+	cfg.normalize()
+	s := &Service{
+		cfg:     cfg,
+		store:   store,
+		limiter: NewLimiter(cfg.MaxInflight, cfg.QueueDepth),
+		curves:  make(map[string]mrc.Curve),
+		inc:     partition.NewIncremental(cfg.Units),
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+		churn:   make(chan struct{}, 1),
+		stopped: make(chan struct{}),
+	}
+	for _, name := range store.Names() {
+		p, err := store.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		s.curves[name] = s.deriveCurve(name, p, cfg.Units)
+		s.order = append(s.order, name)
+	}
+	return s, nil
+}
+
+func (s *Service) deriveCurve(name string, p profileio.Profile, units int) mrc.Curve {
+	c := mrc.FromFootprint(name, p.Footprint(), units, s.cfg.BlocksPerUnit, p.Rate)
+	// Weight the program by its access rate, exactly as cmd/optpart does:
+	// the group objective weighs programs by Accesses, so the scaling must
+	// match for daemon-served and offline plans to agree bit-for-bit.
+	c.Accesses = int64(float64(c.Accesses) * p.Rate)
+	return c
+}
+
+// Config returns the service's normalized configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Start launches the background re-optimization loop; it runs until ctx
+// is cancelled. Safe to call once.
+func (s *Service) Start(ctx context.Context) {
+	if s.started.Swap(true) {
+		return
+	}
+	go s.reoptLoop(ctx)
+	if s.tenantCount() > 0 {
+		s.signalChurn()
+	}
+}
+
+// Stopped is closed when the background loop has exited.
+func (s *Service) Stopped() <-chan struct{} { return s.stopped }
+
+// SetDraining flips drain mode: new work is refused with ErrDraining
+// while in-flight requests run to completion.
+func (s *Service) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the service refuses new work.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Degraded reports whether background re-optimization is failing and
+// the published plan may be stale.
+func (s *Service) Degraded() bool { return s.degraded.Load() }
+
+// Register adds or replaces a tenant durably and schedules a background
+// re-optimization.
+func (s *Service) Register(name string, p profileio.Profile) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if err := s.store.Put(name, p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, known := s.curves[name]; !known {
+		s.order = append(s.order, name)
+	}
+	s.curves[name] = s.deriveCurve(name, p, s.cfg.Units)
+	s.mu.Unlock()
+	obs.Enabled().Counter("service.tenants.registered").Add(1)
+	s.signalChurn()
+	return nil
+}
+
+// Unregister removes a tenant durably and schedules a background
+// re-optimization.
+func (s *Service) Unregister(name string) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if err := s.store.Delete(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.curves, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	obs.Enabled().Counter("service.tenants.unregistered").Add(1)
+	s.signalChurn()
+	return nil
+}
+
+// Tenants returns the registered tenant names, sorted.
+func (s *Service) Tenants() []string { return s.store.Names() }
+
+func (s *Service) tenantCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// CurveFor derives the named tenant's miss-ratio curve at the requested
+// cache size (units <= 0 uses the configured default).
+func (s *Service) CurveFor(name string, units int) (mrc.Curve, error) {
+	if units <= 0 {
+		units = s.cfg.Units
+	}
+	if units == s.cfg.Units {
+		s.mu.Lock()
+		c, ok := s.curves[name]
+		s.mu.Unlock()
+		if ok {
+			return c, nil
+		}
+	}
+	p, err := s.store.Get(name)
+	if err != nil {
+		return mrc.Curve{}, err
+	}
+	return s.deriveCurve(name, p, units), nil
+}
+
+// PlanFor solves the optimal partition for an ad-hoc co-run group under
+// admission control, with the request context's deadline propagated
+// into the DP (a context with no deadline gets the configured default).
+// Unknown tenants fail with ErrTenantNotFound; overload with
+// ErrOverloaded; an expired deadline surfaces context.DeadlineExceeded
+// via errors.Is.
+func (s *Service) PlanFor(ctx context.Context, names []string, units int) (Plan, error) {
+	if s.draining.Load() {
+		return Plan{}, ErrDraining
+	}
+	if len(names) == 0 {
+		return Plan{}, fmt.Errorf("service: empty tenant group")
+	}
+	if units <= 0 {
+		units = s.cfg.Units
+	}
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+		defer cancel()
+	}
+	start := time.Now()
+	if err := s.limiter.Acquire(ctx); err != nil {
+		return Plan{}, err
+	}
+	defer s.limiter.Release()
+
+	curves := make([]mrc.Curve, len(names))
+	for i, n := range names {
+		c, err := s.CurveFor(n, units)
+		if err != nil {
+			return Plan{}, err
+		}
+		curves[i] = c
+	}
+	if err := faultinject.Hit(FaultSolve); err != nil {
+		return Plan{}, fmt.Errorf("service: solve: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Plan{}, fmt.Errorf("service: solve: %w", err)
+	}
+	// workers=1 keeps the solve serial but cancellable: the kernel polls
+	// ctx between DP layers, so the request deadline reaches every solve.
+	sol, err := partition.OptimizeParallel(ctx, partition.Problem{Curves: curves, Units: units}, 1)
+	if err != nil {
+		return Plan{}, err
+	}
+	reg := obs.Enabled()
+	reg.Counter("service.plan.requests").Add(1)
+	reg.Histogram("service.plan.latency_ns", obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+	return Plan{
+		Epoch:          -1, // ad-hoc, not an epoch plan
+		Tenants:        append([]string(nil), names...),
+		Units:          units,
+		Alloc:          append([]int(nil), sol.Alloc...),
+		Objective:      sol.Objective,
+		GroupMissRatio: sol.GroupMissRatio,
+		MissRatios:     append([]float64(nil), sol.MissRatios...),
+		SolverPath:     sol.SolverPath,
+	}, nil
+}
+
+// CurrentPlan returns the latest background epoch plan. ok=false means
+// none has been published yet. The Degraded flag is recomputed at read
+// time: it is set when re-optimization is failing or when the plan's
+// tenant set no longer matches the registry (the plan is then the last
+// good one — still exact for the group it lists).
+func (s *Service) CurrentPlan() (Plan, bool) {
+	p := s.plan.Load()
+	if p == nil {
+		return Plan{}, false
+	}
+	out := *p
+	out.Degraded = s.degraded.Load() || !s.groupCurrent(p.Tenants)
+	if out.Degraded {
+		obs.Enabled().Counter("service.plan.degraded_served").Add(1)
+	}
+	return out, true
+}
+
+func (s *Service) groupCurrent(tenants []string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(tenants) != len(s.order) {
+		return false
+	}
+	for i, n := range s.order {
+		if tenants[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Service) signalChurn() {
+	select {
+	case s.churn <- struct{}{}:
+	default:
+	}
+}
+
+// snapshotGroup copies the current co-run group in registration order —
+// the order the warm start's prefix reuse keys off.
+func (s *Service) snapshotGroup() ([]string, []mrc.Curve) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := append([]string(nil), s.order...)
+	curves := make([]mrc.Curve, len(names))
+	for i, n := range names {
+		curves[i] = s.curves[n]
+	}
+	return names, curves
+}
+
+func (s *Service) reoptLoop(ctx context.Context) {
+	defer close(s.stopped)
+	ctx = obs.WithTraceLane(ctx, 7) // dedicated lane for epoch spans
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.churn:
+		}
+		s.reoptimize(ctx)
+	}
+}
+
+// reoptimize runs one epoch: solve the full registered group, retrying
+// transient failures with jittered exponential backoff, and publish the
+// result. Exhausted retries flip degraded mode — the last good plan
+// keeps being served — until a later epoch succeeds.
+func (s *Service) reoptimize(ctx context.Context) {
+	reg := obs.Enabled()
+	for attempt := 0; ; attempt++ {
+		names, curves := s.snapshotGroup()
+		if len(curves) == 0 {
+			s.plan.Store(nil)
+			s.degraded.Store(false)
+			return
+		}
+		plan, err := s.solveEpoch(ctx, names, curves)
+		if err == nil {
+			plan.Epoch = s.epoch.Add(1)
+			s.plan.Store(plan)
+			s.degraded.Store(false)
+			reg.Counter("service.reopt.epochs").Add(1)
+			reg.Gauge("service.reopt.warm_reused").Set(int64(plan.WarmReused))
+			return
+		}
+		if ctx.Err() != nil {
+			return // shutting down; not a degradation
+		}
+		if attempt >= s.cfg.RetryMax {
+			s.degraded.Store(true)
+			reg.Counter("service.reopt.failures").Add(1)
+			obs.Logger().Warn("re-optimization failed; serving last good plan",
+				"attempts", attempt+1, "err", err)
+			return
+		}
+		reg.Counter("service.reopt.retries").Add(1)
+		if !s.sleepBackoff(ctx, attempt) {
+			return
+		}
+	}
+}
+
+// sleepBackoff waits RetryBase<<attempt plus up to 50% deterministic
+// jitter, or until ctx cancels (returning false).
+func (s *Service) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := s.cfg.RetryBase << uint(attempt)
+	d += time.Duration(s.rng.Int64N(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// solveEpoch runs one warm-started solve of the full group under the
+// epoch deadline, falling back to a cold solve when the warm start is
+// stale. Both paths produce the identical bit-exact solution; only the
+// work differs.
+func (s *Service) solveEpoch(ctx context.Context, names []string, curves []mrc.Curve) (*Plan, error) {
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.ReoptDeadline)
+	defer cancel()
+	sctx, span := obs.StartTraceSpan(dctx, "reopt.epoch", "service")
+	defer span.End()
+	if err := faultinject.Hit(FaultReopt); err != nil {
+		return nil, fmt.Errorf("service: reopt: %w", err)
+	}
+	if err := sctx.Err(); err != nil {
+		return nil, fmt.Errorf("service: reopt: %w", err)
+	}
+
+	reg := obs.Enabled()
+	start := time.Now()
+	var sol partition.Solution
+	reused, err := s.inc.Rebase(sctx, curves)
+	if err == nil {
+		sol, err = s.inc.Solve()
+		if err == nil {
+			reg.Counter("service.reopt.warm").Add(1)
+			reg.Histogram("service.reopt.warm_ns", obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+		}
+	}
+	if err != nil {
+		if !errors.Is(err, partition.ErrWarmStartStale) {
+			return nil, err
+		}
+		// The warm start was rejected (stale layers, cancelled mid-push,
+		// inconsistent cache); fall back to the cold path, which the
+		// differential tests pin bit-exact vs the warm one.
+		reg.Counter("service.reopt.cold").Add(1)
+		reused = 0
+		start = time.Now()
+		sol, err = partition.OptimizeParallel(sctx, partition.Problem{Curves: curves, Units: s.cfg.Units}, 1)
+		if err != nil {
+			return nil, err
+		}
+		reg.Histogram("service.reopt.cold_ns", obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+	}
+	return &Plan{
+		Tenants:        names,
+		Units:          s.cfg.Units,
+		Alloc:          append([]int(nil), sol.Alloc...),
+		Objective:      sol.Objective,
+		GroupMissRatio: sol.GroupMissRatio,
+		MissRatios:     append([]float64(nil), sol.MissRatios...),
+		SolverPath:     sol.SolverPath,
+		WarmReused:     reused,
+	}, nil
+}

@@ -1,0 +1,219 @@
+//go:build ignore
+
+// Checkservice is the partitiond end-to-end smoke: it starts the daemon
+// on an ephemeral port, registers two tenants by profile upload, requests
+// a plan for the pair, and cross-checks the served allocation and group
+// miss ratio against the offline optpart CLI run on the same profiles at
+// the same geometry — the two paths must agree exactly (the service's
+// bit-exactness contract, observed end to end through both CLIs). It
+// then SIGTERMs the daemon and asserts the drain contract: exit status
+// 0 and a manifest that parses and names the tool.
+//
+// Usage:
+//
+//	go run scripts/checkservice.go PARTITIOND_BIN OPTPART_BIN A.hotl B.hotl
+//
+// The binaries are prebuilt by the caller (go build -o ...) so the
+// daemon receives signals directly rather than through a go-run wrapper.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const (
+	units         = 256
+	blocksPerUnit = 4
+)
+
+func main() {
+	if len(os.Args) != 5 {
+		fail("usage: checkservice PARTITIOND_BIN OPTPART_BIN A.hotl B.hotl")
+	}
+	daemonBin, optpartBin := os.Args[1], os.Args[2]
+	profiles := os.Args[3:5]
+
+	dir, err := os.MkdirTemp("", "checkservice-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	addrFile := filepath.Join(dir, "addr")
+	manifestPath := filepath.Join(dir, "manifest.json")
+
+	// Start the daemon on an ephemeral port; the bound address lands in
+	// addr-file once the listener is up.
+	daemon := exec.Command(daemonBin,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-store", filepath.Join(dir, "store"),
+		"-units", strconv.Itoa(units),
+		"-blocksperunit", strconv.Itoa(blocksPerUnit),
+		"-manifest", manifestPath,
+	)
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		fail("start partitiond: %v", err)
+	}
+	defer daemon.Process.Kill()
+
+	base := "http://" + waitForAddr(addrFile)
+
+	// Register both tenants by profile upload, under names "a" and "b"
+	// so the plan's allocation order is pinned to the argument order.
+	names := []string{"a", "b"}
+	for i, path := range profiles {
+		body, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		status, resp := doReq("PUT", base+"/v1/tenants/"+names[i], body)
+		if status != http.StatusOK {
+			fail("PUT tenant %s = %d %s", names[i], status, resp)
+		}
+	}
+
+	status, resp := doReq("POST", base+"/v1/plan", []byte(`{"tenants":["a","b"]}`))
+	if status != http.StatusOK {
+		fail("POST /v1/plan = %d %s", status, resp)
+	}
+	var plan struct {
+		Alloc          []int   `json:"alloc"`
+		GroupMissRatio float64 `json:"group_miss_ratio"`
+	}
+	if err := json.Unmarshal(resp, &plan); err != nil {
+		fail("plan does not parse: %v: %s", err, resp)
+	}
+	if len(plan.Alloc) != 2 {
+		fail("plan has %d allocations, want 2: %s", len(plan.Alloc), resp)
+	}
+
+	// The offline optimizer on the same profiles at the same geometry.
+	wantAlloc, wantMR := offlineOptimal(optpartBin, profiles)
+	if plan.Alloc[0] != wantAlloc[0] || plan.Alloc[1] != wantAlloc[1] {
+		fail("daemon alloc %v, offline optpart alloc %v", plan.Alloc, wantAlloc)
+	}
+	if got := fmt.Sprintf("%.6f", plan.GroupMissRatio); got != wantMR {
+		fail("daemon group miss ratio %s, offline optpart %s", got, wantMR)
+	}
+
+	if status, _ := doReq("GET", base+"/readyz", nil); status != http.StatusOK {
+		fail("readyz = %d", status)
+	}
+
+	// Drain contract: SIGTERM, clean exit 0, manifest written and parseable.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		fail("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fail("partitiond exit after SIGTERM: %v (want status 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		fail("partitiond did not drain within 30s of SIGTERM")
+	}
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		fail("drained daemon left no manifest: %v", err)
+	}
+	var m struct {
+		Tool string `json:"tool"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		fail("manifest does not parse: %v", err)
+	}
+	if m.Tool != "partitiond" {
+		fail("manifest tool = %q, want partitiond", m.Tool)
+	}
+	fmt.Printf("checkservice OK: plan %v mr %s matches offline optpart; clean drain with manifest\n",
+		plan.Alloc, wantMR)
+}
+
+// waitForAddr polls the daemon's addr-file until the bound address
+// appears.
+func waitForAddr(path string) string {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(path); err == nil {
+			if addr := strings.TrimSpace(string(data)); addr != "" {
+				return addr
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fail("daemon never wrote its address to %s", path)
+	return ""
+}
+
+// offlineOptimal runs the optpart CLI on the profiles and parses the
+// Optimal scheme's block: per-program unit allocations and the group
+// miss ratio as printed (6 decimals).
+func offlineOptimal(bin string, profiles []string) ([2]int, string) {
+	args := []string{
+		"-units", strconv.Itoa(units),
+		"-blocksperunit", strconv.Itoa(blocksPerUnit),
+		"-baselines=false",
+	}
+	args = append(args, profiles...)
+	out, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		fail("optpart: %v", err)
+	}
+	lines := strings.Split(string(out), "\n")
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "Optimal ") {
+			continue
+		}
+		f := strings.Fields(line)
+		mr := f[len(f)-1]
+		var alloc [2]int
+		for j := 0; j < 2; j++ {
+			df := strings.Fields(lines[i+1+j])
+			// "name NNN units mr 0.NNNNNN"
+			u, err := strconv.Atoi(df[1])
+			if err != nil {
+				fail("optpart detail line %q: %v", lines[i+1+j], err)
+			}
+			alloc[j] = u
+		}
+		return alloc, mr
+	}
+	fail("optpart output lacks the Optimal scheme:\n%s", out)
+	return [2]int{}, ""
+}
+
+func doReq(method, url string, body []byte) (int, []byte) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		fail("%v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fail("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("%v", err)
+	}
+	return resp.StatusCode, data
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checkservice: "+format+"\n", args...)
+	os.Exit(1)
+}

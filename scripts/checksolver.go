@@ -26,7 +26,7 @@ func main() {
 		fail("%v", err)
 	}
 	var m struct {
-		ManifestVersion int `json:"manifest_version"`
+		ManifestVersion int    `json:"manifest_version"`
 		Tool            string `json:"tool"`
 		Config          struct {
 			Solver      string            `json:"solver"`

@@ -63,14 +63,26 @@ go run ./cmd/optpart -units 16384 -blocksperunit 1 -solver auto -baselines=false
 	"$OBS_SMOKE_DIR/lbm.hotl" "$OBS_SMOKE_DIR/mcf.hotl" >/dev/null
 go run scripts/checksolver.go "$OBS_SMOKE_DIR/optpart.json" refine
 
+# Service smoke: the partitiond daemon end to end — register two tenants,
+# request a plan, cross-check it against the offline optpart CLI on the
+# same profiles (the bit-exactness contract through both front ends),
+# SIGTERM, and assert the clean-drain contract (exit 0, parseable
+# manifest). Binaries are prebuilt so the daemon receives the signal
+# directly rather than through a go-run wrapper.
+echo "== service smoke: partitiond register/plan/drain"
+go build -o "$OBS_SMOKE_DIR/partitiond" ./cmd/partitiond
+go build -o "$OBS_SMOKE_DIR/optpart" ./cmd/optpart
+go run scripts/checkservice.go "$OBS_SMOKE_DIR/partitiond" "$OBS_SMOKE_DIR/optpart" \
+	"$OBS_SMOKE_DIR/lbm.hotl" "$OBS_SMOKE_DIR/mcf.hotl"
+
 # Perf-regression watch: advisory here (hardware differs run to run, so
 # a local diff against the committed baseline must not fail the gate);
 # CI runs the same comparison. The || true keeps set -e from tripping.
-echo "== benchdiff (advisory): BENCH_PR5.json vs BENCH_PR6.json"
-if [ -f BENCH_PR5.json ] && [ -f BENCH_PR6.json ]; then
-	go run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json || true
+echo "== benchdiff (advisory): BENCH_PR6.json vs BENCH_PR7.json"
+if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
+	go run ./cmd/benchdiff BENCH_PR6.json BENCH_PR7.json || true
 else
-	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr6)"
+	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr7)"
 fi
 
 echo "== govulncheck"
