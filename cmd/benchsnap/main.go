@@ -35,7 +35,7 @@ import (
 const obsOverheadLimitPct = 3.0
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "snapshot file to create or merge into")
+	out := flag.String("out", "BENCH_PR8.json", "snapshot file to create or merge into")
 	label := flag.String("label", "current", "label for this run's column in the snapshot")
 	flag.Parse()
 
@@ -64,6 +64,14 @@ func main() {
 	// noise. Both numbers land in the snapshot; a regression past the
 	// limit fails the run (after the snapshot is written, so the evidence
 	// is preserved).
+	// Vetkit self-run wall time: the tier-1 static-analysis gate's cost,
+	// recorded so a slow analyzer surfaces as a perf regression just like
+	// a kernel change (the CI budget for the gate is 60 seconds).
+	obs.Logger().Info("measuring vetkit self-run")
+	vetNs := benchsuite.BestOf(1, benchsuite.VetkitSelfRunBench())
+	snap["VetkitSelfRun"] = vetNs
+	obs.Progressf("%-34s %12d ns/op\n", "VetkitSelfRun", vetNs)
+
 	optimalBench := suite.OptimalBench()
 	obs.Enable(nil)
 	offNs := benchsuite.BestOf(3, optimalBench)

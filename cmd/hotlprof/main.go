@@ -34,6 +34,13 @@ import (
 	"partitionshare/internal/workload"
 )
 
+// Observability names, prefixed with this command's package base per
+// the obsname registry convention.
+const (
+	mTraceAccesses  = "hotlprof.trace_accesses"
+	mDistinctBlocks = "hotlprof.distinct_blocks"
+)
+
 // finish runs the shutdown sequence (profiles, manifest, debug server)
 // exactly once; fatal routes through it.
 var finish = func() {}
@@ -202,8 +209,8 @@ func main() {
 	}
 	writeSpan.End()
 	if reg := obs.Enabled(); reg != nil {
-		reg.Counter("hotlprof_trace_accesses_total").Add(prof.Reuse.N)
-		reg.Counter("hotlprof_distinct_blocks_total").Add(prof.Reuse.M)
+		reg.Counter(mTraceAccesses).Add(prof.Reuse.N)
+		reg.Counter(mDistinctBlocks).Add(prof.Reuse.M)
 	}
 	obs.Progressf("profiled %d accesses, %d distinct blocks -> %s\n",
 		prof.Reuse.N, prof.Reuse.M, path)

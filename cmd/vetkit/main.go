@@ -10,7 +10,15 @@
 // Standalone mode re-executes itself through `go vet -vettool`, which
 // loads packages exactly the way the build does — test files included,
 // dependencies served from compiler export data — so there is no
-// second, subtly different package loader to maintain.
+// second, subtly different package loader to maintain. Since PR 8 the
+// protocol also carries facts: each unit writes the facts its analyzers
+// exported to its VetxOutput file, and later units read dependencies'
+// facts back through the vet.cfg PackageVetx map, making the suite
+// interprocedural across package boundaries.
+//
+// Standalone mode prints a summary line (packages, diagnostics,
+// suppressions honored) and can emit a SARIF 2.1.0 report with -sarif
+// for CI inline annotations.
 package main
 
 import (
@@ -20,14 +28,23 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"partitionshare/internal/analysis"
 	"partitionshare/internal/analysis/atomicwrite"
 	"partitionshare/internal/analysis/chanclose"
 	"partitionshare/internal/analysis/ctxplumb"
+	"partitionshare/internal/analysis/deadlineprop"
 	"partitionshare/internal/analysis/errsentinel"
 	"partitionshare/internal/analysis/floatcmp"
+	"partitionshare/internal/analysis/goroutinejoin"
+	"partitionshare/internal/analysis/httpenvelope"
+	"partitionshare/internal/analysis/lockorder"
+	"partitionshare/internal/analysis/obsname"
+	"partitionshare/internal/analysis/sarif"
+	"partitionshare/internal/atomicio"
 )
 
 // all is the full suite, in the order diagnostics are reported.
@@ -35,8 +52,23 @@ var all = []*analysis.Analyzer{
 	atomicwrite.Analyzer,
 	chanclose.Analyzer,
 	ctxplumb.Analyzer,
+	deadlineprop.Analyzer,
 	errsentinel.Analyzer,
 	floatcmp.Analyzer,
+	goroutinejoin.Analyzer,
+	httpenvelope.Analyzer,
+	lockorder.Analyzer,
+	obsname.Analyzer,
+}
+
+// allNames is handed to every unit run so //vetkit:ignore comments can
+// be validated against the full suite even when a subset is enabled.
+func allNames() []string {
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
 }
 
 func main() {
@@ -58,6 +90,7 @@ func main() {
 	for _, a := range all {
 		enabled[a.Name] = flag.Bool(a.Name, false, "run only the "+a.Name+" analyzer (with any others explicitly enabled)")
 	}
+	sarifPath := flag.String("sarif", "", "also write a SARIF 2.1.0 report to this path (standalone mode)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -76,19 +109,27 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(unitcheck(args[0], suite))
+		os.Exit(unitcheck(args[0], suite, allNames()))
 	}
-	os.Exit(standalone(suite, args))
+	os.Exit(standalone(suite, args, *sarifPath))
 }
 
 // standalone re-invokes the current binary through `go vet -vettool` on
-// the given package patterns.
-func standalone(suite []*analysis.Analyzer, patterns []string) int {
+// the given package patterns, then aggregates the per-unit diagnostic
+// records into a summary line and an optional SARIF report.
+func standalone(suite []*analysis.Analyzer, patterns []string, sarifPath string) int {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vetkit: cannot locate own executable: %v\n", err)
 		return 1
 	}
+	diagDir, err := os.MkdirTemp("", "vetkit-diag-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(diagDir)
+
 	vetArgs := []string{"vet", "-vettool=" + exe}
 	if len(suite) != len(all) {
 		for _, a := range suite {
@@ -99,14 +140,100 @@ func standalone(suite []*analysis.Analyzer, patterns []string) int {
 	cmd := exec.Command("go", vetArgs...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
+	cmd.Env = append(os.Environ(), diagDirEnv+"="+diagDir)
+	code := 0
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
-			return ee.ExitCode()
+			code = ee.ExitCode()
+		} else {
+			fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
-		return 1
 	}
-	return 0
+
+	records := readRecords(diagDir)
+	nDiags, nSup, nFail := 0, 0, 0
+	for _, r := range records {
+		nDiags += len(r.Diags)
+		nSup += len(r.Suppressed)
+		nFail += len(r.Failures)
+	}
+	fmt.Fprintf(os.Stderr, "vetkit: %d packages analyzed, %d diagnostics, %d suppressions honored\n",
+		len(records), nDiags, nSup)
+	if nFail > 0 && code == 0 {
+		code = 1
+	}
+
+	if sarifPath != "" {
+		if err := writeSARIF(sarifPath, records); err != nil {
+			fmt.Fprintf(os.Stderr, "vetkit: writing SARIF: %v\n", err)
+			return 1
+		}
+	}
+	return code
+}
+
+// readRecords loads every per-unit record the unit runs dropped. One
+// record per analyzed module unit, diagnostics or not, so the record
+// count is the analyzed-package count.
+func readRecords(dir string) []diagRecord {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var records []diagRecord
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var rec diagRecord
+		if json.Unmarshal(data, &rec) == nil {
+			records = append(records, rec)
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].ImportPath < records[j].ImportPath })
+	return records
+}
+
+// writeSARIF converts the aggregated records into a SARIF 2.1.0 report.
+// File paths are made repo-relative so CI can resolve them against the
+// checkout root (uriBaseId SRCROOT).
+func writeSARIF(path string, records []diagRecord) error {
+	cwd, _ := os.Getwd()
+	rules := make([]sarif.Rule, 0, len(all)+1)
+	for _, a := range all {
+		rules = append(rules, sarif.Rule{ID: a.Name, Doc: a.Doc})
+	}
+	rules = append(rules, sarif.Rule{ID: "vetkit", Doc: "malformed //vetkit:ignore suppressions"})
+	var results []sarif.Result
+	for _, rec := range records {
+		for _, d := range rec.Diags {
+			results = append(results, sarif.Result{
+				RuleID:  d.Analyzer,
+				Message: d.Message,
+				File:    relPath(cwd, d.File),
+				Line:    d.Line,
+				Column:  d.Column,
+			})
+		}
+	}
+	data, err := sarif.Report("vetkit", rules, results)
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFileBytes(path, data)
+}
+
+func relPath(base, file string) string {
+	if base == "" || !filepath.IsAbs(file) {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(base, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
 }
 
 // printVersion answers cmd/go's -V=full probe. The "devel …
@@ -146,10 +273,11 @@ func printFlags() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: vetkit [-<analyzer>]... [package pattern]...\n\n")
+	fmt.Fprintf(os.Stderr, "usage: vetkit [-<analyzer>]... [-sarif report.sarif] [package pattern]...\n\n")
 	fmt.Fprintf(os.Stderr, "vetkit enforces the partition-sharing pipeline's invariants (DESIGN.md §10):\n\n")
 	for _, a := range all {
-		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 	}
 	fmt.Fprintf(os.Stderr, "\nWith no analyzer flags, the whole suite runs.\n")
+	fmt.Fprintf(os.Stderr, "Suppress one finding with `//vetkit:ignore(<analyzer>): <reason>` — the reason is mandatory.\n")
 }

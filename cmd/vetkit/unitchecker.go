@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -10,13 +11,27 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
-	"sort"
+	"strings"
 
 	"partitionshare/internal/analysis"
 	"partitionshare/internal/atomicio"
 )
+
+// modulePath is the import-path prefix of packages this suite analyzes.
+// Everything else (stdlib, vendored deps) gets an empty facts file and a
+// clean exit without parsing, which keeps the whole-repo run inside the
+// CI time budget even though facts force go vet to schedule VetxOnly
+// runs over every dependency.
+const modulePath = "partitionshare"
+
+// diagDirEnv, when set by the standalone front end, names a directory
+// where each unit run drops a JSON record of its findings so the parent
+// process can print a summary line and emit SARIF. The vet-tool protocol
+// itself only carries text on stderr, which cannot be merged reliably.
+const diagDirEnv = "VETKIT_DIAG_DIR"
 
 // vetConfig mirrors the JSON configuration cmd/go writes for each
 // package when a vet tool runs (see cmd/go/internal/work.vetConfig);
@@ -29,6 +44,7 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	Standard    map[string]bool
 	VetxOnly    bool
 	VetxOutput  string
@@ -39,9 +55,39 @@ type vetConfig struct {
 
 var goVersionRE = regexp.MustCompile(`^go[0-9]+(\.[0-9]+)*$`)
 
+// diagRecord is the per-package JSON dropped into VETKIT_DIAG_DIR.
+type diagRecord struct {
+	ImportPath string
+	Diags      []recordDiag
+	Suppressed []recordSuppression
+	Failures   []string
+}
+
+type recordDiag struct {
+	File     string
+	Line     int
+	Column   int
+	Analyzer string
+	Message  string
+}
+
+type recordSuppression struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	Message  string
+}
+
+// inModule reports whether path belongs to this repository's module.
+func inModule(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/") ||
+		strings.HasSuffix(path, ".test") && strings.HasPrefix(path, modulePath)
+}
+
 // unitcheck analyzes the single package described by the cfg file and
 // returns the process exit code: 0 clean, 1 driver failure, 2 findings.
-func unitcheck(cfgPath string, suite []*analysis.Analyzer) int {
+func unitcheck(cfgPath string, suite []*analysis.Analyzer, known []string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
@@ -53,19 +99,26 @@ func unitcheck(cfgPath string, suite []*analysis.Analyzer) int {
 		return 1
 	}
 
-	// cmd/go reads the vetx (facts) output after every run, including
-	// fact-gathering runs over dependencies. These analyzers keep no
-	// cross-package facts, so an empty file is always the right answer —
-	// written first so every early return below still produces it.
-	if cfg.VetxOutput != "" {
-		if err := atomicio.WriteFileBytes(cfg.VetxOutput, nil); err != nil {
+	// writeVetx records the unit's exported facts; cmd/go reads the file
+	// after every run, so even packages with nothing to say must write it.
+	writeVetx := func(facts []byte) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := atomicio.WriteFileBytes(cfg.VetxOutput, facts); err != nil {
 			fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
+			return false
+		}
+		return true
+	}
+
+	// Fast path: packages outside this module (stdlib and friends) hold
+	// no facts our analyzers export, so skip parsing them entirely.
+	// Empty packages (build-constrained away) have nothing to analyze.
+	if !inModule(cfg.ImportPath) || len(cfg.GoFiles) == 0 {
+		if !writeVetx(nil) {
 			return 1
 		}
-	}
-	// A VetxOnly run exists only to collect facts for later packages;
-	// with no facts to collect there is nothing to do.
-	if cfg.VetxOnly {
 		return 0
 	}
 
@@ -75,6 +128,7 @@ func unitcheck(cfgPath string, suite []*analysis.Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(nil)
 				return 0
 			}
 			fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
@@ -103,22 +157,99 @@ func unitcheck(cfgPath string, suite []*analysis.Analyzer) int {
 		conf.GoVersion = cfg.GoVersion
 	}
 
-	diags, _, err := analysis.Check(conf, fset, cfg.ImportPath, files, suite)
+	// Dependency facts come from the vetx files cmd/go collected from
+	// earlier runs of this same tool. Only module-internal deps can have
+	// any; a missing or unreadable file is treated as fact-free rather
+	// than fatal, since cmd/go occasionally lists vetx paths for units
+	// it never scheduled.
+	depFacts := make(map[string][]byte)
+	for dep, file := range cfg.PackageVetx {
+		if canon, ok := cfg.ImportMap[dep]; ok {
+			dep = canon
+		}
+		if !inModule(dep) {
+			continue
+		}
+		if data, err := os.ReadFile(file); err == nil && len(data) > 0 {
+			depFacts[dep] = data
+		}
+	}
+
+	res, _, err := analysis.Check(conf, fset, cfg.ImportPath, files, suite, &analysis.Options{
+		DepFacts:       depFacts,
+		KnownAnalyzers: known,
+		FactsOnly:      cfg.VetxOnly,
+	})
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(nil)
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "vetkit: %v\n", err)
 		return 1
 	}
-	if len(diags) == 0 {
+	if !writeVetx(res.Facts) {
+		return 1
+	}
+	if cfg.VetxOnly {
 		return 0
 	}
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	for _, d := range diags {
+
+	writeDiagRecord(fset, &cfg, res)
+
+	// An analyzer crash is a tool failure, not a finding: report it
+	// loudly (exit 1) but only after printing what the healthy analyzers
+	// found, so one buggy analyzer never hides the others' results.
+	for _, d := range res.Diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
-	return 2
+	for _, f := range res.Failures {
+		fmt.Fprintf(os.Stderr, "vetkit: %s: internal failure in %s: %v (other analyzers completed)\n",
+			cfg.ImportPath, f.Analyzer, f.Err)
+	}
+	switch {
+	case len(res.Failures) > 0:
+		return 1
+	case len(res.Diags) > 0:
+		return 2
+	}
+	return 0
+}
+
+// writeDiagRecord drops this unit's findings where the standalone front
+// end can aggregate them. Best-effort: summary and SARIF are reporting
+// conveniences, the authoritative exit code travels through go vet.
+func writeDiagRecord(fset *token.FileSet, cfg *vetConfig, res *analysis.Result) {
+	dir := os.Getenv(diagDirEnv)
+	if dir == "" {
+		return
+	}
+	rec := diagRecord{ImportPath: cfg.ImportPath}
+	for _, d := range res.Diags {
+		p := fset.Position(d.Pos)
+		rec.Diags = append(rec.Diags, recordDiag{
+			File: p.Filename, Line: p.Line, Column: p.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	for _, s := range res.Suppressed {
+		p := fset.Position(s.Pos)
+		rec.Suppressed = append(rec.Suppressed, recordSuppression{
+			File: p.Filename, Line: p.Line,
+			Analyzer: s.Analyzer, Reason: s.Reason, Message: s.Message,
+		})
+	}
+	for _, f := range res.Failures {
+		rec.Failures = append(rec.Failures, fmt.Sprintf("%s: %v", f.Analyzer, f.Err))
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	// Test variants of a package ("p" and "p [p.test]") share an import
+	// path; hashing the unit ID keeps their records distinct.
+	name := fmt.Sprintf("%x.json", sha256.Sum256([]byte(cfg.ID+"\x00"+cfg.ImportPath)))
+	_ = atomicio.WriteFileBytes(filepath.Join(dir, name), data)
 }
 
 func buildArch() string {

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"partitionshare/internal/analysis"
+)
+
+// writeCfg marshals a vet.cfg into dir and returns its path.
+func writeCfg(t *testing.T, dir string, cfg vetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeSrc drops one source file into dir.
+func writeSrc(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// flagEverything reports one diagnostic per file, for exercising the
+// driver without depending on real analyzer behavior.
+var flagEverything = &analysis.Analyzer{
+	Name: "flagall",
+	Doc:  "test analyzer: reports once per file",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			pass.Reportf(f.Package, "flagged %s", pass.Pkg.Path())
+		}
+		return nil
+	},
+}
+
+var panicky = &analysis.Analyzer{
+	Name: "panicky",
+	Doc:  "test analyzer: always panics",
+	Run:  func(*analysis.Pass) error { panic("boom") },
+}
+
+func TestMalformedConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, []byte("{this is not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := unitcheck(path, all, allNames()); code != 1 {
+		t.Fatalf("malformed cfg exit = %d, want 1", code)
+	}
+	if code := unitcheck(filepath.Join(dir, "missing.cfg"), all, allNames()); code != 1 {
+		t.Fatalf("missing cfg exit = %d, want 1", code)
+	}
+}
+
+func TestMissingExportData(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "edge.go", "package edge\n\nimport \"fmt\"\n\nfunc F() { fmt.Println() }\n")
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := vetConfig{
+		ImportPath: "partitionshare/edge",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+		// PackageFile deliberately empty: the gc importer cannot resolve
+		// "fmt", the shape cmd/go produces when a dependency failed to
+		// build.
+	}
+	if code := unitcheck(writeCfg(t, dir, cfg), all, allNames()); code != 1 {
+		t.Fatalf("missing export data exit = %d, want 1", code)
+	}
+
+	cfg.SucceedOnTypecheckFailure = true
+	if code := unitcheck(writeCfg(t, dir, cfg), all, allNames()); code != 0 {
+		t.Fatalf("SucceedOnTypecheckFailure exit = %d, want 0", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx not written on tolerated typecheck failure: %v", err)
+	}
+}
+
+func TestEmptyPackage(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := vetConfig{
+		ImportPath: "partitionshare/internal/empty",
+		VetxOutput: vetx,
+	}
+	if code := unitcheck(writeCfg(t, dir, cfg), all, allNames()); code != 0 {
+		t.Fatalf("empty package exit = %d, want 0", code)
+	}
+	data, err := os.ReadFile(vetx)
+	if err != nil || len(data) != 0 {
+		t.Fatalf("empty package vetx = (%q, %v), want empty file", data, err)
+	}
+}
+
+func TestNonModuleFastPath(t *testing.T) {
+	dir := t.TempDir()
+	cfg := vetConfig{
+		ImportPath: "fmt",
+		// A file that does not exist: the fast path must skip without
+		// parsing anything.
+		GoFiles:    []string{filepath.Join(dir, "does-not-exist.go")},
+		VetxOutput: filepath.Join(dir, "out.vetx"),
+	}
+	if code := unitcheck(writeCfg(t, dir, cfg), all, allNames()); code != 0 {
+		t.Fatalf("non-module package exit = %d, want 0", code)
+	}
+}
+
+func TestAnalyzerPanicIsolation(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "edge.go", "package edge\n\nfunc F() {}\n")
+	records := t.TempDir()
+	t.Setenv(diagDirEnv, records)
+	cfg := vetConfig{
+		ImportPath: "partitionshare/edge",
+		GoFiles:    []string{src},
+		VetxOutput: filepath.Join(dir, "out.vetx"),
+	}
+	suite := []*analysis.Analyzer{panicky, flagEverything}
+	if code := unitcheck(writeCfg(t, dir, cfg), suite, []string{"panicky", "flagall"}); code != 1 {
+		t.Fatalf("panicking suite exit = %d, want 1 (tool failure)", code)
+	}
+
+	// The crash must not have eaten the healthy analyzer's finding: the
+	// diagnostic record carries both the finding and the failure.
+	recs := readRecords(records)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if len(rec.Diags) != 1 || rec.Diags[0].Analyzer != "flagall" {
+		t.Fatalf("diags = %+v, want the flagall finding", rec.Diags)
+	}
+	if len(rec.Failures) != 1 {
+		t.Fatalf("failures = %+v, want the panicky crash", rec.Failures)
+	}
+}
+
+func TestSuppressionRecorded(t *testing.T) {
+	dir := t.TempDir()
+	// The standalone ignore on line 1 covers the package clause on line
+	// 2, where flagEverything reports.
+	src := writeSrc(t, dir, "edge.go",
+		"//vetkit:ignore(flagall): fixture exercises suppression accounting\npackage edge\n\nfunc F() {}\n")
+	records := t.TempDir()
+	t.Setenv(diagDirEnv, records)
+	cfg := vetConfig{
+		ImportPath: "partitionshare/edge",
+		GoFiles:    []string{src},
+		VetxOutput: filepath.Join(dir, "out.vetx"),
+	}
+	suite := []*analysis.Analyzer{flagEverything}
+	if code := unitcheck(writeCfg(t, dir, cfg), suite, []string{"flagall"}); code != 0 {
+		t.Fatalf("suppressed run exit = %d, want 0", code)
+	}
+	recs := readRecords(records)
+	if len(recs) != 1 || len(recs[0].Suppressed) != 1 || len(recs[0].Diags) != 0 {
+		t.Fatalf("records = %+v, want one suppression and no diagnostics", recs)
+	}
+	if recs[0].Suppressed[0].Reason == "" {
+		t.Fatalf("suppression lost its reason: %+v", recs[0].Suppressed[0])
+	}
+}
+
+func TestVetxOnlySkipsDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSrc(t, dir, "edge.go", "package edge\n\nfunc F() {}\n")
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := vetConfig{
+		ImportPath: "partitionshare/edge",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+		VetxOnly:   true,
+	}
+	suite := []*analysis.Analyzer{flagEverything}
+	if code := unitcheck(writeCfg(t, dir, cfg), suite, []string{"flagall"}); code != 0 {
+		t.Fatalf("VetxOnly exit = %d, want 0 (facts-gathering runs never fail on findings)", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("VetxOnly run did not write vetx: %v", err)
+	}
+}

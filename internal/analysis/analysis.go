@@ -2,24 +2,65 @@
 // of golang.org/x/tools/go/analysis, sized for this repository's needs.
 // It exists because the verify gate must run in offline containers where
 // x/tools cannot be downloaded; the API mirrors the upstream shape
-// (Analyzer, Pass, Diagnostic) so the project-specific analyzers under
-// internal/analysis/... can be ported to the real framework mechanically
-// if a vendored x/tools ever becomes available.
+// (Analyzer, Pass, Diagnostic, and since PR 8 package-level Facts) so
+// the project-specific analyzers under internal/analysis/... can be
+// ported to the real framework mechanically if a vendored x/tools ever
+// becomes available.
 //
 // The analyzers themselves encode this repository's pipeline invariants —
-// the contracts established by PR 1 (shared DP kernels, bit-exactness)
-// and PR 2 (atomic durable writes, context plumbing, typed error
-// sentinels, pre-filled-and-closed worker channels). See DESIGN.md §10
-// for the catalogue and cmd/vetkit for the driver.
+// the contracts established by PR 1 (shared DP kernels, bit-exactness),
+// PR 2 (atomic durable writes, context plumbing, typed error sentinels,
+// pre-filled-and-closed worker channels), and PR 7 (lock ordering,
+// goroutine joins, deadline propagation, typed HTTP error envelopes,
+// registered observability names). See DESIGN.md §10 for the catalogue
+// and cmd/vetkit for the driver.
+//
+// # Facts
+//
+// An analyzer that declares FactTypes may export serialized facts about
+// the package it analyzes (Pass.ExportPackageFact) and import the facts
+// its dependencies exported (Pass.ImportPackageFact / AllPackageFacts).
+// Facts ride the cmd/go vet-tool protocol: the driver writes them to the
+// unit's VetxOutput file and serves dependencies' facts from the files
+// named in the vet.cfg PackageVetx map, so analysis is interprocedural
+// across package boundaries without a whole-program loader. Unlike
+// upstream go/analysis there are no per-object facts — package facts
+// keyed by the symbol names the analyzers themselves choose have been
+// sufficient, and they avoid the objectpath machinery.
+//
+// # Suppressions
+//
+// A finding can be silenced at the line level with a mandatory reason:
+//
+//	reg.Counter(dynamicName) //vetkit:ignore(obsname): name is forwarded from per-simulator constants
+//
+// The comment suppresses matching diagnostics on its own line, or — when
+// it stands alone on a line — on the line below. An ignore with an empty
+// reason is itself a diagnostic, as is one naming an unknown analyzer.
+// Suppressions are returned to the driver, which counts them in vetkit's
+// summary line; nothing is silently dropped.
 package analysis
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
+	"regexp"
+	"sort"
 	"strings"
 )
+
+// A Fact is a serializable observation about an analyzed package,
+// exported for downstream packages. Fact types must be gob-encodable
+// pointers-to-struct and are declared in an Analyzer's FactTypes.
+type Fact interface {
+	// AFact marks the type as a fact and is never called.
+	AFact()
+}
 
 // An Analyzer describes one static check: a name, what invariant it
 // enforces, and a Run function applied once per type-checked package.
@@ -37,6 +78,12 @@ type Analyzer struct {
 	// delivered through pass.Report / pass.Reportf; the error return is
 	// reserved for analyzer-internal failures, not findings.
 	Run func(*Pass) error
+
+	// FactTypes lists zero values of the fact types this analyzer
+	// exports and imports. An analyzer with FactTypes runs over
+	// dependency packages too (fact-gathering passes), so keep fact
+	// computation cheap.
+	FactTypes []Fact
 }
 
 // A Pass provides one analyzer run with a single type-checked package.
@@ -49,12 +96,16 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver fills this in.
 	Report func(Diagnostic)
+
+	exported *[]encodedFact           // facts exported by this pass (shared per Check)
+	imported map[string][]encodedFact // dependency import path → its exported facts
 }
 
 // A Diagnostic is one finding at a source position.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -68,6 +119,110 @@ func (pass *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // tests, and spawn bare goroutines.
 func (pass *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// factTypeName is the stable identifier a fact type serializes under.
+func factTypeName(f Fact) string {
+	return reflect.TypeOf(f).String()
+}
+
+// encodedFact is one serialized fact: which analyzer exported it, the
+// fact type's name, and the gob encoding of the value.
+type encodedFact struct {
+	Analyzer string
+	Type     string
+	Data     []byte
+}
+
+// ExportPackageFact records fact about the package being analyzed, for
+// consumption by analyzers of importing packages. The fact is serialized
+// immediately; a later mutation of fact is not observed.
+func (pass *Pass) ExportPackageFact(fact Fact) error {
+	if pass.exported == nil {
+		return fmt.Errorf("analysis: pass for %s cannot export facts (driver provided no sink)", pass.Analyzer.Name)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return fmt.Errorf("analysis: encoding %s fact %T: %w", pass.Analyzer.Name, fact, err)
+	}
+	*pass.exported = append(*pass.exported, encodedFact{
+		Analyzer: pass.Analyzer.Name,
+		Type:     factTypeName(fact),
+		Data:     buf.Bytes(),
+	})
+	return nil
+}
+
+// ImportPackageFact decodes the dependency package path's fact of
+// fact's type into fact and reports whether one was found. Facts are
+// keyed by type, not by exporting analyzer, so an analyzer may consume
+// facts another analyzer produced (goroutinejoin reads ctxplumb's
+// PlumbFact) by listing the type in its own FactTypes.
+func (pass *Pass) ImportPackageFact(path string, fact Fact) bool {
+	want := factTypeName(fact)
+	for _, ef := range pass.imported[path] {
+		if ef.Type != want {
+			continue
+		}
+		if err := gob.NewDecoder(bytes.NewReader(ef.Data)).Decode(fact); err != nil {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// AllPackageFacts calls fn for every fact of this analyzer's FactTypes
+// exported by any dependency, in sorted package-path order. A fresh fact
+// value is decoded for each call.
+func (pass *Pass) AllPackageFacts(fn func(path string, fact Fact)) {
+	byName := make(map[string]Fact, len(pass.Analyzer.FactTypes))
+	for _, ft := range pass.Analyzer.FactTypes {
+		byName[factTypeName(ft)] = ft
+	}
+	paths := make([]string, 0, len(pass.imported))
+	for p := range pass.imported {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		for _, ef := range pass.imported[p] {
+			proto, ok := byName[ef.Type]
+			if !ok {
+				continue
+			}
+			fresh := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(Fact)
+			if err := gob.NewDecoder(bytes.NewReader(ef.Data)).Decode(fresh); err != nil {
+				continue
+			}
+			fn(p, fresh)
+		}
+	}
+}
+
+// EncodeFacts serializes a package's exported facts for the driver to
+// write to the unit's VetxOutput file. Deterministic for a given fact
+// sequence.
+func encodeFacts(facts []encodedFact) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(facts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts parses bytes produced by a previous Check's Result.Facts.
+// Empty input decodes to no facts (the shape the pre-facts vetkit wrote,
+// and what non-module packages still write).
+func decodeFacts(data []byte) ([]encodedFact, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var facts []encodedFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&facts); err != nil {
+		return nil, err
+	}
+	return facts, nil
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult
@@ -84,35 +239,270 @@ func NewInfo() *types.Info {
 	}
 }
 
+// A Suppression is one honored //vetkit:ignore comment: the diagnostic
+// it silenced, the analyzer named, and the stated reason.
+type Suppression struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+	Message  string // the diagnostic message that was suppressed
+}
+
+// A Failure is one analyzer that errored or panicked; the run continued
+// with the remaining analyzers.
+type Failure struct {
+	Analyzer string
+	Err      error
+}
+
+// A Result is everything one Check produced.
+type Result struct {
+	Diags      []Diagnostic  // findings that survived suppression
+	Suppressed []Suppression // findings silenced by //vetkit:ignore
+	Facts      []byte        // serialized facts the analyzers exported
+	Failures   []Failure     // analyzers that crashed; the run continued
+}
+
+// Options configures a Check beyond the package itself.
+type Options struct {
+	// DepFacts maps dependency import paths to the raw fact bytes their
+	// own Check produced (the vetx file contents under the driver
+	// protocol). Unparseable entries are an error.
+	DepFacts map[string][]byte
+
+	// KnownAnalyzers is the full suite's analyzer names, used to flag
+	// //vetkit:ignore comments naming an analyzer that does not exist
+	// (a typo'd suppression would otherwise silently do nothing). Empty
+	// means "don't check" — subset runs pass the full list explicitly.
+	KnownAnalyzers []string
+
+	// FactsOnly runs only analyzers with FactTypes and discards
+	// diagnostics; used for dependency (VetxOnly) passes where only the
+	// exported facts matter.
+	FactsOnly bool
+}
+
 // Check type-checks files as package path using conf and runs each
-// analyzer over the result, returning all diagnostics in file/position
-// order of discovery. conf.Error and conf.Importer must be set by the
-// caller; conf.Error collecting soft errors lets analysis proceed on
-// packages that are complete enough to walk.
-func Check(conf *types.Config, fset *token.FileSet, path string, files []*ast.File, analyzers []*Analyzer) ([]Diagnostic, *types.Package, error) {
+// analyzer over the result, returning diagnostics in position order,
+// honored suppressions, exported facts, and per-analyzer failures. An
+// analyzer that returns an error or panics is recorded as a Failure and
+// the remaining analyzers still run — one crashing analyzer must not
+// take down the whole vet pass. conf.Error and conf.Importer must be
+// set by the caller; conf.Error collecting soft errors lets analysis
+// proceed on packages that are complete enough to walk.
+func Check(conf *types.Config, fset *token.FileSet, path string, files []*ast.File, analyzers []*Analyzer, opts *Options) (*Result, *types.Package, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
 	info := NewInfo()
 	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
 		return nil, pkg, fmt.Errorf("typecheck %s: %w", path, err)
 	}
+
+	imported := make(map[string][]encodedFact, len(opts.DepFacts))
+	for dep, raw := range opts.DepFacts {
+		facts, err := decodeFacts(raw)
+		if err != nil {
+			return nil, pkg, fmt.Errorf("decoding facts of %s: %w", dep, err)
+		}
+		imported[dep] = facts
+	}
+
+	res := &Result{}
+	var exported []encodedFact
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if opts.FactsOnly && len(a.FactTypes) == 0 {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
-			Report: func(d Diagnostic) {
-				d.Message = d.Message + " (" + a.Name + ")"
-				diags = append(diags, d)
-			},
+			exported:  &exported,
+			imported:  imported,
 		}
-		if err := a.Run(pass); err != nil {
-			return diags, pkg, fmt.Errorf("analyzer %s on %s: %w", a.Name, path, err)
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			d.Message = d.Message + " (" + a.Name + ")"
+			diags = append(diags, d)
+		}
+		if err := runSafe(a, pass); err != nil {
+			res.Failures = append(res.Failures, Failure{Analyzer: a.Name, Err: err})
 		}
 	}
-	return diags, pkg, nil
+
+	if opts.FactsOnly {
+		diags = nil
+	}
+	sup := collectSuppressions(fset, files)
+	res.Diags, res.Suppressed = sup.apply(fset, diags)
+	if !opts.FactsOnly {
+		res.Diags = append(res.Diags, sup.selfDiagnostics(opts.KnownAnalyzers)...)
+	}
+	sort.SliceStable(res.Diags, func(i, j int) bool { return res.Diags[i].Pos < res.Diags[j].Pos })
+
+	if res.Facts, err = encodeFacts(exported); err != nil {
+		return res, pkg, fmt.Errorf("encoding facts of %s: %w", path, err)
+	}
+	return res, pkg, nil
+}
+
+// runSafe runs one analyzer, converting a panic into an error so a
+// buggy analyzer cannot abort the whole unit.
+func runSafe(a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analyzer %s panicked: %v", a.Name, r)
+		}
+	}()
+	return a.Run(pass)
+}
+
+// ignoreRE parses a //vetkit:ignore comment. Group 1 is the analyzer
+// list, group 2 (optional) the reason.
+var ignoreRE = regexp.MustCompile(`^//\s*vetkit:ignore\(([^)]*)\)\s*(?::\s*(.*?))?\s*$`)
+
+// suppressionEntry is one parsed //vetkit:ignore comment.
+type suppressionEntry struct {
+	pos        token.Pos
+	analyzers  []string
+	reason     string
+	standalone bool // alone on its line: applies to the next line too
+}
+
+type suppressionSet struct {
+	// byLine maps "file:line" to the entries that may suppress a
+	// diagnostic on that line.
+	byLine  map[string][]*suppressionEntry
+	entries []*suppressionEntry
+}
+
+// collectSuppressions parses every //vetkit:ignore comment in files.
+// A trailing comment covers its own line; a comment alone on a line
+// covers the next line as well.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{byLine: make(map[string][]*suppressionEntry)}
+	for _, f := range files {
+		codeLines := codeLineSet(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				var names []string
+				for _, n := range strings.Split(m[1], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+				pos := fset.Position(c.Pos())
+				e := &suppressionEntry{
+					pos:        c.Pos(),
+					analyzers:  names,
+					reason:     strings.TrimSpace(m[2]),
+					standalone: !codeLines[pos.Line],
+				}
+				set.entries = append(set.entries, e)
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				set.byLine[key] = append(set.byLine[key], e)
+				if e.standalone {
+					next := fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)
+					set.byLine[next] = append(set.byLine[next], e)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// codeLineSet returns the set of lines in f that contain any non-comment
+// token, so a comment can be classified trailing vs standalone.
+func codeLineSet(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n.Pos().IsValid() {
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	return lines
+}
+
+// apply splits diags into surviving diagnostics and honored
+// suppressions.
+func (s *suppressionSet) apply(fset *token.FileSet, diags []Diagnostic) ([]Diagnostic, []Suppression) {
+	var keep []Diagnostic
+	var suppressed []Suppression
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		var hit *suppressionEntry
+		for _, e := range s.byLine[key] {
+			if e.reason == "" {
+				continue // an unreasoned ignore suppresses nothing
+			}
+			for _, name := range e.analyzers {
+				if name == d.Analyzer {
+					hit = e
+					break
+				}
+			}
+			if hit != nil {
+				break
+			}
+		}
+		if hit == nil {
+			keep = append(keep, d)
+			continue
+		}
+		suppressed = append(suppressed, Suppression{
+			Pos:      d.Pos,
+			Analyzer: d.Analyzer,
+			Reason:   hit.reason,
+			Message:  d.Message,
+		})
+	}
+	return keep, suppressed
+}
+
+// selfDiagnostics reports malformed suppressions: an empty reason, or a
+// named analyzer that does not exist in the known suite.
+func (s *suppressionSet) selfDiagnostics(known []string) []Diagnostic {
+	knownSet := make(map[string]bool, len(known))
+	for _, k := range known {
+		knownSet[k] = true
+	}
+	var diags []Diagnostic
+	for _, e := range s.entries {
+		if e.reason == "" {
+			diags = append(diags, Diagnostic{
+				Pos:      e.pos,
+				Analyzer: "vetkit",
+				Message:  fmt.Sprintf("vetkit:ignore(%s) has no reason; a suppression must say why (vetkit)", strings.Join(e.analyzers, ",")),
+			})
+		}
+		if len(knownSet) > 0 {
+			for _, name := range e.analyzers {
+				if !knownSet[name] {
+					diags = append(diags, Diagnostic{
+						Pos:      e.pos,
+						Analyzer: "vetkit",
+						Message:  fmt.Sprintf("vetkit:ignore names unknown analyzer %q (vetkit)", name),
+					})
+				}
+			}
+		}
+	}
+	return diags
 }
 
 // IsErrorType reports whether t is the built-in error interface or a
@@ -125,3 +515,14 @@ func IsErrorType(t types.Type) bool {
 }
 
 var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// IsContextType reports whether t is context.Context. Shared by
+// ctxplumb, goroutinejoin, and deadlineprop.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context"
+}

@@ -1,0 +1,320 @@
+package analysis_test
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"partitionshare/internal/analysis"
+	"partitionshare/internal/analysis/lockorder"
+	"partitionshare/internal/analysis/obsname"
+)
+
+// testImporter resolves the fake module packages built earlier in a
+// test before falling back to the source importer for the stdlib.
+type testImporter struct {
+	deps     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (i testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.deps[path]; ok {
+		return p, nil
+	}
+	return i.fallback.Import(path)
+}
+
+// check runs analyzers over one in-memory source file.
+func check(t *testing.T, path, src string, analyzers []*analysis.Analyzer, opts *analysis.Options, deps map[string]*types.Package) (*analysis.Result, *types.Package, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	conf := &types.Config{
+		Importer: testImporter{deps: deps, fallback: importer.ForCompiler(fset, "source", nil)},
+	}
+	res, pkg, err := analysis.Check(conf, fset, path, []*ast.File{f}, analyzers, opts)
+	if err != nil {
+		t.Fatalf("check %s: %v", path, err)
+	}
+	return res, pkg, fset
+}
+
+// callFlagger reports every call to a function literally named "bad".
+var callFlagger = &analysis.Analyzer{
+	Name: "callflag",
+	Doc:  "test analyzer: flags calls to bad()",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						pass.Reportf(call.Pos(), "call to bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressions(t *testing.T) {
+	src := `package p
+
+func bad() {}
+
+func f() {
+	bad() //vetkit:ignore(callflag): known noisy in this test
+	bad()
+	//vetkit:ignore(callflag): standalone form covers the next line
+	bad()
+	//vetkit:ignore(callflag):
+	bad()
+	//vetkit:ignore(nosuch): names a missing analyzer
+	bad()
+}
+`
+	res, _, fset := check(t, "p", src, []*analysis.Analyzer{callFlagger},
+		&analysis.Options{KnownAnalyzers: []string{"callflag"}}, nil)
+
+	if len(res.Suppressed) != 2 {
+		t.Fatalf("suppressed = %d, want 2: %+v", len(res.Suppressed), res.Suppressed)
+	}
+	for _, s := range res.Suppressed {
+		if s.Analyzer != "callflag" || s.Reason == "" {
+			t.Errorf("bad suppression record: %+v", s)
+		}
+	}
+
+	// Surviving: the bare bad() (line 7), the two ignores that do not
+	// suppress (empty reason line 10 → its bad() line 11; unknown
+	// analyzer line 12 → its bad() line 13), plus the two vetkit
+	// self-diagnostics.
+	var byLine []string
+	for _, d := range res.Diags {
+		byLine = append(byLine, fmt.Sprintf("%d:%s", fset.Position(d.Pos).Line, d.Analyzer))
+	}
+	want := []string{"7:callflag", "10:vetkit", "11:callflag", "12:vetkit", "13:callflag"}
+	if strings.Join(byLine, " ") != strings.Join(want, " ") {
+		t.Fatalf("diags = %v, want %v", byLine, want)
+	}
+	var sawNoReason, sawUnknown bool
+	for _, d := range res.Diags {
+		if strings.Contains(d.Message, "has no reason") {
+			sawNoReason = true
+		}
+		if strings.Contains(d.Message, `unknown analyzer "nosuch"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawNoReason || !sawUnknown {
+		t.Fatalf("missing self-diagnostics (noReason=%v unknown=%v): %+v", sawNoReason, sawUnknown, res.Diags)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	panicker := &analysis.Analyzer{
+		Name: "panicker",
+		Doc:  "test analyzer: always panics",
+		Run:  func(*analysis.Pass) error { panic("kaboom") },
+	}
+	errorer := &analysis.Analyzer{
+		Name: "errorer",
+		Doc:  "test analyzer: always errors",
+		Run:  func(*analysis.Pass) error { return errors.New("soft failure") },
+	}
+	res, _, _ := check(t, "p", "package p\n\nfunc bad() {}\n\nfunc f() { bad() }\n",
+		[]*analysis.Analyzer{panicker, callFlagger, errorer}, nil, nil)
+
+	if len(res.Failures) != 2 {
+		t.Fatalf("failures = %+v, want panicker and errorer", res.Failures)
+	}
+	//vetkit:ignore(errsentinel): a recovered panic has no typed sentinel; the message text is the contract
+	if res.Failures[0].Analyzer != "panicker" || !strings.Contains(res.Failures[0].Err.Error(), "kaboom") {
+		t.Errorf("panic failure = %+v", res.Failures[0])
+	}
+	if res.Failures[1].Analyzer != "errorer" {
+		t.Errorf("error failure = %+v", res.Failures[1])
+	}
+	// The healthy analyzer still reported.
+	if len(res.Diags) != 1 || res.Diags[0].Analyzer != "callflag" {
+		t.Fatalf("diags = %+v, want one callflag finding", res.Diags)
+	}
+}
+
+// TestFact is a minimal fact type for the round-trip test.
+type TestFact struct{ Value string }
+
+func (*TestFact) AFact() {}
+
+func TestFactsRoundtrip(t *testing.T) {
+	exporter := &analysis.Analyzer{
+		Name:      "facty",
+		Doc:       "test analyzer: exports one fact",
+		FactTypes: []analysis.Fact{(*TestFact)(nil)},
+		Run: func(pass *analysis.Pass) error {
+			return pass.ExportPackageFact(&TestFact{Value: "from " + pass.Pkg.Path()})
+		},
+	}
+	resA, pkgA, _ := check(t, "a", "package a\n\nfunc A() {}\n", []*analysis.Analyzer{exporter}, nil, nil)
+	if len(resA.Facts) == 0 {
+		t.Fatal("package a exported no fact bytes")
+	}
+
+	var got string
+	var all []string
+	importerAn := &analysis.Analyzer{
+		Name:      "facty",
+		Doc:       "test analyzer: imports the fact",
+		FactTypes: []analysis.Fact{(*TestFact)(nil)},
+		Run: func(pass *analysis.Pass) error {
+			var f TestFact
+			if pass.ImportPackageFact("a", &f) {
+				got = f.Value
+			}
+			pass.AllPackageFacts(func(path string, fact analysis.Fact) {
+				all = append(all, path+"="+fact.(*TestFact).Value)
+			})
+			return nil
+		},
+	}
+	check(t, "b", "package b\n\nimport \"a\"\n\nvar _ = a.A\n", []*analysis.Analyzer{importerAn},
+		&analysis.Options{DepFacts: map[string][]byte{"a": resA.Facts}},
+		map[string]*types.Package{"a": pkgA})
+
+	if got != "from a" {
+		t.Fatalf("ImportPackageFact = %q, want %q", got, "from a")
+	}
+	if len(all) != 1 || all[0] != "a=from a" {
+		t.Fatalf("AllPackageFacts = %v", all)
+	}
+}
+
+func TestFactsOnlyDiscardsDiagnostics(t *testing.T) {
+	res, _, _ := check(t, "p", "package p\n\nfunc bad() {}\n\nfunc f() { bad() }\n",
+		[]*analysis.Analyzer{callFlagger}, &analysis.Options{FactsOnly: true}, nil)
+	if len(res.Diags) != 0 {
+		t.Fatalf("FactsOnly run reported diagnostics: %+v", res.Diags)
+	}
+}
+
+// TestLockOrderCrossPackage drives the real lockorder analyzer across a
+// two-package inversion: package a locks S.Mu before T.Mu, package b
+// does the reverse and is caught via a's exported fact edges.
+func TestLockOrderCrossPackage(t *testing.T) {
+	srcA := `package a
+
+import "sync"
+
+type S struct{ Mu sync.Mutex }
+
+type T struct{ Mu sync.Mutex }
+
+var GS S
+
+var GT T
+
+func AB() {
+	GS.Mu.Lock()
+	GT.Mu.Lock()
+	GT.Mu.Unlock()
+	GS.Mu.Unlock()
+}
+`
+	resA, pkgA, _ := check(t, "a", srcA, []*analysis.Analyzer{lockorder.Analyzer}, nil, nil)
+	if len(resA.Diags) != 0 {
+		t.Fatalf("package a diags = %+v, want none", resA.Diags)
+	}
+
+	srcB := `package b
+
+import "a"
+
+func BA() {
+	a.GT.Mu.Lock()
+	a.GS.Mu.Lock()
+	a.GS.Mu.Unlock()
+	a.GT.Mu.Unlock()
+}
+`
+	resB, _, _ := check(t, "b", srcB, []*analysis.Analyzer{lockorder.Analyzer},
+		&analysis.Options{DepFacts: map[string][]byte{"a": resA.Facts}},
+		map[string]*types.Package{"a": pkgA})
+	if len(resB.Diags) != 1 || !strings.Contains(resB.Diags[0].Message, "lock order inversion") {
+		t.Fatalf("package b diags = %+v, want one inversion", resB.Diags)
+	}
+	// Without a's facts the inversion is invisible — the fact layer is
+	// what makes the check interprocedural.
+	resNoFacts, _, _ := check(t, "b", srcB, []*analysis.Analyzer{lockorder.Analyzer}, nil,
+		map[string]*types.Package{"a": pkgA})
+	if len(resNoFacts.Diags) != 0 {
+		t.Fatalf("factless run diags = %+v, want none", resNoFacts.Diags)
+	}
+}
+
+// TestObsNameCrossPackage: a second package declaring its own constant
+// for a name a dependency already registered is flagged; re-using the
+// dependency's exported constant is the sanctioned sharing pattern.
+func TestObsNameCrossPackage(t *testing.T) {
+	srcA := `package a
+
+type Registry struct{}
+
+type Metric struct{}
+
+func (r *Registry) Counter(name string) *Metric { return nil }
+
+const MSolves = "a.solves"
+
+var Reg Registry
+
+func Register() { Reg.Counter(MSolves) }
+`
+	resA, pkgA, _ := check(t, "a", srcA, []*analysis.Analyzer{obsname.Analyzer}, nil, nil)
+	if len(resA.Diags) != 0 {
+		t.Fatalf("package a diags = %+v, want none", resA.Diags)
+	}
+
+	srcShared := `package b
+
+import "a"
+
+func Shared() { a.Reg.Counter(a.MSolves) }
+`
+	resShared, _, _ := check(t, "b", srcShared, []*analysis.Analyzer{obsname.Analyzer},
+		&analysis.Options{DepFacts: map[string][]byte{"a": resA.Facts}},
+		map[string]*types.Package{"a": pkgA})
+	if len(resShared.Diags) != 0 {
+		t.Fatalf("shared-constant diags = %+v, want none", resShared.Diags)
+	}
+
+	srcForked := `package b
+
+import "a"
+
+const mSolves = "a.solves"
+
+func Forked() { a.Reg.Counter(mSolves) }
+`
+	resForked, _, _ := check(t, "b", srcForked, []*analysis.Analyzer{obsname.Analyzer},
+		&analysis.Options{DepFacts: map[string][]byte{"a": resA.Facts}},
+		map[string]*types.Package{"a": pkgA})
+	var sawDup bool
+	for _, d := range resForked.Diags {
+		if strings.Contains(d.Message, "already registered via a.MSolves") {
+			sawDup = true
+		}
+	}
+	if !sawDup {
+		t.Fatalf("forked-constant diags = %+v, want a registered-once finding", resForked.Diags)
+	}
+}

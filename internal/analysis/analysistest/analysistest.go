@@ -72,14 +72,21 @@ func runPackage(t *testing.T, a *analysis.Analyzer, pkgpath string) {
 		// are deliberately incomplete.
 		Error: func(error) {},
 	}
-	diags, _, err := analysis.Check(conf, fset, pkgpath, files, []*analysis.Analyzer{a})
+	// KnownAnalyzers carries just the analyzer under test: a fixture may
+	// demonstrate //vetkit:ignore for it, and any other name in an ignore
+	// is flagged as unknown (which a fixture can also // want).
+	res, _, err := analysis.Check(conf, fset, pkgpath, files, []*analysis.Analyzer{a},
+		&analysis.Options{KnownAnalyzers: []string{a.Name}})
 	if err != nil {
 		t.Fatalf("%s: %v", pkgpath, err)
+	}
+	for _, f := range res.Failures {
+		t.Fatalf("%s: analyzer failure: %v", pkgpath, f.Err)
 	}
 
 	wants := collectWants(t, fset, files)
 
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		pos := fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 		if !consume(wants[key], d.Message) {

@@ -15,6 +15,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"partitionshare/internal/analysis"
 )
@@ -23,10 +24,24 @@ var Analyzer = &analysis.Analyzer{
 	Name: "ctxplumb",
 	Doc: "exported functions that spawn goroutines must take a " +
 		"context.Context first parameter so callers can cancel the fan-out",
-	Run: run,
+	Run:       run,
+	FactTypes: []analysis.Fact{(*PlumbFact)(nil)},
 }
 
+// A PlumbFact lists this package's exported functions whose first
+// parameter is a context.Context — the APIs whose concurrency a caller
+// can cancel. Downstream, goroutinejoin treats `go dep.F(...)` as
+// bounded when F appears here: the callee's fan-out drains when its
+// context is cancelled, so the spawn is not fire-and-forget. Method
+// entries are "Type.Method".
+type PlumbFact struct {
+	CtxFirst []string
+}
+
+func (*PlumbFact) AFact() {}
+
 func run(pass *analysis.Pass) error {
+	var ctxFirst []string
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Package) {
 			continue
@@ -37,6 +52,7 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			if takesContextFirst(pass, fd) {
+				ctxFirst = append(ctxFirst, factName(fd))
 				continue
 			}
 			if pos, spawns := firstGoStmt(fd.Body); spawns {
@@ -45,7 +61,50 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
+	if len(ctxFirst) > 0 {
+		sort.Strings(ctxFirst)
+		if err := pass.ExportPackageFact(&PlumbFact{CtxFirst: ctxFirst}); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// factName is the package-relative name a function is recorded under in
+// PlumbFact: "Func", or "Type.Method" with any pointer stripped.
+func factName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip any type parameters (Type[T]) down to the base identifier.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// FuncFactName returns the PlumbFact entry name for a resolved function
+// object, for importers matching call targets against the fact.
+func FuncFactName(obj *types.Func) string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return obj.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + obj.Name()
+	}
+	return obj.Name()
 }
 
 // takesContextFirst reports whether fd's first parameter is a

@@ -1,0 +1,157 @@
+// Package deadlineprop keeps inbound deadlines attached to the work
+// they govern. A function that already receives a context.Context (or
+// an *http.Request, whose Context carries the server's cancellation)
+// must not mint a fresh root with context.Background() or context.TODO():
+// doing so launders the caller's deadline away, so a partition solve
+// kicked off by an admission-controlled HTTP request would keep burning
+// CPU long after the client gave up — precisely what the PR 7 admission
+// and drain machinery exists to prevent. Derive from the inbound
+// context (context.WithTimeout(ctx, …)) instead.
+//
+// The one sanctioned Background use in such a function is the nil-guard
+// that library entry points use for optional contexts:
+//
+//	if ctx == nil {
+//		ctx = context.Background()
+//	}
+//
+// A Background/TODO call inside an `x == nil` / `x != nil` conditional
+// on a context variable is accepted. Functions with no inbound context
+// anywhere in their parameters (main, Drain, shutdown paths) are out of
+// scope — they own their lifetime. _test.go files are exempt.
+package deadlineprop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"partitionshare/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "deadlineprop",
+	Doc: "functions receiving a ctx or *http.Request must not call " +
+		"context.Background/TODO; a fresh root discards the inbound deadline",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasInboundCtx(pass, fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasInboundCtx reports whether fd receives a deadline from its caller:
+// any parameter of type context.Context or *http.Request.
+func hasInboundCtx(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if analysis.IsContextType(tv.Type) || isHTTPRequestPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Request" && o.Pkg() != nil && o.Pkg().Path() == "net/http"
+}
+
+// checkBody flags Background/TODO calls outside nil-guard conditionals.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// First collect the nil-guard regions: if-statements whose condition
+	// compares a context value against nil.
+	type span struct{ lo, hi int }
+	var guards []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !isCtxNilCond(pass, ifs.Cond) {
+			return true
+		}
+		guards = append(guards, span{int(ifs.Body.Pos()), int(ifs.Body.End())})
+		return true
+	})
+	inGuard := func(pos int) bool {
+		for _, g := range guards {
+			if pos >= g.lo && pos <= g.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "context" {
+			return true
+		}
+		if inGuard(int(call.Pos())) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() inside %s discards the inbound deadline; derive from the request context instead",
+			sel.Sel.Name, fd.Name.Name)
+		return true
+	})
+}
+
+// isCtxNilCond matches `ctx == nil` / `ctx != nil` (either operand
+// order) where the non-nil side is a context.Context.
+func isCtxNilCond(pass *analysis.Pass, cond ast.Expr) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op.String() != "==" && be.Op.String() != "!=") {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	ctxSide := be.X
+	switch {
+	case isNil(be.X):
+		ctxSide = be.Y
+	case isNil(be.Y):
+		ctxSide = be.X
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[ctxSide]
+	return ok && analysis.IsContextType(tv.Type)
+}

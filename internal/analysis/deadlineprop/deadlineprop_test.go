@@ -1,0 +1,12 @@
+package deadlineprop_test
+
+import (
+	"testing"
+
+	"partitionshare/internal/analysis/analysistest"
+	"partitionshare/internal/analysis/deadlineprop"
+)
+
+func TestDeadlineProp(t *testing.T) {
+	analysistest.Run(t, deadlineprop.Analyzer, "deadline")
+}

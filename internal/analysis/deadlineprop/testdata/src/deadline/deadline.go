@@ -1,0 +1,61 @@
+// Fixture: a function that receives a context (or *http.Request) must
+// not mint a fresh root with context.Background/TODO — that launders
+// the caller's deadline away. The nil-guard and no-inbound-context
+// shapes are the allowed patterns.
+package deadline
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func use(ctx context.Context) {}
+
+// Launder replaces the inbound context with a fresh root.
+func Launder(ctx context.Context) {
+	use(context.Background()) // want `discards the inbound deadline`
+}
+
+// LaunderTODO does the same through TODO.
+func LaunderTODO(ctx context.Context, n int) {
+	c, cancel := context.WithTimeout(context.TODO(), time.Second) // want `discards the inbound deadline`
+	defer cancel()
+	use(c)
+}
+
+// Handler receives the request context through *http.Request and drops
+// it on the floor.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	use(context.Background()) // want `discards the inbound deadline`
+}
+
+// NilGuard is the sanctioned library-entry-point default for optional
+// contexts.
+func NilGuard(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	use(ctx)
+}
+
+// NilGuardFlipped spells the comparison the other way around.
+func NilGuardFlipped(ctx context.Context) {
+	if nil == ctx {
+		ctx = context.Background()
+	}
+	use(ctx)
+}
+
+// Derive tightens the inbound deadline instead of replacing it.
+func Derive(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	use(c)
+}
+
+// OwnLifetime has no inbound context anywhere; it owns its lifetime
+// (the Drain / shutdown shape), so a fresh root is correct.
+func OwnLifetime() {
+	use(context.Background())
+}

@@ -1,0 +1,12 @@
+package goroutinejoin_test
+
+import (
+	"testing"
+
+	"partitionshare/internal/analysis/analysistest"
+	"partitionshare/internal/analysis/goroutinejoin"
+)
+
+func TestGoroutineJoin(t *testing.T) {
+	analysistest.Run(t, goroutinejoin.Analyzer, "spawn")
+}

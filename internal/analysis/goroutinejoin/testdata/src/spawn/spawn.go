@@ -1,0 +1,78 @@
+// Fixture: every spawned goroutine must be joined (WaitGroup,
+// close-join) or bounded (ctx.Done, channel drain). The fire-and-forget
+// spawns are the flagged patterns.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// WaitGroupJoin is the worker-pool shape: each goroutine signals a
+// WaitGroup the spawner waits on.
+func WaitGroupJoin(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// CtxBound is the watcher shape: the goroutine blocks on ctx.Done.
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// CloseJoin signals completion by closing a channel the spawner
+// receives on (the StartServer shape).
+func CloseJoin() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// Pool spawns a named worker that drains a channel; closing the channel
+// releases it (the DP pool shape).
+type Pool struct{ jobs chan int }
+
+func (p *Pool) Start(ctx context.Context) {
+	go p.worker()
+}
+
+func (p *Pool) worker() {
+	for j := range p.jobs {
+		_ = j
+	}
+}
+
+// SpawnWithCtx passes the context to the spawned callee, which owns its
+// own bounding (the reoptLoop shape).
+func SpawnWithCtx(ctx context.Context) {
+	go handle(ctx)
+}
+
+func handle(ctx context.Context) { <-ctx.Done() }
+
+// Leak is fire-and-forget: nothing joins or bounds the goroutine.
+func Leak(ctx context.Context) {
+	go func() { // want `neither joined`
+		work()
+	}()
+}
+
+// LeakNamed spawns a callee with no lifecycle evidence either.
+func LeakNamed(ctx context.Context) {
+	go work() // want `neither joined`
+}

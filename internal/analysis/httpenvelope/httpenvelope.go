@@ -1,0 +1,201 @@
+// Package httpenvelope enforces the PR 7 HTTP error contract: every
+// error a handler returns to a client travels as the typed JSON
+// envelope {"error","detail"} with a status from the approved set, so
+// clients (and the service smoke test) can parse failures uniformly.
+//
+// Concretely, in production code:
+//
+//   - http.Error is banned everywhere — it emits text/plain, not the
+//     envelope;
+//   - w.WriteHeader may be called only inside a designated envelope
+//     writer: a function whose name starts with "write" and that takes
+//     an http.ResponseWriter parameter (internal/service's writeJSON).
+//     Handlers must route through such a writer, never set status
+//     codes ad hoc;
+//   - a constant HTTP status (100–599) passed to WriteHeader or to a
+//     write* envelope function must come from the approved set below —
+//     anything else is a status the API contract never defined.
+//
+// The approved set is the service's documented surface: 200, 201, 204,
+// 400, 404, 409, 429 (admission shed), 499 (client went away, nginx's
+// convention), 500, 503 (draining / no plan), 504 (deadline).
+// _test.go files are exempt.
+package httpenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"partitionshare/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "httpenvelope",
+	Doc: "handler errors must use the typed JSON envelope writer with an " +
+		"approved status; no http.Error or ad-hoc w.WriteHeader",
+	Run: run,
+}
+
+// approvedStatus is the service's documented status surface.
+var approvedStatus = map[int64]bool{
+	200: true, 201: true, 204: true,
+	400: true, 404: true, 409: true, 429: true, 499: true,
+	500: true, 503: true, 504: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	inWriter := isEnvelopeWriter(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isHTTPError(pass, call):
+			pass.Reportf(call.Pos(),
+				"http.Error writes text/plain, not the typed {\"error\",\"detail\"} envelope; use the envelope writer")
+		case isWriteHeader(pass, call):
+			if !inWriter {
+				pass.Reportf(call.Pos(),
+					"w.WriteHeader outside an envelope writer; handlers must set status through a write* envelope function")
+			}
+			checkStatusArgs(pass, call.Args)
+		case isEnvelopeWriterCall(pass, call):
+			checkStatusArgs(pass, call.Args)
+		}
+		return true
+	})
+}
+
+// isEnvelopeWriter reports whether fd is a designated envelope writer:
+// named write* with an http.ResponseWriter parameter.
+func isEnvelopeWriter(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if !strings.HasPrefix(fd.Name.Name, "write") && !strings.HasPrefix(fd.Name.Name, "Write") {
+		return false
+	}
+	return hasResponseWriterParam(pass, fd.Type.Params)
+}
+
+func hasResponseWriterParam(pass *analysis.Pass, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isResponseWriter(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "ResponseWriter" && o.Pkg() != nil && o.Pkg().Path() == "net/http"
+}
+
+// isHTTPError matches net/http.Error(...) calls.
+func isHTTPError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "net/http"
+}
+
+// isWriteHeader matches WriteHeader method calls on an
+// http.ResponseWriter (or a type embedding one).
+func isWriteHeader(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	// The interface method declared by net/http, or a concrete method
+	// promoted from an embedded ResponseWriter.
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// isEnvelopeWriterCall matches calls to same-package write* functions
+// that take an http.ResponseWriter, so their constant status arguments
+// can be validated at the call site.
+func isEnvelopeWriterCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := calleeFunc(pass, call)
+	if obj == nil || obj.Pkg() != pass.Pkg {
+		return false
+	}
+	name := obj.Name()
+	if !strings.HasPrefix(name, "write") && !strings.HasPrefix(name, "Write") {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isResponseWriter(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// checkStatusArgs flags constant integer arguments that look like HTTP
+// statuses but are outside the approved set.
+func checkStatusArgs(pass *analysis.Pass, args []ast.Expr) {
+	for _, a := range args {
+		tv, ok := pass.TypesInfo.Types[a]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			continue
+		}
+		v, ok := constant.Int64Val(tv.Value)
+		if !ok || v < 100 || v > 599 {
+			continue
+		}
+		if !approvedStatus[v] {
+			pass.Reportf(a.Pos(),
+				"status %d is not in the approved envelope status set (see httpenvelope doc); the API contract never defined it", v)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package httpenvelope_test
+
+import (
+	"testing"
+
+	"partitionshare/internal/analysis/analysistest"
+	"partitionshare/internal/analysis/httpenvelope"
+)
+
+func TestHTTPEnvelope(t *testing.T) {
+	analysistest.Run(t, httpenvelope.Analyzer, "envelope")
+}

@@ -1,0 +1,55 @@
+// Fixture: handler errors must travel as the typed JSON envelope via a
+// write* envelope writer with a status from the approved set. Bare
+// http.Error, ad-hoc WriteHeader, and off-contract statuses are the
+// flagged patterns.
+package envelope
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type apiError struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail"`
+}
+
+// writeJSON is the designated envelope writer: named write*, takes the
+// ResponseWriter, and is the one place WriteHeader is allowed.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRedirect is an envelope writer by shape, but 302 is not on the
+// API contract's status surface.
+func writeRedirect(w http.ResponseWriter) {
+	w.WriteHeader(302) // want `not in the approved`
+}
+
+// HandleBad bypasses the envelope with text/plain http.Error.
+func HandleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error`
+}
+
+// HandleAdHoc sets a status outside any envelope writer.
+func HandleAdHoc(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent) // want `outside an envelope writer`
+}
+
+// HandleTeapot routes through the writer but with an off-contract
+// status.
+func HandleTeapot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusTeapot, apiError{Error: "teapot"}) // want `not in the approved`
+}
+
+// HandleGood is the compliant error path.
+func HandleGood(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, apiError{Error: "not_found", Detail: "no such tenant"})
+}
+
+// HandleOK writes a success envelope.
+func HandleOK(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

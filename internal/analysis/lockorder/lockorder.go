@@ -1,0 +1,534 @@
+// Package lockorder enforces a single global mutex acquisition order.
+// It tracks, lexically, which locks are held at every sync.Mutex /
+// sync.RWMutex acquisition and records the ordering edges it sees
+// (lock A held while acquiring B ⇒ edge A→B). Two packages — or two
+// functions — that acquire the same pair of locks in opposite orders
+// can deadlock under concurrency; the analyzer flags every such
+// inversion, plus re-acquisition of a lock already held (self-deadlock
+// for non-reentrant sync mutexes).
+//
+// Locks are named structurally: a mutex field is "Type.field" prefixed
+// by its defining package, a package-level mutex is "pkg.var", and a
+// function-local mutex is scoped to its function. Calls into
+// same-package functions propagate their acquired locks (computed to a
+// fixpoint), and exported functions' acquisitions travel across package
+// boundaries as facts, so a handler holding service.Service.mu that
+// calls into a store which takes locks in the opposite order is caught
+// even though the two acquisitions are in different packages.
+//
+// Branch arms are walked with independent copies of the held set, and a
+// function literal's body is walked with an empty held set (it usually
+// runs on another goroutine). Deferred unlocks keep the lock held to
+// the end of the function. _test.go files are exempt.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"partitionshare/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "mutexes must be acquired in one consistent order; an inversion " +
+		"(A then B in one path, B then A in another) is a latent deadlock",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*LockFact)(nil)},
+}
+
+// A LockFact summarizes a package's locking behavior for importers: the
+// ordering edges observed inside it, and for each exported function the
+// set of locks it (transitively) acquires.
+type LockFact struct {
+	Edges    []FactEdge
+	Acquires map[string][]string
+}
+
+// A FactEdge is one "From held while acquiring To" observation; Where
+// is a printable source position for diagnostics in other packages.
+type FactEdge struct {
+	From, To, Where string
+}
+
+func (*LockFact) AFact() {}
+
+// edge is a local ordering observation with a reportable position.
+type edge struct {
+	from, to string
+	pos      token.Pos
+	where    string // position rendered for cross-package messages
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	// acquires maps each package function to every lock key it acquires,
+	// transitively through same-package calls (fixpoint).
+	acquires map[*types.Func]map[string]bool
+	edges    []edge
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		acquires: make(map[*types.Func]map[string]bool),
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[obj] = fd
+			}
+		}
+	}
+
+	c.computeAcquires()
+
+	// Second pass: walk every function with held-set tracking, recording
+	// edges and reporting re-acquisitions.
+	for obj, fd := range c.decls {
+		c.walkStmts(fd.Body.List, map[string]bool{}, funcKey(obj))
+	}
+
+	c.exportFact()
+	c.reportInversions()
+	return nil
+}
+
+// computeAcquires builds the transitive acquires sets: direct Lock
+// calls plus the acquires of every same-package callee, iterated to a
+// fixpoint (the call graph may have cycles).
+func (c *checker) computeAcquires() {
+	for obj, fd := range c.decls {
+		set := make(map[string]bool)
+		fk := funcKey(obj)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, op := c.lockOp(call, fk); op == opLock {
+					set[key] = true
+				}
+			}
+			return true
+		})
+		c.acquires[obj] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range c.decls {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for key := range c.calleeAcquires(call) {
+					if !c.acquires[obj][key] {
+						c.acquires[obj][key] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeAcquires returns the lock set of the function call targets:
+// same-package functions from the fixpoint, module dependencies from
+// their exported LockFact.
+func (c *checker) calleeAcquires(call *ast.CallExpr) map[string]bool {
+	obj := calleeObj(c.pass, call)
+	if obj == nil {
+		return nil
+	}
+	if set, ok := c.acquires[obj]; ok {
+		return set
+	}
+	pkg := obj.Pkg()
+	if pkg == nil || pkg == c.pass.Pkg || !obj.Exported() {
+		return nil
+	}
+	var fact LockFact
+	if !c.pass.ImportPackageFact(pkg.Path(), &fact) {
+		return nil
+	}
+	keys, ok := fact.Acquires[factFuncName(obj)]
+	if !ok {
+		return nil
+	}
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return set
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies call as a mutex acquisition or release and returns
+// the lock's structural key. fk scopes local-variable locks to their
+// function.
+func (c *checker) lockOp(call *ast.CallExpr, fk string) (string, lockOpKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	return c.lockKey(sel.X, fk), kind
+}
+
+// lockKey names the lock expression structurally so the same lock gets
+// the same key from any function in any package.
+func (c *checker) lockKey(x ast.Expr, fk string) string {
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		// A field selector: name it by the field's owning named type.
+		if tv, ok := c.pass.TypesInfo.Types[e.X]; ok {
+			if name, pkg := namedTypeOf(tv.Type); name != "" {
+				return pkg + "." + name + "." + e.Sel.Name
+			}
+		}
+		return fk + "." + e.Sel.Name
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[e]; obj != nil && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return pathBase(obj.Pkg().Path()) + "." + e.Name
+			}
+		}
+		return fk + "." + e.Name
+	case *ast.ParenExpr:
+		return c.lockKey(e.X, fk)
+	case *ast.StarExpr:
+		return c.lockKey(e.X, fk)
+	default:
+		return fk + "." + types.ExprString(x)
+	}
+}
+
+// walkStmts walks a statement list in order, threading the held set
+// through sequential statements; branch arms get independent copies.
+func (c *checker) walkStmts(stmts []ast.Stmt, held map[string]bool, fk string) {
+	for _, s := range stmts {
+		c.walkStmt(s, held, fk)
+	}
+}
+
+func (c *checker) walkStmt(s ast.Stmt, held map[string]bool, fk string) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		c.walkExpr(st.X, held, fk)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at function end: the lock stays in
+		// the held set for the remainder of the walk, which is exactly
+		// the ordering-relevant window. A deferred Lock would be odd;
+		// treat it as an acquisition at the defer site.
+		if key, op := c.lockOp(st.Call, fk); op == opLock {
+			c.acquire(key, st.Call.Pos(), held)
+		}
+		for _, a := range st.Call.Args {
+			c.walkExpr(a, held, fk)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine with its own stack
+		// of held locks.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			c.walkStmts(lit.Body.List, map[string]bool{}, fk)
+		}
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			c.walkExpr(r, held, fk)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.walkExpr(v, held, fk)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			c.walkExpr(r, held, fk)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held, fk)
+		}
+		c.walkExpr(st.Cond, held, fk)
+		c.walkStmts(st.Body.List, copySet(held), fk)
+		if st.Else != nil {
+			c.walkStmt(st.Else, copySet(held), fk)
+		}
+	case *ast.BlockStmt:
+		c.walkStmts(st.List, held, fk)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held, fk)
+		}
+		c.walkStmts(st.Body.List, copySet(held), fk)
+	case *ast.RangeStmt:
+		c.walkExpr(st.X, held, fk)
+		c.walkStmts(st.Body.List, copySet(held), fk)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held, fk)
+		}
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(cl.Body, copySet(held), fk)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(cl.Body, copySet(held), fk)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				c.walkStmts(cl.Body, copySet(held), fk)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(st.Stmt, held, fk)
+	}
+}
+
+// walkExpr handles lock operations and calls appearing in expression
+// position (the common `mu.Lock()` ExprStmt arrives here).
+func (c *checker) walkExpr(x ast.Expr, held map[string]bool, fk string) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		// Function literals in expression position run later; walk them
+		// with a fresh held set.
+		if lit, ok := x.(*ast.FuncLit); ok {
+			c.walkStmts(lit.Body.List, map[string]bool{}, fk)
+		}
+		return
+	}
+	if key, op := c.lockOp(call, fk); op != opNone {
+		switch op {
+		case opLock:
+			c.acquire(key, call.Pos(), held)
+		case opUnlock:
+			delete(held, key)
+		}
+		return
+	}
+	// An ordinary call: every lock the callee acquires is ordered after
+	// every lock currently held.
+	for key := range c.calleeAcquires(call) {
+		if held[key] {
+			c.pass.Reportf(call.Pos(),
+				"call acquires %s, which is already held here (self-deadlock: sync mutexes are not reentrant)", key)
+			continue
+		}
+		c.recordEdges(key, call.Pos(), held)
+	}
+	for _, a := range call.Args {
+		c.walkExpr(a, held, fk)
+	}
+}
+
+func (c *checker) acquire(key string, pos token.Pos, held map[string]bool) {
+	if held[key] {
+		c.pass.Reportf(pos,
+			"%s is acquired while already held (self-deadlock: sync mutexes are not reentrant)", key)
+		return
+	}
+	c.recordEdges(key, pos, held)
+	held[key] = true
+}
+
+func (c *checker) recordEdges(to string, pos token.Pos, held map[string]bool) {
+	for from := range held {
+		c.edges = append(c.edges, edge{
+			from: from, to: to, pos: pos,
+			where: c.pass.Fset.Position(pos).String(),
+		})
+	}
+}
+
+// reportInversions flags every lock pair ordered both ways, merging in
+// the edges dependency packages exported as facts.
+func (c *checker) reportInversions() {
+	type key struct{ from, to string }
+	foreign := make(map[key]string) // dep edge → its recorded position
+	c.pass.AllPackageFacts(func(path string, f analysis.Fact) {
+		lf, ok := f.(*LockFact)
+		if !ok {
+			return
+		}
+		for _, e := range lf.Edges {
+			k := key{e.From, e.To}
+			if _, dup := foreign[k]; !dup {
+				foreign[k] = e.Where
+			}
+		}
+	})
+
+	local := make(map[key]edge)
+	for _, e := range c.edges {
+		k := key{e.from, e.to}
+		if old, ok := local[k]; !ok || e.pos < old.pos {
+			local[k] = e
+		}
+	}
+
+	reported := make(map[key]bool)
+	for k, e := range local {
+		rev := key{k.to, k.from}
+		if k.from == k.to || reported[k] || reported[rev] {
+			continue
+		}
+		if other, ok := local[rev]; ok {
+			// Report at the lexically later site so the fixture want
+			// comment sits on the inverting acquisition.
+			at, ref := e, other
+			if ref.pos > at.pos {
+				at, ref = ref, at
+			}
+			c.pass.Reportf(at.pos,
+				"lock order inversion: %s acquired while holding %s, but %s acquires them in the opposite order (deadlock risk)",
+				at.to, at.from, ref.where)
+			reported[k], reported[rev] = true, true
+			continue
+		}
+		if where, ok := foreign[rev]; ok {
+			c.pass.Reportf(e.pos,
+				"lock order inversion: %s acquired while holding %s, but %s acquires them in the opposite order (deadlock risk)",
+				e.to, e.from, where)
+			reported[k], reported[rev] = true, true
+		}
+	}
+}
+
+// exportFact publishes this package's edges and exported functions'
+// acquire sets for importing packages.
+func (c *checker) exportFact() {
+	fact := &LockFact{Acquires: make(map[string][]string)}
+	seen := make(map[FactEdge]bool)
+	for _, e := range c.edges {
+		fe := FactEdge{From: e.from, To: e.to, Where: e.where}
+		if !seen[fe] {
+			seen[fe] = true
+			fact.Edges = append(fact.Edges, fe)
+		}
+	}
+	sort.Slice(fact.Edges, func(i, j int) bool {
+		a, b := fact.Edges[i], fact.Edges[j]
+		return a.From+"\x00"+a.To < b.From+"\x00"+b.To
+	})
+	for obj, set := range c.acquires {
+		if !obj.Exported() || len(set) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fact.Acquires[factFuncName(obj)] = keys
+	}
+	if len(fact.Edges) == 0 && len(fact.Acquires) == 0 {
+		return
+	}
+	if err := c.pass.ExportPackageFact(fact); err != nil {
+		c.pass.Reportf(token.NoPos, "exporting lock facts: %v", err)
+	}
+}
+
+// calleeObj resolves the called function, if it is a declared function
+// or method (not a builtin, conversion, or function value).
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// funcKey names a function for scoping local locks, e.g.
+// "service.(*Service).Optimize".
+func funcKey(obj *types.Func) string {
+	return pathBase(obj.Pkg().Path()) + "." + factFuncName(obj)
+}
+
+// factFuncName is the package-relative function name used in facts:
+// "Func" or "Type.Method".
+func factFuncName(obj *types.Func) string {
+	sig := obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if name, _ := namedTypeOf(recv.Type()); name != "" {
+			return name + "." + obj.Name()
+		}
+	}
+	return obj.Name()
+}
+
+// namedTypeOf unwraps pointers and returns the named type's name and
+// its package path base, or "" for unnamed types.
+func namedTypeOf(t types.Type) (name, pkg string) {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Name(), pathBase(named.Obj().Pkg().Path())
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+// Fixture: mutexes must be acquired in one consistent order. The
+// canonical order here is Store.mu before Index.mu; the inverted
+// function and the re-acquisitions are the flagged patterns.
+package locks
+
+import "sync"
+
+type Store struct{ mu sync.Mutex }
+
+type Index struct{ mu sync.Mutex }
+
+var store Store
+
+var index Index
+
+// Canonical establishes the Store.mu → Index.mu order.
+func Canonical() {
+	store.mu.Lock()
+	index.mu.Lock()
+	index.mu.Unlock()
+	store.mu.Unlock()
+}
+
+// DeferHeld keeps the same order with a deferred unlock; the lock is
+// held to function end but never inverted.
+func DeferHeld() {
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	index.mu.Lock()
+	index.mu.Unlock()
+}
+
+// lockIndex is a helper whose acquisitions propagate to callers.
+func lockIndex() {
+	index.mu.Lock()
+	index.mu.Unlock()
+}
+
+// ViaCall acquires Index.mu through the helper while holding Store.mu —
+// same direction as Canonical, so allowed.
+func ViaCall() {
+	store.mu.Lock()
+	lockIndex()
+	store.mu.Unlock()
+}
+
+// Inverted takes the pair in the opposite order: a latent deadlock
+// against Canonical.
+func Inverted() {
+	index.mu.Lock()
+	store.mu.Lock() // want `lock order inversion`
+	store.mu.Unlock()
+	index.mu.Unlock()
+}
+
+// Recursive re-acquires a non-reentrant mutex directly.
+func Recursive() {
+	store.mu.Lock()
+	store.mu.Lock() // want `self-deadlock`
+	store.mu.Unlock()
+	store.mu.Unlock()
+}
+
+// lockStore is a helper that takes Store.mu.
+func lockStore() {
+	store.mu.Lock()
+	store.mu.Unlock()
+}
+
+// SelfViaCall re-acquires Store.mu through a helper call.
+func SelfViaCall() {
+	store.mu.Lock()
+	lockStore() // want `self-deadlock`
+	store.mu.Unlock()
+}
+
+// Branches walks each arm with its own held set: the else arm's
+// acquisition is not ordered against the if arm's.
+func Branches(flip bool) {
+	if flip {
+		store.mu.Lock()
+		store.mu.Unlock()
+	} else {
+		index.mu.Lock()
+		index.mu.Unlock()
+	}
+}
+
+// Spawned goroutine bodies run on their own stack of held locks; no
+// edge from Store.mu to Index.mu is recorded here... and the reverse
+// order inside the literal is real code the analyzer must not conflate
+// with the spawner's held set.
+func SpawnedIndependent(done chan struct{}) {
+	store.mu.Lock()
+	go func() {
+		index.mu.Lock()
+		index.mu.Unlock()
+		close(done)
+	}()
+	store.mu.Unlock()
+}

@@ -1,0 +1,271 @@
+// Package obsname enforces the observability naming contract: every
+// metric and trace-span name handed to the registry is a package-
+// prefixed dotted.snake named constant, registered once. Inline string
+// literals invite the failure mode metrics cannot recover from — a
+// typo'd near-duplicate silently forks a counter, and dashboards sum
+// neither half. Named constants make the name greppable and reusable;
+// the package prefix makes collisions structurally impossible unless
+// two packages really do claim the same name, which the cross-package
+// fact check then flags.
+//
+// Checked call shapes (by name and receiver type, so fixtures can model
+// them without importing internal/obs):
+//
+//	reg.Counter(name) / reg.Gauge(name) / reg.Histogram(name)   — receiver type named Registry
+//	StartTraceSpan(ctx, name, category)                          — any package-level function of that name
+//
+// The name argument must be a use of a named string constant, or
+// `constPrefix + expr` where constPrefix is a named constant ending in
+// "." (the dynamic-family form, e.g. httpErrors + code). The constant's
+// value must match `pkg.part` / `pkg.part.part…` in lower snake, with
+// the first segment equal to the defining package's name.
+//
+// Registry.StartSpan is exempt: its stage names label manifest Stages
+// ("profile", "sweep"), a different namespace pinned by goldens. The
+// internal/obs package itself and _test.go files are exempt.
+package obsname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"partitionshare/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsname",
+	Doc: "metric/span names must be package-prefixed dotted.snake named " +
+		"constants registered once; inline or duplicate names fork counters",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*MetricFact)(nil)},
+}
+
+// A MetricFact maps each metric/span name a package registers to the
+// qualified identifier of the defining constant ("pkgpath.ConstName"),
+// so importing packages can flag a second registration of the same name
+// through a different constant while still allowing a shared constant
+// to be used from anywhere.
+type MetricFact struct {
+	Names map[string]string
+}
+
+func (*MetricFact) AFact() {}
+
+var (
+	nameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+	prefixRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*\.$`)
+)
+
+type registration struct {
+	obj  *types.Const
+	desc string // "constName (file:line)" of the defining constant
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	registered := make(map[string]registration)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Package) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if arg, ok := nameArg(pass, call); ok {
+				checkName(pass, arg, registered)
+			}
+			return true
+		})
+	}
+
+	// Cross-package duplicates: a name some dependency already exported
+	// under a *different* constant. Re-using the dependency's own
+	// exported constant is the sanctioned sharing pattern and passes.
+	depNames := make(map[string]string) // name → qualified defining const
+	pass.AllPackageFacts(func(path string, fact analysis.Fact) {
+		mf, ok := fact.(*MetricFact)
+		if !ok {
+			return
+		}
+		for name, qual := range mf.Names {
+			if _, dup := depNames[name]; !dup {
+				depNames[name] = qual
+			}
+		}
+	})
+	names := make([]string, 0, len(registered))
+	for name := range registered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		reg := registered[name]
+		if prior, ok := depNames[name]; ok && prior != qualifiedConst(reg.obj) {
+			pass.Reportf(reg.obj.Pos(),
+				"metric name %q is already registered via %s; a name must be registered once — share that constant or rename", name, prior)
+		}
+	}
+
+	if len(registered) > 0 {
+		fact := &MetricFact{Names: make(map[string]string, len(registered))}
+		for name, reg := range registered {
+			fact.Names[name] = qualifiedConst(reg.obj)
+		}
+		if err := pass.ExportPackageFact(fact); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// qualifiedConst names a constant unambiguously across packages.
+func qualifiedConst(obj *types.Const) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// nameArg extracts the name argument of a checked registration call,
+// or ok=false if call is not one.
+func nameArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Unqualified call: a package-local StartTraceSpan helper.
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "StartTraceSpan" && len(call.Args) >= 2 {
+			return call.Args[1], true
+		}
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+		if len(call.Args) < 1 {
+			return nil, false
+		}
+		// Receiver must be the metrics registry, by type name so
+		// fixtures can model it.
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isRegistry(tv.Type) {
+			return call.Args[0], true
+		}
+	case "StartTraceSpan":
+		if len(call.Args) >= 2 {
+			return call.Args[1], true
+		}
+	}
+	return nil, false
+}
+
+func isRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// checkName validates one name argument and records full-name constant
+// registrations for duplicate detection.
+func checkName(pass *analysis.Pass, arg ast.Expr, registered map[string]registration) {
+	// Dynamic family: constPrefix + expr, validated on the prefix only.
+	if be, ok := arg.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		left := be.X
+		for {
+			inner, ok := left.(*ast.BinaryExpr)
+			if !ok || inner.Op != token.ADD {
+				break
+			}
+			left = inner.X
+		}
+		obj := constOf(pass, left)
+		if obj == nil {
+			pass.Reportf(arg.Pos(),
+				"dynamic metric name must start with a named constant prefix ending in \".\"")
+			return
+		}
+		val := constant.StringVal(obj.Val())
+		if !prefixRE.MatchString(val) {
+			pass.Reportf(arg.Pos(),
+				"metric name prefix %q must be dotted.snake ending in \".\"", val)
+			return
+		}
+		checkPkgPrefix(pass, arg, obj, val)
+		return
+	}
+
+	obj := constOf(pass, arg)
+	if obj == nil {
+		pass.Reportf(arg.Pos(),
+			"metric/span name must be a named constant, not an inline or computed string")
+		return
+	}
+	val := constant.StringVal(obj.Val())
+	if !nameRE.MatchString(val) {
+		pass.Reportf(arg.Pos(),
+			"metric name %q must be package-prefixed dotted.snake (e.g. %q)", val, "pkg.some_metric")
+		return
+	}
+	checkPkgPrefix(pass, arg, obj, val)
+
+	if prior, ok := registered[val]; ok {
+		if prior.obj != obj {
+			pass.Reportf(arg.Pos(),
+				"metric name %q is also declared as %s; two constants with one name silently share a counter — use one constant", val, prior.desc)
+		}
+		return
+	}
+	pos := pass.Fset.Position(obj.Pos())
+	registered[val] = registration{
+		obj:  obj,
+		desc: obj.Name() + " (" + pos.Filename + ":" + strconv.Itoa(pos.Line) + ")",
+	}
+}
+
+// checkPkgPrefix requires the name's first segment to be the defining
+// package's name, so every package owns a distinct namespace.
+func checkPkgPrefix(pass *analysis.Pass, arg ast.Expr, obj *types.Const, val string) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		pkg = pass.Pkg
+	}
+	want := pathBase(pkg.Path())
+	seg, _, _ := strings.Cut(val, ".")
+	if seg != want {
+		pass.Reportf(arg.Pos(),
+			"metric name %q must be prefixed with its package's namespace %q", val, want+".")
+	}
+}
+
+// constOf resolves arg to a named string constant, or nil.
+func constOf(pass *analysis.Pass, arg ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := arg.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok || obj.Val() == nil || obj.Val().Kind() != constant.String {
+		return nil
+	}
+	return obj
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

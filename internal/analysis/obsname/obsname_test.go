@@ -1,0 +1,12 @@
+package obsname_test
+
+import (
+	"testing"
+
+	"partitionshare/internal/analysis/analysistest"
+	"partitionshare/internal/analysis/obsname"
+)
+
+func TestObsName(t *testing.T) {
+	analysistest.Run(t, obsname.Analyzer, "obsnames")
+}

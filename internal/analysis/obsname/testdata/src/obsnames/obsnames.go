@@ -1,0 +1,58 @@
+// Fixture: metric/span names must be package-prefixed dotted.snake
+// named constants registered once. The Registry type and StartTraceSpan
+// function model internal/obs's surface by shape (the source importer
+// cannot load other fixture packages). The inline-literal and legacy
+// underscore cases reproduce real pre-PR8 violations: internal/service
+// passed "service.plan.requests" inline, and internal/partition used
+// undotted names like "partition_solves_total".
+package obsnames
+
+import "context"
+
+type Registry struct{}
+
+type Metric struct{}
+
+func (r *Registry) Counter(name string) *Metric   { return nil }
+func (r *Registry) Gauge(name string) *Metric     { return nil }
+func (r *Registry) Histogram(name string) *Metric { return nil }
+
+func StartTraceSpan(ctx context.Context, name, category string) func() { return func() {} }
+
+const (
+	mSolves     = "obsnames.solves"
+	mSolvesDup  = "obsnames.solves" // second constant, same name: flagged at use
+	mBadCase    = "ObsNames.Bad"
+	mOtherNS    = "other.solves"
+	mLegacy     = "obsnames_solves_total" // undotted legacy shape (pre-PR8 partition counters)
+	mHTTPPrefix = "obsnames.http.errors."
+	mBadPrefix  = "obsnames.http_errors" // prefix must end in "."
+	sSpan       = "obsnames.profile"
+)
+
+var reg Registry
+
+func Good(ctx context.Context, code string) {
+	reg.Counter(mSolves)
+	reg.Counter(mSolves) // same constant again: one registration, fine
+	reg.Histogram(mHTTPPrefix + code)
+	done := StartTraceSpan(ctx, sSpan, "pipeline")
+	done()
+}
+
+func Bad(ctx context.Context, code string) {
+	reg.Counter("obsnames.plan.requests")        // want `named constant`
+	reg.Gauge(mBadCase)                          // want `dotted.snake`
+	reg.Counter(mLegacy)                         // want `dotted.snake`
+	reg.Histogram(mOtherNS)                      // want `namespace`
+	reg.Counter(mSolvesDup)                      // want `use one constant`
+	reg.Counter(mBadPrefix + code)               // want `ending in`
+	StartTraceSpan(ctx, "obsnames.span", "line") // want `named constant`
+}
+
+// Suppressed carries a name through a parameter — not provable as a
+// constant, so it needs an explained suppression (the simSpan shape in
+// internal/cachesim).
+func Suppressed(name string) {
+	reg.Counter(name) //vetkit:ignore(obsname): name is forwarded from per-simulator constants
+}

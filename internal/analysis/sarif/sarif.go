@@ -1,0 +1,154 @@
+// Package sarif renders vetkit findings as a SARIF 2.1.0 document — the
+// Static Analysis Results Interchange Format GitHub code scanning
+// ingests for inline pull-request annotations. Only the small subset of
+// the schema those annotations need is emitted: one run, one tool with
+// its rule catalogue, and one result per diagnostic with a physical
+// location relative to the SRCROOT uri base (the checkout root in CI).
+//
+// The output is deterministic — results are sorted by file, line,
+// column, then rule — so a golden-file test can pin the exact shape.
+package sarif
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// A Rule describes one analyzer in the tool's rule catalogue.
+type Rule struct {
+	ID  string
+	Doc string
+}
+
+// A Result is one diagnostic at a file position. File must be a
+// forward-slash path relative to the repository root.
+type Result struct {
+	RuleID  string
+	Message string
+	File    string
+	Line    int
+	Column  int
+}
+
+// The sarif* types mirror the fragment of the SARIF 2.1.0 schema we
+// emit; field order here is the serialization order.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// Report renders rules and results as an indented SARIF 2.1.0 document
+// ending in a newline. Rules are sorted by ID and results by position,
+// so identical findings always produce byte-identical output.
+func Report(toolName string, rules []Rule, results []Result) ([]byte, error) {
+	sortedRules := append([]Rule(nil), rules...)
+	sort.Slice(sortedRules, func(i, j int) bool { return sortedRules[i].ID < sortedRules[j].ID })
+	sortedResults := append([]Result(nil), results...)
+	sort.Slice(sortedResults, func(i, j int) bool {
+		a, b := sortedResults[i], sortedResults[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.RuleID < b.RuleID
+	})
+
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name:  toolName,
+			Rules: make([]sarifRule, 0, len(sortedRules)),
+		}},
+		// Empty slice, not nil: the schema requires "results" even when
+		// the run is clean.
+		Results: []sarifResult{},
+	}
+	for _, r := range sortedRules {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               r.ID,
+			ShortDescription: sarifMessage{Text: r.Doc},
+		})
+	}
+	for _, r := range sortedResults {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  r.RuleID,
+			Level:   "error",
+			Message: sarifMessage{Text: r.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       r.File,
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{StartLine: r.Line, StartColumn: r.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

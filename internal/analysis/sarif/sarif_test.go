@@ -1,0 +1,67 @@
+package sarif_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"partitionshare/internal/analysis/sarif"
+)
+
+// TestGolden pins the exact SARIF 2.1.0 shape vetkit emits: schema and
+// version strings, rule catalogue ordering, result ordering, SRCROOT
+// uri base. Regenerate deliberately with UPDATE_GOLDEN=1 when the
+// format changes on purpose.
+func TestGolden(t *testing.T) {
+	rules := []sarif.Rule{
+		{ID: "obsname", Doc: "metric/span names must be registered constants"},
+		{ID: "lockorder", Doc: "mutexes must be acquired in one consistent order"},
+	}
+	results := []sarif.Result{
+		{
+			RuleID:  "obsname",
+			Message: `metric/span name must be a named constant, not an inline or computed string (obsname)`,
+			File:    "internal/service/service.go",
+			Line:    42,
+			Column:  17,
+		},
+		{
+			RuleID:  "lockorder",
+			Message: "lock order inversion: service.Service.mu acquired while holding service.Store.mu (lockorder)",
+			File:    "internal/service/http.go",
+			Line:    7,
+			Column:  2,
+		},
+	}
+	got, err := sarif.Report("vetkit", rules, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("SARIF output diverged from golden %s:\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestEmptyRunHasResultsArray guards the schema requirement that a
+// clean run still carries an (empty) results array.
+func TestEmptyRunHasResultsArray(t *testing.T) {
+	got, err := sarif.Report("vetkit", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"results": []`; !strings.Contains(string(got), want) {
+		t.Fatalf("clean report lacks %s:\n%s", want, got)
+	}
+}

@@ -18,7 +18,9 @@ package benchsuite
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"testing"
 
 	"partitionshare/internal/experiment"
@@ -340,6 +342,23 @@ func (s *Suite) Benches() []Bench {
 		},
 	})
 	return benches
+}
+
+// VetkitSelfRunBench measures one full vetkit pass over the repository
+// (go run ./cmd/vetkit ./...), the wall time CI pays for the tier-1
+// static-analysis gate. It is not part of Benches(): it shells out to
+// the go toolchain and needs the repository root as working directory,
+// so only cmd/benchsnap records it (as "VetkitSelfRun").
+func VetkitSelfRunBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cmd := exec.Command("go", "run", "./cmd/vetkit", "./...")
+			cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+			if err := cmd.Run(); err != nil {
+				b.Fatalf("vetkit self-run: %v", err)
+			}
+		}
+	}
 }
 
 // Run measures every benchmark once and returns name → ns/op. progress,

@@ -9,12 +9,24 @@ import (
 	"partitionshare/internal/trace"
 )
 
+// Observability names, package-prefixed dotted.snake per the obsname
+// registry convention. The simulators pass their span constant through
+// simSpan, so each name still appears exactly once.
+const (
+	spanShared          = "cachesim.shared"
+	spanPartitioned     = "cachesim.partitioned"
+	spanPartitionShared = "cachesim.partition_shared"
+
+	mAccesses = "cachesim.accesses"
+	mMisses   = "cachesim.misses"
+)
+
 // simSpan opens a root trace span for one simulation. The simulators
 // take no context (they are pure CPU loops called from study helpers),
 // so their spans are parentless — they still land on the caller
 // goroutine's default lane and show where co-run simulation time goes.
 func simSpan(name string) *obs.TraceSpan {
-	_, ts := obs.StartTraceSpan(context.Background(), name, "sim")
+	_, ts := obs.StartTraceSpan(context.Background(), name, "sim") //vetkit:ignore(obsname): name is forwarded verbatim from the span constants above
 	return ts
 }
 
@@ -22,8 +34,8 @@ func simSpan(name string) *obs.TraceSpan {
 // pair of atomic adds per simulated trace, never per access.
 func countSim(accesses, misses int64) {
 	if reg := obs.Enabled(); reg != nil {
-		reg.Counter("cachesim_accesses_total").Add(accesses)
-		reg.Counter("cachesim_misses_total").Add(misses)
+		reg.Counter(mAccesses).Add(accesses)
+		reg.Counter(mMisses).Add(misses)
 	}
 }
 
@@ -80,7 +92,7 @@ func SimulateShared(iv trace.Interleaved, capacity, warmup int) CoRunResult {
 	if warmup < 0 || warmup >= len(iv.Trace) {
 		panic(fmt.Sprintf("cachesim: warmup %d out of range for trace of %d", warmup, len(iv.Trace)))
 	}
-	ts := simSpan("cachesim.shared")
+	ts := simSpan(spanShared)
 	defer ts.Arg("accesses", int64(len(iv.Trace))).End()
 	res := CoRunResult{
 		Accesses:      make([]int64, nprogs),
@@ -173,7 +185,7 @@ func SimulatePartitioned(traces []trace.Trace, capacities []int) PartitionResult
 	if len(traces) != len(capacities) {
 		panic(fmt.Sprintf("cachesim: %d traces but %d capacities", len(traces), len(capacities)))
 	}
-	ts := simSpan("cachesim.partitioned")
+	ts := simSpan(spanPartitioned)
 	defer ts.End()
 	res := PartitionResult{
 		Accesses: make([]int64, len(traces)),
@@ -220,7 +232,7 @@ func SimulatePartitionShared(iv trace.Interleaved, groups [][]int, capacities []
 			panic(fmt.Sprintf("cachesim: program %d not in any group", p))
 		}
 	}
-	ts := simSpan("cachesim.partition_shared")
+	ts := simSpan(spanPartitionShared)
 	defer ts.Arg("accesses", int64(len(iv.Trace))).End()
 	res := CoRunResult{
 		Accesses:      make([]int64, nprogs),

@@ -94,7 +94,7 @@ func (c *Checkpoint) validate() error {
 func ReadCheckpoint(path string) (*Checkpoint, error) {
 	// A root span: loads happen at command startup, before any stage
 	// context exists.
-	_, ts := obs.StartTraceSpan(context.Background(), "checkpoint.load", "checkpoint")
+	_, ts := obs.StartTraceSpan(context.Background(), spanCheckpointLoad, "checkpoint")
 	defer ts.End()
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -107,7 +107,7 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	if err := c.validate(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	obs.Enabled().Counter("experiment_checkpoint_loads_total").Inc()
+	obs.Enabled().Counter(mCheckpointLoads).Inc()
 	ts.Arg("groups", int64(len(c.Groups)))
 	obs.Logger().Debug("checkpoint loaded", "path", path, "groups", len(c.Groups))
 	return &c, nil
@@ -220,7 +220,7 @@ func (c *checkpointer) run() {
 // lexicographic group order, which makes checkpoint bytes deterministic
 // for a given completion set.
 func (c *checkpointer) flush() error {
-	_, ts := obs.StartTraceSpan(c.ctx, "checkpoint.flush", "checkpoint")
+	_, ts := obs.StartTraceSpan(c.ctx, spanCheckpointFlush, "checkpoint")
 	defer ts.End()
 	snap := &Checkpoint{
 		Version:       CheckpointVersion,
@@ -238,7 +238,7 @@ func (c *checkpointer) flush() error {
 	if err := WriteCheckpoint(c.path, snap); err != nil {
 		return err
 	}
-	obs.Enabled().Counter("experiment_checkpoint_flushes_total").Inc()
+	obs.Enabled().Counter(mCheckpointFlushes).Inc()
 	obs.Logger().Debug("checkpoint flushed", "path", c.path, "groups", len(snap.Groups))
 	return nil
 }

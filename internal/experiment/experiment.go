@@ -23,6 +23,23 @@ import (
 	"partitionshare/internal/workload"
 )
 
+// Observability names for the sweep, package-prefixed dotted.snake per
+// the obsname registry convention.
+const (
+	spanGroup           = "experiment.group"
+	spanDPSolve         = "experiment.dp_solve"
+	spanCheckpointLoad  = "experiment.checkpoint_load"
+	spanCheckpointFlush = "experiment.checkpoint_flush"
+
+	mGroupsCompleted   = "experiment.groups_completed"
+	mGroupsFailed      = "experiment.groups_failed"
+	mGroupsResumed     = "experiment.groups_resumed"
+	mGroups            = "experiment.groups"
+	mGroupNS           = "experiment.group_ns"
+	mCheckpointLoads   = "experiment.checkpoint_loads"
+	mCheckpointFlushes = "experiment.checkpoint_flushes"
+)
+
 // Scheme identifies one of the evaluated allocation policies.
 type Scheme int
 
@@ -166,7 +183,8 @@ func CostTable(progs []workload.Program, units int) [][]float64 {
 // evaluateGroup is EvaluateGroup with an optional precomputed cost table
 // indexed by program (not group-member) position. ctx carries the trace
 // parent (the worker's group span during a sweep), so each scheme's DP
-// solve renders as a child "dp.solve" span in -trace-events timelines.
+// solve renders as a child "experiment.dp_solve" span in -trace-events
+// timelines.
 // solver selects the DP strategy for every scheme's solve; rungs an
 // instance cannot certify (the baseline-constrained problems, small C)
 // fall through to the exact kernel, so any value is safe here.
@@ -220,7 +238,7 @@ func evaluateGroup(ctx context.Context, progs []workload.Program, members []int,
 	// solveSpan traces one scheme's DP solve; a nil tracer makes this an
 	// atomic load per scheme, nothing more.
 	solveSpan := func(s Scheme) *obs.TraceSpan {
-		_, ts := obs.StartTraceSpan(ctx, "dp.solve", "dp")
+		_, ts := obs.StartTraceSpan(ctx, spanDPSolve, "dp")
 		return ts.Arg("scheme", int64(s))
 	}
 
@@ -394,12 +412,12 @@ func Run(ctx context.Context, progs []workload.Program, groupSize, units int, bl
 	// Metric handles are resolved once per run; with the registry
 	// disabled every handle is nil and each use below is a nil check.
 	reg := obs.Enabled()
-	completedCtr := reg.Counter("experiment_groups_completed_total")
-	failedCtr := reg.Counter("experiment_groups_failed_total")
-	groupHist := reg.Histogram("experiment_group_ns", obs.DurationBuckets())
+	completedCtr := reg.Counter(mGroupsCompleted)
+	failedCtr := reg.Counter(mGroupsFailed)
+	groupHist := reg.Histogram(mGroupNS, obs.DurationBuckets())
 	resumed := len(groups) - len(pending)
-	reg.Counter("experiment_groups_resumed_total").Add(int64(resumed))
-	reg.Gauge("experiment_groups_total").Set(int64(len(groups)))
+	reg.Counter(mGroupsResumed).Add(int64(resumed))
+	reg.Gauge(mGroups).Set(int64(len(groups)))
 
 	// processed counts resumed + completed + failed groups; workers
 	// publish it through OnProgress after every group.
@@ -458,7 +476,7 @@ func Run(ctx context.Context, progs []workload.Program, groupSize, units int, bl
 				if reg != nil {
 					start = time.Now()
 				}
-				gctx, gspan := obs.StartTraceSpan(laneCtx, "experiment.group", "sweep")
+				gctx, gspan := obs.StartTraceSpan(laneCtx, spanGroup, "sweep")
 				gr, err := evaluateGroupSafe(gctx, progs, groups[g], units, blocksPerUnit, costTab, opts.Solver)
 				gspan.Arg("group", int64(g)).End()
 				if reg != nil {

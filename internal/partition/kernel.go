@@ -8,6 +8,24 @@ import (
 	"partitionshare/internal/obs"
 )
 
+// Observability names for the DP core, package-prefixed dotted.snake per
+// the obsname registry convention. Each metric/span name is declared
+// exactly once and shared by every solve path.
+const (
+	spanSolve   = "partition.solve"
+	spanDPLayer = "partition.dp_layer"
+
+	mSolves           = "partition.solves"
+	mDPCells          = "partition.dp_cells"
+	mPathRefineSolves = "partition.path_refine_solves"
+	mRefineBandCells  = "partition.refine_band_cells"
+	mRefineFallbacks  = "partition.refine_fallbacks"
+	mPathDCLayers     = "partition.path_dc_layers"
+	mPathExactLayers  = "partition.path_exact_layers"
+	mPoolWorkerLayers = "partition.pool_worker_layers"
+	mPoolWorkerCells  = "partition.pool_worker_cells"
+)
+
 // This file holds the DP core shared by Optimize, OptimizeParallel, and
 // (through Optimize) OptimizeWithBaseline and the other constrained
 // optimizers. The kernel computes one layer of the Eq. 16 recurrence in
@@ -442,7 +460,7 @@ func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 	var path solvePath
 	if ctx != nil {
 		var ps *obs.TraceSpan
-		ctx, ps = obs.StartTraceSpan(ctx, "partition.solve", "dp")
+		ctx, ps = obs.StartTraceSpan(ctx, spanSolve, "dp")
 		defer func() {
 			ps.Arg("programs", int64(n)).Arg("units", int64(C)).
 				Arg("dc_layers", int64(path.dcLayers)).
@@ -529,12 +547,12 @@ func solve(ctx context.Context, pr *Problem, workers int) (Solution, error) {
 			(mode == SolverDC || hi-lo+1 >= dcAutoMinWindow)
 		switch {
 		case useDC:
-			_, ls := obs.StartTraceSpan(ctx, "dp.layer", "dp")
+			_, ls := obs.StartTraceSpan(ctx, spanDPLayer, "dp")
 			dcLayer(&spec, &path)
 			ls.Arg("layer", int64(p)).Arg("dc", 1).End()
 			path.dcLayers++
 		case pool != nil:
-			_, ls := obs.StartTraceSpan(ctx, "dp.layer", "dp")
+			_, ls := obs.StartTraceSpan(ctx, spanDPLayer, "dp")
 			pool.runLayer(&spec)
 			ls.Arg("layer", int64(p)).End()
 			path.exactLayers++
@@ -561,20 +579,20 @@ func finishSolve(pr *Problem, s *scratch, C int, minimax bool, path *solvePath) 
 	// is a single nil check, and even enabled it is a handful of atomic
 	// adds for the whole solve — the sweep's hot path stays untouched.
 	if reg := obs.Enabled(); reg != nil {
-		reg.Counter("partition_solves_total").Inc()
-		reg.Counter("partition_dp_cells_total").Add(path.cells)
+		reg.Counter(mSolves).Inc()
+		reg.Counter(mDPCells).Add(path.cells)
 		if path.refine {
-			reg.Counter("partition_path_refine_solves_total").Inc()
-			reg.Counter("partition_refine_band_cells_total").Add(path.bandCells)
+			reg.Counter(mPathRefineSolves).Inc()
+			reg.Counter(mRefineBandCells).Add(path.bandCells)
 		}
 		if path.refineFallback {
-			reg.Counter("partition_refine_fallback_total").Inc()
+			reg.Counter(mRefineFallbacks).Inc()
 		}
 		if path.dcLayers > 0 {
-			reg.Counter("partition_path_dc_layers_total").Add(int64(path.dcLayers))
+			reg.Counter(mPathDCLayers).Add(int64(path.dcLayers))
 		}
 		if path.exactLayers > 0 {
-			reg.Counter("partition_path_exact_layers_total").Add(int64(path.exactLayers))
+			reg.Counter(mPathExactLayers).Add(int64(path.exactLayers))
 		}
 	}
 

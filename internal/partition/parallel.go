@@ -83,8 +83,8 @@ func (p *dpPool) helper(i int) {
 		p.wg.Done()
 	}
 	if reg := obs.Enabled(); reg != nil && layers > 0 {
-		reg.Counter("partition_pool_worker_layers_total").Add(layers)
-		reg.Counter("partition_pool_worker_cells_total").Add(cells)
+		reg.Counter(mPoolWorkerLayers).Add(layers)
+		reg.Counter(mPoolWorkerCells).Add(cells)
 	}
 }
 

@@ -11,6 +11,18 @@ import (
 	"partitionshare/internal/trace"
 )
 
+// Observability names for the parallel collector, package-prefixed
+// dotted.snake per the obsname registry convention.
+const (
+	spanCollectParallel = "reuse.collect_parallel"
+	spanShard           = "reuse.shard"
+
+	mWorkerAccesses   = "reuse.worker_accesses"
+	mParallelCollects = "reuse.parallel_collects"
+	mShards           = "reuse.shards"
+	mBoundaryReuses   = "reuse.boundary_reuses"
+)
+
 // minShardLen is the smallest trace segment worth a goroutine; below
 // 2×minShardLen the serial scan wins outright.
 const minShardLen = 1 << 15
@@ -54,7 +66,7 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 		return Collect(t), nil
 	}
 	n := len(t)
-	ctx, cps := obs.StartTraceSpan(ctx, "reuse.collect_parallel", "profile")
+	ctx, cps := obs.StartTraceSpan(ctx, spanCollectParallel, "profile")
 	defer cps.Arg("workers", int64(workers)).End()
 
 	// One watcher flips the flag on cancellation; shards poll it every
@@ -86,7 +98,7 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 		wg.Add(1)
 		go func(s, start, end int) {
 			defer wg.Done()
-			_, ss := obs.StartTraceSpan(obs.WithTraceLane(ctx, int64(s+1)), "reuse.shard", "profile")
+			_, ss := obs.StartTraceSpan(obs.WithTraceLane(ctx, int64(s+1)), spanShard, "profile")
 			defer ss.Arg("accesses", int64(end-start)).End()
 			seg := t[start:end]
 			var maxAddr uint32
@@ -116,7 +128,7 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 			// Per-worker tally: one batched add per completed shard, so
 			// the scan loop itself carries no instrumentation cost.
 			if reg := obs.Enabled(); reg != nil {
-				reg.Counter("reuse_worker_accesses_total").Add(int64(end - start))
+				reg.Counter(mWorkerAccesses).Add(int64(end - start))
 			}
 		}(s, start, end)
 	}
@@ -156,9 +168,9 @@ func CollectParallel(ctx context.Context, t trace.Trace, workers int) (Profile, 
 		})
 	}
 	if reg := obs.Enabled(); reg != nil {
-		reg.Counter("reuse_parallel_collects_total").Inc()
-		reg.Counter("reuse_shards_total").Add(int64(workers))
-		reg.Counter("reuse_boundary_reuses_total").Add(boundary)
+		reg.Counter(mParallelCollects).Inc()
+		reg.Counter(mShards).Add(int64(workers))
+		reg.Counter(mBoundaryReuses).Add(boundary)
 	}
 	lastHist := make([]int32, n+1)
 	global.each(func(_ uint32, p int32) {

@@ -60,7 +60,7 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	select {
 	case l.queue <- struct{}{}:
 	default:
-		obs.Enabled().Counter("service.admission.shed").Add(1)
+		obs.Enabled().Counter(mAdmissionShed).Add(1)
 		return ErrOverloaded
 	}
 	defer func() { <-l.queue }()
@@ -68,7 +68,7 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	case l.slots <- struct{}{}:
 		return nil
 	case <-ctx.Done():
-		obs.Enabled().Counter("service.admission.deadline_in_queue").Add(1)
+		obs.Enabled().Counter(mAdmissionDeadlineInQueue).Add(1)
 		return fmt.Errorf("service: queued past deadline: %w", ctx.Err())
 	}
 }

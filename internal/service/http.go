@@ -53,7 +53,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status, code := errorCode(err)
-	obs.Enabled().Counter("service.http.errors." + code).Add(1)
+	obs.Enabled().Counter(mHTTPErrorsPrefix + code).Add(1)
 	writeJSON(w, status, apiError{Error: code, Detail: err.Error()})
 }
 
@@ -97,15 +97,15 @@ func (s *Service) Handler() http.Handler {
 func (s *Service) wrap(route string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reg := obs.Enabled()
-		reg.Counter("service.http.requests." + route).Add(1)
+		reg.Counter(mHTTPRequestsPrefix + route).Add(1)
 		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
-				reg.Counter("service.http.panics").Add(1)
+				reg.Counter(mHTTPPanics).Add(1)
 				obs.Logger().Error("handler panic", "route", route, "panic", fmt.Sprint(p))
 				writeJSON(w, http.StatusInternalServerError, apiError{Error: "internal", Detail: "handler panic"})
 			}
-			reg.Histogram("service.http.latency_ns."+route, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+			reg.Histogram(mHTTPLatencyPrefix+route, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
 		}()
 		if s.draining.Load() {
 			writeError(w, ErrDraining)

@@ -1,0 +1,47 @@
+package service
+
+// Observability names for the partition service, package-prefixed
+// dotted.snake per the obsname registry convention. Every metric and
+// span name the service registers is declared here exactly once; the
+// per-route HTTP names are built from the "…Prefix" constants plus the
+// route or error code.
+const (
+	// Admission control (admission.go).
+	mAdmissionShed            = "service.admission.shed"
+	mAdmissionDeadlineInQueue = "service.admission.deadline_in_queue"
+
+	// HTTP surface (http.go). The prefixes end in "." and are completed
+	// with the route name or error code at the call site.
+	mHTTPErrorsPrefix   = "service.http.errors."
+	mHTTPRequestsPrefix = "service.http.requests."
+	mHTTPLatencyPrefix  = "service.http.latency_ns."
+	mHTTPPanics         = "service.http.panics"
+
+	// Server lifecycle (server.go).
+	mDrains        = "service.drains"
+	mDrainNS       = "service.drain_ns"
+	mDrainTimeouts = "service.drain_timeouts"
+
+	// Tenant registry and planning (service.go).
+	mTenantsRegistered   = "service.tenants.registered"
+	mTenantsUnregistered = "service.tenants.unregistered"
+	mPlanRequests        = "service.plan.requests"
+	mPlanLatencyNS       = "service.plan.latency_ns"
+	mPlanDegradedServed  = "service.plan.degraded_served"
+
+	// Background re-optimization (service.go).
+	spanReoptEpoch   = "service.reopt.epoch"
+	mReoptEpochs     = "service.reopt.epochs"
+	mReoptWarmReused = "service.reopt.warm_reused"
+	mReoptFailures   = "service.reopt.failures"
+	mReoptRetries    = "service.reopt.retries"
+	mReoptWarm       = "service.reopt.warm"
+	mReoptWarmNS     = "service.reopt.warm_ns"
+	mReoptCold       = "service.reopt.cold"
+	mReoptColdNS     = "service.reopt.cold_ns"
+
+	// Durable tenant store (store.go).
+	mStoreReplayed      = "service.store.replayed"
+	mStoreTornRecovered = "service.store.torn_recovered"
+	mStoreCompactions   = "service.store.compactions"
+)

@@ -67,10 +67,10 @@ func (s *Server) Drain(timeout time.Duration) error {
 	start := time.Now()
 	err := s.http.Shutdown(ctx)
 	reg := obs.Enabled()
-	reg.Counter("service.drains").Add(1)
-	reg.Histogram("service.drain_ns", obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+	reg.Counter(mDrains).Add(1)
+	reg.Histogram(mDrainNS, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
 	if err != nil {
-		reg.Counter("service.drain_timeouts").Add(1)
+		reg.Counter(mDrainTimeouts).Add(1)
 		return fmt.Errorf("service: drain: %w", err)
 	}
 	return nil

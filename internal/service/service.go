@@ -229,7 +229,7 @@ func (s *Service) Register(name string, p profileio.Profile) error {
 	}
 	s.curves[name] = s.deriveCurve(name, p, s.cfg.Units)
 	s.mu.Unlock()
-	obs.Enabled().Counter("service.tenants.registered").Add(1)
+	obs.Enabled().Counter(mTenantsRegistered).Add(1)
 	s.signalChurn()
 	return nil
 }
@@ -252,7 +252,7 @@ func (s *Service) Unregister(name string) error {
 		}
 	}
 	s.mu.Unlock()
-	obs.Enabled().Counter("service.tenants.unregistered").Add(1)
+	obs.Enabled().Counter(mTenantsUnregistered).Add(1)
 	s.signalChurn()
 	return nil
 }
@@ -335,8 +335,8 @@ func (s *Service) PlanFor(ctx context.Context, names []string, units int) (Plan,
 		return Plan{}, err
 	}
 	reg := obs.Enabled()
-	reg.Counter("service.plan.requests").Add(1)
-	reg.Histogram("service.plan.latency_ns", obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+	reg.Counter(mPlanRequests).Add(1)
+	reg.Histogram(mPlanLatencyNS, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
 	return Plan{
 		Epoch:          -1, // ad-hoc, not an epoch plan
 		Tenants:        append([]string(nil), names...),
@@ -362,7 +362,7 @@ func (s *Service) CurrentPlan() (Plan, bool) {
 	out := *p
 	out.Degraded = s.degraded.Load() || !s.groupCurrent(p.Tenants)
 	if out.Degraded {
-		obs.Enabled().Counter("service.plan.degraded_served").Add(1)
+		obs.Enabled().Counter(mPlanDegradedServed).Add(1)
 	}
 	return out, true
 }
@@ -432,8 +432,8 @@ func (s *Service) reoptimize(ctx context.Context) {
 			plan.Epoch = s.epoch.Add(1)
 			s.plan.Store(plan)
 			s.degraded.Store(false)
-			reg.Counter("service.reopt.epochs").Add(1)
-			reg.Gauge("service.reopt.warm_reused").Set(int64(plan.WarmReused))
+			reg.Counter(mReoptEpochs).Add(1)
+			reg.Gauge(mReoptWarmReused).Set(int64(plan.WarmReused))
 			return
 		}
 		if ctx.Err() != nil {
@@ -441,12 +441,12 @@ func (s *Service) reoptimize(ctx context.Context) {
 		}
 		if attempt >= s.cfg.RetryMax {
 			s.degraded.Store(true)
-			reg.Counter("service.reopt.failures").Add(1)
+			reg.Counter(mReoptFailures).Add(1)
 			obs.Logger().Warn("re-optimization failed; serving last good plan",
 				"attempts", attempt+1, "err", err)
 			return
 		}
-		reg.Counter("service.reopt.retries").Add(1)
+		reg.Counter(mReoptRetries).Add(1)
 		if !s.sleepBackoff(ctx, attempt) {
 			return
 		}
@@ -475,7 +475,7 @@ func (s *Service) sleepBackoff(ctx context.Context, attempt int) bool {
 func (s *Service) solveEpoch(ctx context.Context, names []string, curves []mrc.Curve) (*Plan, error) {
 	dctx, cancel := context.WithTimeout(ctx, s.cfg.ReoptDeadline)
 	defer cancel()
-	sctx, span := obs.StartTraceSpan(dctx, "reopt.epoch", "service")
+	sctx, span := obs.StartTraceSpan(dctx, spanReoptEpoch, "service")
 	defer span.End()
 	if err := faultinject.Hit(FaultReopt); err != nil {
 		return nil, fmt.Errorf("service: reopt: %w", err)
@@ -491,8 +491,8 @@ func (s *Service) solveEpoch(ctx context.Context, names []string, curves []mrc.C
 	if err == nil {
 		sol, err = s.inc.Solve()
 		if err == nil {
-			reg.Counter("service.reopt.warm").Add(1)
-			reg.Histogram("service.reopt.warm_ns", obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+			reg.Counter(mReoptWarm).Add(1)
+			reg.Histogram(mReoptWarmNS, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
 		}
 	}
 	if err != nil {
@@ -502,14 +502,14 @@ func (s *Service) solveEpoch(ctx context.Context, names []string, curves []mrc.C
 		// The warm start was rejected (stale layers, cancelled mid-push,
 		// inconsistent cache); fall back to the cold path, which the
 		// differential tests pin bit-exact vs the warm one.
-		reg.Counter("service.reopt.cold").Add(1)
+		reg.Counter(mReoptCold).Add(1)
 		reused = 0
 		start = time.Now()
 		sol, err = partition.OptimizeParallel(sctx, partition.Problem{Curves: curves, Units: s.cfg.Units}, 1)
 		if err != nil {
 			return nil, err
 		}
-		reg.Histogram("service.reopt.cold_ns", obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+		reg.Histogram(mReoptColdNS, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
 	}
 	return &Plan{
 		Tenants:        names,

@@ -170,10 +170,10 @@ func OpenStore(dir string, compactEvery int) (*Store, error) {
 		return nil, err
 	}
 	s.logOps = replayed
-	obs.Enabled().Counter("service.store.replayed").Add(int64(replayed))
+	obs.Enabled().Counter(mStoreReplayed).Add(int64(replayed))
 
 	if torn {
-		obs.Enabled().Counter("service.store.torn_recovered").Add(1)
+		obs.Enabled().Counter(mStoreTornRecovered).Add(1)
 		obs.Logger().Warn("tenant journal had a torn tail; compacting", "dir", dir)
 		if err := s.compactLocked(); err != nil {
 			return nil, err
@@ -288,7 +288,7 @@ func (s *Store) compactLocked() error {
 	}
 	s.log = log
 	s.logOps = 0
-	obs.Enabled().Counter("service.store.compactions").Add(1)
+	obs.Enabled().Counter(mStoreCompactions).Add(1)
 	return nil
 }
 

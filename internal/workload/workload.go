@@ -30,6 +30,17 @@ import (
 	"partitionshare/internal/trace"
 )
 
+// Observability names for profiling, package-prefixed dotted.snake per
+// the obsname registry convention.
+const (
+	spanProfile       = "workload.profile"
+	spanTraceGenerate = "workload.trace_generate"
+	spanReuseCollect  = "workload.reuse_collect"
+
+	mProgramsProfiled = "workload.programs_profiled"
+	mTraceAccesses    = "workload.trace_accesses"
+)
+
 // Config fixes the cache geometry and profiling scale.
 type Config struct {
 	// Units is the number of partition units (paper: 1024).
@@ -224,20 +235,21 @@ func Profile(spec Spec, cfg Config) (Program, error) {
 }
 
 // profileCtx is Profile with a trace-span parent: the whole pass records
-// as a "workload.profile" span with "trace.generate" and "reuse.collect"
+// as a "workload.profile" span with "workload.trace_generate" and
+// "workload.reuse_collect"
 // children, so -trace-events timelines show where profiling time goes.
 func profileCtx(ctx context.Context, spec Spec, cfg Config) (Program, error) {
 	if err := cfg.validate(); err != nil {
 		return Program{}, err
 	}
-	ctx, ps := obs.StartTraceSpan(ctx, "workload.profile", "profile")
+	ctx, ps := obs.StartTraceSpan(ctx, spanProfile, "profile")
 	defer ps.End()
 	seed := cfg.Seed*0x100000001b3 ^ hashName(spec.Name)
 	gen := spec.Build(uint32(cfg.CacheBlocks()), seed)
-	_, gs := obs.StartTraceSpan(ctx, "trace.generate", "profile")
+	_, gs := obs.StartTraceSpan(ctx, spanTraceGenerate, "profile")
 	tr := trace.Generate(gen, cfg.TraceLen)
 	gs.Arg("accesses", int64(len(tr))).End()
-	_, cs := obs.StartTraceSpan(ctx, "reuse.collect", "profile")
+	_, cs := obs.StartTraceSpan(ctx, spanReuseCollect, "profile")
 	fp := footprint.FromTrace(tr)
 	cs.End()
 	curve := mrc.FromFootprint(spec.Name, fp, cfg.Units, cfg.BlocksPerUnit, spec.Rate)
@@ -300,8 +312,8 @@ func ProfileAll(ctx context.Context, specs []Spec, cfg Config) ([]Program, error
 		}
 	}
 	if reg := obs.Enabled(); reg != nil {
-		reg.Counter("workload_programs_profiled_total").Add(int64(len(specs)))
-		reg.Counter("workload_trace_accesses_total").Add(int64(len(specs)) * int64(cfg.TraceLen))
+		reg.Counter(mProgramsProfiled).Add(int64(len(specs)))
+		reg.Counter(mTraceAccesses).Add(int64(len(specs)) * int64(cfg.TraceLen))
 	}
 	return progs, nil
 }

@@ -49,14 +49,14 @@ func main() {
 	if len(m.Stages) == 0 {
 		fail("%s: no stage spans recorded", path)
 	}
-	if n := m.Counters["experiment_groups_completed_total"]; n <= 0 {
-		fail("%s: experiment_groups_completed_total = %d, want > 0", path, n)
+	if n := m.Counters["experiment.groups_completed"]; n <= 0 {
+		fail("%s: experiment.groups_completed = %d, want > 0", path, n)
 	}
-	if n := m.Counters["experiment_groups_failed_total"]; n != 0 {
-		fail("%s: experiment_groups_failed_total = %d, want 0", path, n)
+	if n := m.Counters["experiment.groups_failed"]; n != 0 {
+		fail("%s: experiment.groups_failed = %d, want 0", path, n)
 	}
 	fmt.Printf("manifest OK: %s (%d groups completed, %d stages)\n",
-		path, m.Counters["experiment_groups_completed_total"], len(m.Stages))
+		path, m.Counters["experiment.groups_completed"], len(m.Stages))
 }
 
 func fail(format string, args ...any) {

@@ -49,8 +49,8 @@ func main() {
 	if len(m.Config.SolverPaths) == 0 {
 		fail("%s: config.solver_paths empty — no DP solve recorded its rung", path)
 	}
-	if n := m.Counters["partition_solves_total"]; n <= 0 {
-		fail("%s: partition_solves_total = %d, want > 0", path, n)
+	if n := m.Counters["partition.solves"]; n <= 0 {
+		fail("%s: partition.solves = %d, want > 0", path, n)
 	}
 	if len(os.Args) == 3 {
 		want := os.Args[2]
@@ -63,7 +63,7 @@ func main() {
 		}
 	}
 	fmt.Printf("solver manifest OK: %s (solver=%s, %d schemes recorded, %d solves)\n",
-		path, m.Config.Solver, len(m.Config.SolverPaths), m.Counters["partition_solves_total"])
+		path, m.Config.Solver, len(m.Config.SolverPaths), m.Counters["partition.solves"])
 }
 
 func fail(format string, args ...any) {

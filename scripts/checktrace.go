@@ -65,7 +65,7 @@ func main() {
 	if lanes == 0 {
 		fail("%s: no thread_name lane metadata", path)
 	}
-	for _, want := range []string{"dp.solve", "reuse.", "checkpoint."} {
+	for _, want := range []string{"experiment.dp_solve", "workload.", "experiment.checkpoint_"} {
 		found := false
 		for n := range names {
 			if strings.HasPrefix(n, strings.TrimSuffix(want, ".")) {

@@ -19,7 +19,13 @@ go build ./...
 echo "== tier-1: go vet ./..."
 go vet ./...
 echo "== tier-1: vetkit (project invariant analyzers, DESIGN.md §10)"
-go run ./cmd/vetkit ./...
+# The gate has a 60-second budget (mirrored in CI); a hung or quadratic
+# analyzer fails here instead of stalling the whole verify run.
+if command -v timeout >/dev/null 2>&1; then
+	timeout 60 go run ./cmd/vetkit ./...
+else
+	go run ./cmd/vetkit ./...
+fi
 echo "== tier-1: go test -shuffle=on ./..."
 go test -shuffle=on ./...
 echo "== tier-1: go test -race -shuffle=on ./..."
@@ -78,11 +84,11 @@ go run scripts/checkservice.go "$OBS_SMOKE_DIR/partitiond" "$OBS_SMOKE_DIR/optpa
 # Perf-regression watch: advisory here (hardware differs run to run, so
 # a local diff against the committed baseline must not fail the gate);
 # CI runs the same comparison. The || true keeps set -e from tripping.
-echo "== benchdiff (advisory): BENCH_PR6.json vs BENCH_PR7.json"
-if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
-	go run ./cmd/benchdiff BENCH_PR6.json BENCH_PR7.json || true
+echo "== benchdiff (advisory): BENCH_PR7.json vs BENCH_PR8.json"
+if [ -f BENCH_PR7.json ] && [ -f BENCH_PR8.json ]; then
+	go run ./cmd/benchdiff BENCH_PR7.json BENCH_PR8.json || true
 else
-	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr7)"
+	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr8)"
 fi
 
 echo "== govulncheck"
