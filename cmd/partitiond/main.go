@@ -65,6 +65,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "maximum wait for in-flight requests on shutdown")
 	manifestPath := flag.String("manifest", "", "run-manifest path written at exit (empty disables)")
 	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics and pprof on this address")
+	flightCap := flag.Int("flight-cap", obs.DefaultFlightCap, "request flight-recorder ring capacity for /debug/requests (0 disables)")
+	tenantSeriesCap := flag.Int("tenant-series-cap", obs.DefaultChildSetCap, "live per-tenant metric series kept before folding into the 'other' bucket")
+	metricsInterval := flag.Duration("metrics-interval", 0, "registry sampling interval for /metrics/history (0 disables)")
 	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit the diagnostic log as JSON instead of text")
 	flag.Parse()
@@ -75,9 +78,18 @@ func main() {
 	}
 	obs.InitLogging(os.Stderr, level, *logJSON)
 	obs.Enable(obs.NewRegistry())
+	if *flightCap > 0 {
+		obs.EnableFlightRecorder(obs.NewFlightRecorder(*flightCap))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *metricsInterval > 0 {
+		samp := obs.StartSampler(ctx, obs.Enabled(), *metricsInterval, 0)
+		obs.EnableSampler(samp)
+		defer samp.Stop()
+	}
 
 	manifest := obs.NewManifest("partitiond", map[string]any{
 		"addr":            *addr,
@@ -123,6 +135,7 @@ func main() {
 		ReoptDeadline:   *reoptDeadline,
 		RetryMax:        *retryMax,
 		RetryBase:       *retryBase,
+		TenantSeriesCap: *tenantSeriesCap,
 		Seed:            1,
 	}, store)
 	if err != nil {

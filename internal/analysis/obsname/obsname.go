@@ -12,6 +12,8 @@
 // them without importing internal/obs):
 //
 //	reg.Counter(name) / reg.Gauge(name) / reg.Histogram(name)   — receiver type named Registry
+//	reg.ChildSet(prefix, cap)                                    — receiver type named Registry
+//	child.Counter(suffix) / child.Histogram(suffix, bounds)      — receiver type named Child
 //	StartTraceSpan(ctx, name, category)                          — any package-level function of that name
 //
 // The name argument must be a use of a named string constant, or
@@ -19,6 +21,14 @@
 // "." (the dynamic-family form, e.g. httpErrors + code). The constant's
 // value must match `pkg.part` / `pkg.part.part…` in lower snake, with
 // the first segment equal to the defining package's name.
+//
+// Child-set names split the namespace across two call sites: the
+// ChildSet prefix carries the package namespace (so it is validated
+// like a dynamic-family prefix — dotted.snake ending in "."), while the
+// per-child suffix completes the name after the runtime-supplied label
+// and therefore must NOT repeat the package prefix — it is validated as
+// dotted.snake without the namespace requirement, as a plain constant
+// ("queue_wait_ns") or a constant prefix + expr ("requests." + route).
 //
 // Registry.StartSpan is exempt: its stage names label manifest Stages
 // ("profile", "sweep"), a different namespace pinned by goldens. The
@@ -60,6 +70,9 @@ func (*MetricFact) AFact() {}
 var (
 	nameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
 	prefixRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*\.$`)
+	// Child suffixes may be a single segment ("requests") — the child
+	// set's prefix supplies the namespace dots.
+	suffixRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$`)
 )
 
 type registration struct {
@@ -81,8 +94,8 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			if arg, ok := nameArg(pass, call); ok {
-				checkName(pass, arg, registered)
+			if arg, kind, ok := nameArg(pass, call); ok {
+				checkName(pass, arg, kind, registered)
 			}
 			return true
 		})
@@ -136,46 +149,79 @@ func qualifiedConst(obj *types.Const) string {
 	return obj.Pkg().Path() + "." + obj.Name()
 }
 
+// nameKind says which half of the naming contract a call site's name
+// argument must satisfy.
+type nameKind int
+
+const (
+	kindFull        nameKind = iota // complete, package-prefixed series name
+	kindSetPrefix                   // ChildSet family prefix: package-prefixed, ends "."
+	kindChildSuffix                 // per-child suffix: dotted.snake, NO package prefix
+)
+
 // nameArg extracts the name argument of a checked registration call,
 // or ok=false if call is not one.
-func nameArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+func nameArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, nameKind, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		// Unqualified call: a package-local StartTraceSpan helper.
 		if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "StartTraceSpan" && len(call.Args) >= 2 {
-			return call.Args[1], true
+			return call.Args[1], kindFull, true
 		}
-		return nil, false
+		return nil, 0, false
 	}
 	switch sel.Sel.Name {
 	case "Counter", "Gauge", "Histogram":
 		if len(call.Args) < 1 {
-			return nil, false
+			return nil, 0, false
 		}
-		// Receiver must be the metrics registry, by type name so
-		// fixtures can model it.
-		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isRegistry(tv.Type) {
-			return call.Args[0], true
+		// Receiver type names distinguish the two APIs, so fixtures can
+		// model them without importing internal/obs.
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok {
+			return nil, 0, false
+		}
+		if isNamedType(tv.Type, "Registry") {
+			return call.Args[0], kindFull, true
+		}
+		if isNamedType(tv.Type, "Child") {
+			return call.Args[0], kindChildSuffix, true
+		}
+	case "ChildSet":
+		if len(call.Args) < 1 {
+			return nil, 0, false
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isNamedType(tv.Type, "Registry") {
+			return call.Args[0], kindSetPrefix, true
 		}
 	case "StartTraceSpan":
 		if len(call.Args) >= 2 {
-			return call.Args[1], true
+			return call.Args[1], kindFull, true
 		}
 	}
-	return nil, false
+	return nil, 0, false
 }
 
-func isRegistry(t types.Type) bool {
+func isNamedType(t types.Type, name string) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "Registry"
+	return ok && named.Obj().Name() == name
 }
 
 // checkName validates one name argument and records full-name constant
 // registrations for duplicate detection.
-func checkName(pass *analysis.Pass, arg ast.Expr, registered map[string]registration) {
+func checkName(pass *analysis.Pass, arg ast.Expr, kind nameKind, registered map[string]registration) {
+	switch kind {
+	case kindSetPrefix:
+		checkSetPrefix(pass, arg)
+		return
+	case kindChildSuffix:
+		checkChildSuffix(pass, arg)
+		return
+	}
+
 	// Dynamic family: constPrefix + expr, validated on the prefix only.
 	if be, ok := arg.(*ast.BinaryExpr); ok && be.Op == token.ADD {
 		left := be.X
@@ -227,6 +273,90 @@ func checkName(pass *analysis.Pass, arg ast.Expr, registered map[string]registra
 	registered[val] = registration{
 		obj:  obj,
 		desc: obj.Name() + " (" + pos.Filename + ":" + strconv.Itoa(pos.Line) + ")",
+	}
+}
+
+// checkSetPrefix validates the family prefix handed to
+// Registry.ChildSet: a named constant, dotted.snake ending in ".",
+// carrying the defining package's namespace (the one place the child
+// set's namespace is established).
+func checkSetPrefix(pass *analysis.Pass, arg ast.Expr) {
+	obj := constOf(pass, arg)
+	if obj == nil {
+		pass.Reportf(arg.Pos(),
+			"child-set prefix must be a named constant ending in \".\", not an inline or computed string")
+		return
+	}
+	val := constant.StringVal(obj.Val())
+	if !prefixRE.MatchString(val) {
+		pass.Reportf(arg.Pos(),
+			"child-set prefix %q must be dotted.snake ending in \".\"", val)
+		return
+	}
+	checkPkgPrefix(pass, arg, obj, val)
+}
+
+// checkChildSuffix validates the per-child metric suffix: the part of
+// the series name after the runtime label. The set's prefix already
+// carries the package namespace, so the suffix must NOT repeat it —
+// otherwise it follows the same named-constant discipline, either a
+// plain constant ("queue_wait_ns") or constant-prefix + expr
+// ("requests." + route).
+func checkChildSuffix(pass *analysis.Pass, arg ast.Expr) {
+	if be, ok := arg.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		left := be.X
+		for {
+			inner, ok := left.(*ast.BinaryExpr)
+			if !ok || inner.Op != token.ADD {
+				break
+			}
+			left = inner.X
+		}
+		obj := constOf(pass, left)
+		if obj == nil {
+			pass.Reportf(arg.Pos(),
+				"dynamic child metric suffix must start with a named constant prefix ending in \".\"")
+			return
+		}
+		val := constant.StringVal(obj.Val())
+		if !prefixRE.MatchString(val) {
+			pass.Reportf(arg.Pos(),
+				"child metric suffix prefix %q must be dotted.snake ending in \".\"", val)
+			return
+		}
+		checkNoPkgPrefix(pass, arg, obj, val)
+		return
+	}
+
+	obj := constOf(pass, arg)
+	if obj == nil {
+		pass.Reportf(arg.Pos(),
+			"child metric suffix must be a named constant, not an inline or computed string")
+		return
+	}
+	val := constant.StringVal(obj.Val())
+	if !suffixRE.MatchString(val) {
+		pass.Reportf(arg.Pos(),
+			"child metric suffix %q must be dotted.snake", val)
+		return
+	}
+	checkNoPkgPrefix(pass, arg, obj, val)
+}
+
+// checkNoPkgPrefix is the dual of checkPkgPrefix: a child suffix that
+// repeats the package namespace would render doubled series names
+// (pkg.family.label.pkg.metric), so the first segment must differ from
+// the defining package's name.
+func checkNoPkgPrefix(pass *analysis.Pass, arg ast.Expr, obj *types.Const, val string) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		pkg = pass.Pkg
+	}
+	have := pathBase(pkg.Path())
+	seg, _, _ := strings.Cut(val, ".")
+	if seg == have {
+		pass.Reportf(arg.Pos(),
+			"child metric suffix %q must not repeat the package namespace %q — the child set's prefix already carries it", val, have+".")
 	}
 }
 

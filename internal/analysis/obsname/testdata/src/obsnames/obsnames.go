@@ -17,6 +17,18 @@ func (r *Registry) Counter(name string) *Metric   { return nil }
 func (r *Registry) Gauge(name string) *Metric     { return nil }
 func (r *Registry) Histogram(name string) *Metric { return nil }
 
+// ChildSet/Child model the bounded per-label family API: the set's
+// prefix carries the package namespace, each child completes series as
+// prefix + label + "." + suffix.
+type ChildSet struct{}
+
+type Child struct{}
+
+func (r *Registry) ChildSet(prefix string, capacity int) *ChildSet { return nil }
+func (cs *ChildSet) Child(label string) *Child                     { return nil }
+func (c *Child) Counter(suffix string) *Metric                     { return nil }
+func (c *Child) Histogram(suffix string, bounds []int64) *Metric   { return nil }
+
 func StartTraceSpan(ctx context.Context, name, category string) func() { return func() {} }
 
 const (
@@ -28,6 +40,18 @@ const (
 	mHTTPPrefix = "obsnames.http.errors."
 	mBadPrefix  = "obsnames.http_errors" // prefix must end in "."
 	sSpan       = "obsnames.profile"
+
+	// Child-set constants: the set prefix is package-prefixed; the
+	// per-child suffixes deliberately are not (the prefix carries the
+	// namespace once).
+	mTenantPrefix    = "obsnames.tenant."
+	mTenantOtherNS   = "other.tenant."
+	suffixRequests   = "requests"
+	suffixReqPrefix  = "requests."
+	suffixLatency    = "latency_ns.plan"
+	suffixBadCase    = "Requests"
+	suffixBadPrefix  = "requests_by"       // dynamic form must end in "."
+	suffixPkgDoubled = "obsnames.requests" // would render obsnames.tenant.X.obsnames.requests
 )
 
 var reg Registry
@@ -40,6 +64,13 @@ func Good(ctx context.Context, code string) {
 	done()
 }
 
+func GoodChildren(label, route string) {
+	child := reg.ChildSet(mTenantPrefix, 64).Child(label)
+	child.Counter(suffixRequests)
+	child.Counter(suffixReqPrefix + route) // dynamic suffix: const prefix + expr
+	child.Histogram(suffixLatency, nil)
+}
+
 func Bad(ctx context.Context, code string) {
 	reg.Counter("obsnames.plan.requests")        // want `named constant`
 	reg.Gauge(mBadCase)                          // want `dotted.snake`
@@ -48,6 +79,18 @@ func Bad(ctx context.Context, code string) {
 	reg.Counter(mSolvesDup)                      // want `use one constant`
 	reg.Counter(mBadPrefix + code)               // want `ending in`
 	StartTraceSpan(ctx, "obsnames.span", "line") // want `named constant`
+}
+
+func BadChildren(label, route string) {
+	reg.ChildSet("obsnames.tenant.", 64) // want `named constant`
+	reg.ChildSet(mBadPrefix, 64)         // want `ending in`
+	reg.ChildSet(mTenantOtherNS, 64)     // want `namespace`
+	child := reg.ChildSet(mTenantPrefix, 64).Child(label)
+	child.Counter("requests")              // want `named constant`
+	child.Counter(suffixBadCase)           // want `dotted.snake`
+	child.Counter(suffixBadPrefix + route) // want `ending in`
+	child.Counter(suffixPkgDoubled)        // want `must not repeat the package namespace`
+	child.Histogram(suffixBadCase, nil)    // want `dotted.snake`
 }
 
 // Suppressed carries a name through a parameter — not provable as a

@@ -25,6 +25,7 @@ import (
 
 	"partitionshare/internal/experiment"
 	"partitionshare/internal/mrc"
+	"partitionshare/internal/obs"
 	"partitionshare/internal/partition"
 	"partitionshare/internal/profileio"
 	"partitionshare/internal/reuse"
@@ -112,7 +113,7 @@ func New() (*Suite, error) {
 			Rate:  1.0,
 			Reuse: reuse.Collect(trace.Generate(trace.NewZipf(512, 0.7, i), 4096)),
 		}
-		if err := s.svc.Register(name, p); err != nil {
+		if err := s.svc.Register(nil, name, p); err != nil {
 			return nil, err
 		}
 		s.tenants = append(s.tenants, name)
@@ -156,6 +157,48 @@ func (s *Suite) largeCurves(units, npr int) []mrc.Curve {
 		curves[i] = mrc.FromFootprint(name, p.Fp, units, 1, p.Rate)
 	}
 	return curves
+}
+
+// spanBenchPlan labels the root span the traced plan benchmark opens
+// around each request, standing in for the middleware's service.req
+// root (the benchmark measures the service layer without HTTP).
+const spanBenchPlan = "benchsuite.plan_request"
+
+// ServicePlanBench returns the daemon's plan-request benchmark —
+// admission, curve gather, and the cancellable DP. With traced=true
+// each iteration additionally carries the request-telemetry envelope
+// the HTTP middleware applies: a fresh W3C trace context, a stage
+// collector, a root span, and one flight-recorder entry. Run it under
+// both global telemetry states to measure the observability tax on the
+// full request path (the ObsOverheadService gate in cmd/benchsnap).
+func (s *Suite) ServicePlanBench(traced bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		base := context.Background()
+		for i := 0; i < b.N; i++ {
+			if !traced {
+				if _, err := s.svc.PlanFor(base, s.tenants, 1024); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			tc, _ := obs.EnsureTraceContext("")
+			ctx := obs.WithTraceContext(base, tc)
+			ctx, stages := obs.WithReqStages(ctx)
+			ctx, root := obs.StartTraceSpan(ctx, spanBenchPlan, "benchsuite")
+			_, err := s.svc.PlanFor(ctx, s.tenants, 1024)
+			root.End()
+			if err != nil {
+				b.Fatal(err)
+			}
+			fr := obs.ActiveFlightRecorder()
+			fr.Record(obs.RequestRecord{
+				Route:   "plan_bench",
+				Status:  200,
+				TraceID: tc.TraceIDString(),
+				Stages:  stages.Stages(),
+			})
+		}
+	}
 }
 
 // OptimalBench returns the per-group optimal-partition DP benchmark —
@@ -295,13 +338,25 @@ func (s *Suite) Benches() []Bench {
 	// their ratio is the warm-start payoff the incremental optimizer buys.
 	benches = append(benches, Bench{
 		Name: "ServicePlanRequest",
+		Fn:   s.ServicePlanBench(false),
+	})
+	// The same path with the full request-telemetry envelope and every
+	// telemetry global live, so the traced/untraced pair is trackable
+	// across snapshots by name (the gated ratio lives in benchsnap's
+	// ObsOverheadService entries).
+	benches = append(benches, Bench{
+		Name: "ServiceTracedPlanRequest",
 		Fn: func(b *testing.B) {
-			ctx := context.Background()
-			for i := 0; i < b.N; i++ {
-				if _, err := s.svc.PlanFor(ctx, s.tenants, 1024); err != nil {
-					b.Fatal(err)
-				}
-			}
+			prevReg, prevTr, prevFr := obs.Enabled(), obs.ActiveTracer(), obs.ActiveFlightRecorder()
+			obs.Enable(obs.NewRegistry())
+			obs.EnableTracer(obs.NewTracer(0, nil))
+			obs.EnableFlightRecorder(obs.NewFlightRecorder(0))
+			defer func() {
+				obs.Enable(prevReg)
+				obs.EnableTracer(prevTr)
+				obs.EnableFlightRecorder(prevFr)
+			}()
+			s.ServicePlanBench(true)(b)
 		},
 	})
 	benches = append(benches, Bench{
@@ -386,4 +441,27 @@ func BestOf(n int, fn func(b *testing.B)) int64 {
 		}
 	}
 	return best
+}
+
+// BestOfPaired interleaves n rounds of two benchmark variants —
+// a, b, a, b, … — and returns each variant's fastest ns/op. For an
+// overhead gate comparing the two, interleaving matters: sequential
+// best-of blocks sample different machine phases, and on a shared box
+// the drift between phases can exceed the gate's threshold by itself.
+// setupA/setupB run before every round of their variant (installing or
+// clearing telemetry globals); the last setup run is setupA's, so
+// callers that clear state in setupA end clean.
+func BestOfPaired(n int, setupA func(), a func(b *testing.B), setupB func(), b func(bb *testing.B)) (bestA, bestB int64) {
+	for i := 0; i < n; i++ {
+		setupA()
+		if ns := testing.Benchmark(a).NsPerOp(); bestA == 0 || ns < bestA {
+			bestA = ns
+		}
+		setupB()
+		if ns := testing.Benchmark(b).NsPerOp(); bestB == 0 || ns < bestB {
+			bestB = ns
+		}
+	}
+	setupA()
+	return bestA, bestB
 }

@@ -32,6 +32,11 @@ type Registry struct {
 	spanMu       sync.Mutex
 	spans        []SpanRecord
 	spansDropped int64
+
+	// childSets are the bounded per-label metric families (childset.go),
+	// keyed by name prefix; their series fold into snapshots flat.
+	csMu      sync.Mutex
+	childSets map[string]*ChildSet
 }
 
 type regShard struct {
@@ -43,7 +48,7 @@ type regShard struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	r := &Registry{start: time.Now()}
+	r := &Registry{start: time.Now(), childSets: make(map[string]*ChildSet)}
 	for i := range r.shards {
 		r.shards[i].counters = make(map[string]*Counter)
 		r.shards[i].gauges = make(map[string]*Gauge)
@@ -119,11 +124,15 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if h = s.hists[name]; h == nil {
-		b := append([]int64(nil), bounds...)
-		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		h = newHistogram(bounds)
 		s.hists[name] = h
 	}
 	return h
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
 // A Counter is a monotonically increasing integer. Updates are a single
@@ -186,6 +195,21 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Int64
 	sum    atomic.Int64
+
+	// exemplars holds at most one recent exemplar per bucket (lazily
+	// allocated on the first ObserveExemplar), linking the bucket to a
+	// trace ID so a latency outlier can be chased to its request.
+	exemplars atomic.Pointer[exemplarSlab]
+}
+
+// exemplarSlab is the lazily allocated per-bucket exemplar store; a
+// whole-slab atomic pointer keeps readers lock-free.
+type exemplarSlab struct{ slots []atomic.Pointer[Exemplar] }
+
+// An Exemplar ties one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   int64  `json:"value"`
+	TraceID string `json:"trace_id"`
 }
 
 // Observe records one value.
@@ -199,12 +223,68 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty,
+// remembers it as the bucket's most recent exemplar. The exemplar store
+// is one pointer swap per observation after a one-time allocation, so
+// the traced path stays within the ObsOverhead budget.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID == "" {
+		return
+	}
+	slab := h.exemplars.Load()
+	if slab == nil {
+		slab = &exemplarSlab{slots: make([]atomic.Pointer[Exemplar], len(h.counts))}
+		if !h.exemplars.CompareAndSwap(nil, slab) {
+			slab = h.exemplars.Load()
+		}
+	}
+	slab.slots[i].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// merge folds src's buckets into h. Matching bounds merge bucket by
+// bucket; mismatched ones (never produced by one call site, but merge
+// must not corrupt) collapse src's whole count into h's +Inf bucket.
+// The sum and total count fold either way, so set-wide totals are exact.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	same := len(h.bounds) == len(src.bounds)
+	if same {
+		for i := range h.bounds {
+			if h.bounds[i] != src.bounds[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		for i := range src.counts {
+			h.counts[i].Add(src.counts[i].Load())
+		}
+	} else {
+		h.counts[len(h.counts)-1].Add(src.count.Load())
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+}
+
 // BucketCount is one histogram bucket in a summary: the inclusive upper
 // bound (0 marks the +Inf bucket via the Inf field) and its count.
 type BucketCount struct {
 	LE    int64 `json:"le"`
 	Inf   bool  `json:"inf,omitempty"`
 	Count int64 `json:"count"`
+	// Exemplar is the bucket's most recent trace-linked observation,
+	// when the instrumented path recorded one (ObserveExemplar).
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSummary is a frozen histogram: total count, sum of observed
@@ -218,6 +298,7 @@ type HistogramSummary struct {
 
 func (h *Histogram) summary() HistogramSummary {
 	s := HistogramSummary{Count: h.count.Load(), Sum: h.sum.Load()}
+	slab := h.exemplars.Load()
 	for i := range h.counts {
 		c := h.counts[i].Load()
 		if c == 0 {
@@ -228,6 +309,9 @@ func (h *Histogram) summary() HistogramSummary {
 			b.LE = h.bounds[i]
 		} else {
 			b.Inf = true
+		}
+		if slab != nil {
+			b.Exemplar = slab.slots[i].Load()
 		}
 		s.Buckets = append(s.Buckets, b)
 	}
@@ -267,6 +351,15 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.mu.RUnlock()
 	}
+	// Child sets fold in flat (prefix+label+"."+suffix), so every
+	// exporter that reads snapshots — the JSON /metrics endpoint, the
+	// Prometheus exposition, the sampler's history points, manifests —
+	// sees the per-label series without knowing about the bound index.
+	r.csMu.Lock()
+	for _, cs := range r.childSets {
+		cs.snapshotInto(&snap)
+	}
+	r.csMu.Unlock()
 	r.spanMu.Lock()
 	snap.Spans = append([]SpanRecord(nil), r.spans...)
 	if r.spansDropped > 0 {

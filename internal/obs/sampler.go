@@ -17,6 +17,15 @@ import (
 // DefaultSamplerCapacity is the default ring-buffer size. At the
 // default 1 s interval that is ~8.5 minutes of history; longer runs
 // keep the newest window.
+//
+// The ring is the sampler's memory bound: a long-running daemon holds
+// at most capacity points regardless of uptime (TestSamplerRingBound
+// pins this). Each point's size is itself bounded — it carries the
+// registry's counter/gauge maps, whose name set is finite: static
+// names are declared constants, and the only dynamic families
+// (per-tenant child sets, childset.go) are capped by their LRU bound,
+// so per-tenant series appear in /metrics/history without opening an
+// unbounded-memory path.
 const DefaultSamplerCapacity = 512
 
 // A SeriesPoint is one sampler tick: the offset from the sampler's

@@ -121,6 +121,33 @@ func TestSamplerNil(t *testing.T) {
 	}
 }
 
+// Per-tenant child-set series fold into registry snapshots flat, so the
+// sampler's history points carry them like any static counter — and
+// their cardinality in each point is capped by the child set's LRU
+// bound, keeping the ring's per-point size bounded too.
+func TestSamplerHistoryIncludesChildSeries(t *testing.T) {
+	reg := NewRegistry()
+	cs := reg.ChildSet("svc.tenant.", 4)
+	cs.Child("acme").Counter("requests").Add(5)
+	s := StartSampler(context.Background(), reg, time.Millisecond, 16)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.History()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	hist := s.History()
+	if len(hist) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	last := hist[len(hist)-1]
+	if last.Counters["svc.tenant.acme.requests"] != 5 {
+		t.Fatalf("final sample missing per-tenant series: %v", last.Counters)
+	}
+	if last.Gauges["svc.tenant.labels"] != 1 {
+		t.Fatalf("final sample missing child-set label gauge: %v", last.Gauges)
+	}
+}
+
 // Summaries reduce the retained window to per-series min/max/rate, with
 // the name set from the registry (deterministic) rather than the samples.
 func TestSamplerSummaries(t *testing.T) {

@@ -40,12 +40,34 @@ func PublishExpvar() bool {
 	return published
 }
 
+// ServePrometheus writes the enabled registry's snapshot in Prometheus
+// text exposition format. Shared by the debug server and the daemon's
+// API mux, so both listeners expose an identical scrape surface.
+func ServePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", PromContentType)
+	// The status line is out after the first write; an error mid-stream
+	// means the scraper went away, and there is nothing left to signal.
+	_ = WritePrometheus(w, Enabled().Snapshot())
+}
+
+// ServeFlightRecorder writes the active flight recorder's snapshot as
+// indented JSON (an empty snapshot when recording is disabled). Shared
+// by the debug server and the daemon's API mux.
+func ServeFlightRecorder(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ActiveFlightRecorder().Snapshot())
+}
+
 // A DebugServer is the optional -debug-addr HTTP listener: it serves
 // the standard expvar page (/debug/vars, including the live registry
 // snapshot under the "partitionshare" key, plus cmdline and memstats),
-// a bare registry snapshot at /metrics, and the full net/http/pprof
-// suite under /debug/pprof/. Close is idempotent and waits for the
-// serve goroutine to exit, so tests can assert no goroutine leaks.
+// a registry snapshot at /metrics (JSON; Prometheus text at
+// /metrics/prom or ?format=prometheus), the request flight recorder at
+// /debug/requests, and the full net/http/pprof suite under
+// /debug/pprof/. Close is idempotent and waits for the serve goroutine
+// to exit, so tests can assert no goroutine leaks.
 type DebugServer struct {
 	srv    *http.Server
 	lis    net.Listener
@@ -77,11 +99,21 @@ func StartDebugServer(ctx context.Context, addr string) (*DebugServer, error) {
 
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			ServePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(Enabled().Snapshot())
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		ServePrometheus(w)
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, _ *http.Request) {
+		ServeFlightRecorder(w)
 	})
 	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -125,7 +157,7 @@ func StartDebugServer(ctx context.Context, addr string) (*DebugServer, error) {
 	}()
 	Logger().Info("debug server listening",
 		"addr", lis.Addr().String(),
-		"endpoints", "/debug/vars /metrics /debug/pprof/")
+		"endpoints", "/debug/vars /metrics /metrics/prom /debug/requests /debug/pprof/")
 	return ds, nil
 }
 

@@ -47,28 +47,43 @@ func NewLimiter(inflight, queue int) *Limiter {
 // Acquire admits the caller or sheds it. On nil return the caller holds
 // a slot and must Release. ErrOverloaded means the queue was already
 // full; a context error means the caller's deadline expired while
-// queued (both without acquiring anything).
+// queued (both without acquiring anything). The slow path records the
+// wait as a service.req.queue span (carrying the queue depth at entry)
+// and reports the admission outcome into the request's telemetry.
 func (l *Limiter) Acquire(ctx context.Context) error {
 	// Fast path: a free slot admits without touching the queue.
 	select {
 	case l.slots <- struct{}{}:
+		telemetryFrom(ctx).setOutcome(outcomeAdmitted)
 		return nil
 	default:
 	}
 	// Entering the queue is itself bounded: if the queue is full the
 	// request sheds in O(1) without blocking.
+	reg := obs.Enabled()
 	select {
 	case l.queue <- struct{}{}:
 	default:
-		obs.Enabled().Counter(mAdmissionShed).Add(1)
+		reg.Counter(mAdmissionShed).Add(1)
+		telemetryFrom(ctx).setOutcome(outcomeShed)
 		return ErrOverloaded
 	}
-	defer func() { <-l.queue }()
+	depth := int64(len(l.queue))
+	reg.Gauge(mAdmissionQueueDepth).Set(depth)
+	_, span := obs.StartTraceSpan(ctx, spanReqQueue, "service")
+	span.Arg("depth", depth)
+	defer func() {
+		span.End()
+		<-l.queue
+		reg.Gauge(mAdmissionQueueDepth).Set(int64(len(l.queue)))
+	}()
 	select {
 	case l.slots <- struct{}{}:
+		telemetryFrom(ctx).setOutcome(outcomeQueued)
 		return nil
 	case <-ctx.Done():
-		obs.Enabled().Counter(mAdmissionDeadlineInQueue).Add(1)
+		reg.Counter(mAdmissionDeadlineInQueue).Add(1)
+		telemetryFrom(ctx).setOutcome(outcomeDeadlineInQueue)
 		return fmt.Errorf("service: queued past deadline: %w", ctx.Err())
 	}
 }

@@ -18,9 +18,13 @@ import (
 const maxProfileBody = 16 << 20
 
 // apiError is the JSON error envelope every non-2xx response carries.
+// TraceID repeats the response traceparent's trace ID so a logged
+// envelope correlates with the trace and the flight recorder without
+// the headers.
 type apiError struct {
-	Error  string `json:"error"`  // stable machine-readable code
-	Detail string `json:"detail"` // human-readable cause
+	Error   string `json:"error"`  // stable machine-readable code
+	Detail  string `json:"detail"` // human-readable cause
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorCode maps service sentinels to (HTTP status, stable code).
@@ -51,10 +55,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to do on error
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// writeError renders err as the typed envelope, stamped with the
+// request's trace ID, and records the envelope code into the request's
+// telemetry carrier for the flight recorder.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status, code := errorCode(err)
 	obs.Enabled().Counter(mHTTPErrorsPrefix + code).Add(1)
-	writeJSON(w, status, apiError{Error: code, Detail: err.Error()})
+	var traceID string
+	if r != nil {
+		traceID = obs.TraceIDFrom(r.Context())
+		telemetryFrom(r.Context()).setCode(code)
+	}
+	writeJSON(w, status, apiError{Error: code, Detail: err.Error(), TraceID: traceID})
 }
 
 // Handler builds the service's HTTP API:
@@ -67,9 +79,14 @@ func writeError(w http.ResponseWriter, err error) {
 //	GET    /v1/plan                 current background epoch plan
 //	GET    /healthz                 liveness (always 200 while the process runs)
 //	GET    /readyz                  readiness (503 while draining)
+//	GET    /metrics                 registry snapshot (JSON; ?format=prometheus)
+//	GET    /metrics/prom            Prometheus text exposition
+//	GET    /debug/requests          request flight recorder
 //
 // Every handler runs under a request deadline (?deadline_ms or the
-// configured default), propagated through admission into the DP solve.
+// configured default), propagated through admission into the DP solve,
+// and under the telemetry wrap (telemetry.go): traceparent in/out,
+// request-scoped spans, RED metrics, flight recording.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/tenants/{name}", s.wrap("put_tenant", s.handlePutTenant))
@@ -83,44 +100,28 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			writeError(w, fmt.Errorf("not ready: %w", ErrDraining))
+			writeError(w, r, fmt.Errorf("not ready: %w", ErrDraining))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
+	// Observability endpoints ride the API listener too (outside the
+	// telemetry wrap: a scrape is not a tenant request), so a deployment
+	// without -debug-addr still has scrape and triage surfaces.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			obs.ServePrometheus(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, obs.Enabled().Snapshot())
+	})
+	mux.HandleFunc("GET /metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		obs.ServePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, _ *http.Request) {
+		obs.ServeFlightRecorder(w)
+	})
 	return mux
-}
-
-// wrap applies the common robustness envelope: drain refusal, request
-// deadline, per-route metrics, and panic containment (a handler bug
-// becomes a 500, never a daemon crash).
-func (s *Service) wrap(route string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		reg := obs.Enabled()
-		reg.Counter(mHTTPRequestsPrefix + route).Add(1)
-		start := time.Now()
-		defer func() {
-			if p := recover(); p != nil {
-				reg.Counter(mHTTPPanics).Add(1)
-				obs.Logger().Error("handler panic", "route", route, "panic", fmt.Sprint(p))
-				writeJSON(w, http.StatusInternalServerError, apiError{Error: "internal", Detail: "handler panic"})
-			}
-			reg.Histogram(mHTTPLatencyPrefix+route, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
-		}()
-		if s.draining.Load() {
-			writeError(w, ErrDraining)
-			return
-		}
-		ctx, cancel, err := s.requestContext(r)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		defer cancel()
-		if err := fn(w, r.WithContext(ctx)); err != nil {
-			writeError(w, err)
-		}
-	}
 }
 
 // requestContext derives the per-request deadline: ?deadline_ms if the
@@ -143,11 +144,12 @@ func (s *Service) requestContext(r *http.Request) (context.Context, context.Canc
 
 func (s *Service) handlePutTenant(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
+	telemetryFrom(r.Context()).setTenant(name)
 	p, err := profileio.Read(http.MaxBytesReader(w, r.Body, maxProfileBody))
 	if err != nil {
 		return fmt.Errorf("service: profile body: %w", err)
 	}
-	if err := s.Register(name, p); err != nil {
+	if err := s.Register(r.Context(), name, p); err != nil {
 		return err
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tenant": name, "seq": s.store.Seq()})
@@ -156,7 +158,8 @@ func (s *Service) handlePutTenant(w http.ResponseWriter, r *http.Request) error 
 
 func (s *Service) handleDeleteTenant(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
-	if err := s.Unregister(name); err != nil {
+	telemetryFrom(r.Context()).setTenant(name)
+	if err := s.Unregister(r.Context(), name); err != nil {
 		return err
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tenant": name, "seq": s.store.Seq()})
@@ -181,6 +184,7 @@ func (s *Service) handleMRC(w http.ResponseWriter, r *http.Request) error {
 		}
 		units = u
 	}
+	telemetryFrom(r.Context()).setTenant(r.PathValue("name"))
 	c, err := s.CurveFor(r.PathValue("name"), units)
 	if err != nil {
 		return err
@@ -200,6 +204,12 @@ func (s *Service) handlePlanPost(w http.ResponseWriter, r *http.Request) error {
 	var req planRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		return fmt.Errorf("service: plan request body: %w", err)
+	}
+	if len(req.Tenants) > 0 {
+		// Attribute group plans to their first tenant — a single label
+		// keeps the per-tenant family's cardinality linear in tenants,
+		// not in observed groups.
+		telemetryFrom(r.Context()).setTenant(req.Tenants[0])
 	}
 	plan, err := s.PlanFor(r.Context(), req.Tenants, req.Units)
 	if err != nil {

@@ -9,6 +9,34 @@ const (
 	// Admission control (admission.go).
 	mAdmissionShed            = "service.admission.shed"
 	mAdmissionDeadlineInQueue = "service.admission.deadline_in_queue"
+	mAdmissionQueueDepth      = "service.admission.queue_depth"
+
+	// Request-scoped trace spans (telemetry.go, service.go, admission.go):
+	// the per-request span tree rooted at service.req, parented through
+	// the request context so one plan request renders as one trace.
+	spanReq          = "service.req"
+	spanReqAdmission = "service.req.admission"
+	spanReqQueue     = "service.req.queue"
+	spanReqCurves    = "service.req.curves"
+	spanReqSolve     = "service.req.solve"
+	spanReqStore     = "service.req.store"
+
+	// RED rollups (telemetry.go): every request once, plus one counter
+	// per status class ("…by_class." + 2xx/3xx/4xx/5xx), with the two
+	// deadline outcomes 499 and 504 split out (canceled = client went
+	// away, deadline = the request's own budget expired).
+	mRequests              = "service.requests"
+	mRequestsByClassPrefix = "service.requests.by_class."
+	mRequestsCanceled      = "service.requests.canceled"
+	mRequestsDeadline      = "service.requests.deadline"
+
+	// Per-tenant RED family (telemetry.go): a bounded child set under
+	// this prefix; full series names are mTenantPrefix + tenant + "." +
+	// one of the suffix families below + route/class.
+	mTenantPrefix        = "service.tenant."
+	tenantRequestsPrefix = "requests."
+	tenantErrorsPrefix   = "errors."
+	tenantLatencyPrefix  = "latency_ns."
 
 	// HTTP surface (http.go). The prefixes end in "." and are completed
 	// with the route name or error code at the call site.

@@ -54,6 +54,10 @@ type Config struct {
 	// service enters degraded mode and keeps serving the last good plan.
 	RetryMax  int
 	RetryBase time.Duration
+	// TenantSeriesCap bounds the live per-tenant metric label set
+	// (telemetry.go); tenants beyond it fold into the "other" overflow
+	// series. Non-positive means the obs default.
+	TenantSeriesCap int
 	// Seed makes the backoff jitter deterministic for tests.
 	Seed uint64
 }
@@ -70,6 +74,7 @@ func DefaultConfig() Config {
 		ReoptDeadline:   10 * time.Second,
 		RetryMax:        3,
 		RetryBase:       50 * time.Millisecond,
+		TenantSeriesCap: obs.DefaultChildSetCap,
 		Seed:            1,
 	}
 }
@@ -99,6 +104,9 @@ func (c *Config) normalize() {
 	}
 	if c.RetryBase <= 0 {
 		c.RetryBase = d.RetryBase
+	}
+	if c.TenantSeriesCap <= 0 {
+		c.TenantSeriesCap = d.TenantSeriesCap
 	}
 }
 
@@ -215,12 +223,16 @@ func (s *Service) Draining() bool { return s.draining.Load() }
 func (s *Service) Degraded() bool { return s.degraded.Load() }
 
 // Register adds or replaces a tenant durably and schedules a background
-// re-optimization.
-func (s *Service) Register(name string, p profileio.Profile) error {
+// re-optimization. The store append runs under a service.req.store span
+// when ctx carries a request trace (nil ctx is fine for direct callers).
+func (s *Service) Register(ctx context.Context, name string, p profileio.Profile) error {
 	if s.draining.Load() {
 		return ErrDraining
 	}
-	if err := s.store.Put(name, p); err != nil {
+	_, done := startStage(ctx, spanReqStore)
+	err := s.store.Put(name, p)
+	done()
+	if err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -235,12 +247,16 @@ func (s *Service) Register(name string, p profileio.Profile) error {
 }
 
 // Unregister removes a tenant durably and schedules a background
-// re-optimization.
-func (s *Service) Unregister(name string) error {
+// re-optimization. Like Register, the store mutation is traced as a
+// service.req.store stage when ctx carries a request trace.
+func (s *Service) Unregister(ctx context.Context, name string) error {
 	if s.draining.Load() {
 		return ErrDraining
 	}
-	if err := s.store.Delete(name); err != nil {
+	_, done := startStage(ctx, spanReqStore)
+	err := s.store.Delete(name)
+	done()
+	if err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -309,28 +325,36 @@ func (s *Service) PlanFor(ctx context.Context, names []string, units int) (Plan,
 		defer cancel()
 	}
 	start := time.Now()
-	if err := s.limiter.Acquire(ctx); err != nil {
+	actx, doneAdmission := startStage(ctx, spanReqAdmission)
+	err := s.limiter.Acquire(actx)
+	doneAdmission()
+	if err != nil {
 		return Plan{}, err
 	}
 	defer s.limiter.Release()
 
+	_, doneCurves := startStage(ctx, spanReqCurves)
 	curves := make([]mrc.Curve, len(names))
 	for i, n := range names {
 		c, err := s.CurveFor(n, units)
 		if err != nil {
+			doneCurves()
 			return Plan{}, err
 		}
 		curves[i] = c
 	}
+	doneCurves()
+	sctx, doneSolve := startStage(ctx, spanReqSolve)
+	defer doneSolve()
 	if err := faultinject.Hit(FaultSolve); err != nil {
 		return Plan{}, fmt.Errorf("service: solve: %w", err)
 	}
-	if err := ctx.Err(); err != nil {
+	if err := sctx.Err(); err != nil {
 		return Plan{}, fmt.Errorf("service: solve: %w", err)
 	}
 	// workers=1 keeps the solve serial but cancellable: the kernel polls
 	// ctx between DP layers, so the request deadline reaches every solve.
-	sol, err := partition.OptimizeParallel(ctx, partition.Problem{Curves: curves, Units: units}, 1)
+	sol, err := partition.OptimizeParallel(sctx, partition.Problem{Curves: curves, Units: units}, 1)
 	if err != nil {
 		return Plan{}, err
 	}

@@ -104,7 +104,7 @@ func assertPlanBitExact(t *testing.T, svc *Service, p Plan) {
 func TestPlanForBitExact(t *testing.T) {
 	svc := newTestService(t, testConfig())
 	for i := uint64(1); i <= 4; i++ {
-		if err := svc.Register(fmt.Sprintf("t%d", i), testProfile(t, i)); err != nil {
+		if err := svc.Register(nil, fmt.Sprintf("t%d", i), testProfile(t, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -143,7 +143,7 @@ func TestEpochChurnWarmStartBitExact(t *testing.T) {
 	var group []string
 	for i := uint64(1); i <= 4; i++ {
 		name := fmt.Sprintf("t%d", i)
-		if err := svc.Register(name, testProfile(t, i)); err != nil {
+		if err := svc.Register(nil, name, testProfile(t, i)); err != nil {
 			t.Fatal(err)
 		}
 		group = append(group, name)
@@ -155,7 +155,7 @@ func TestEpochChurnWarmStartBitExact(t *testing.T) {
 	}
 
 	// Departure mid-list: prefix reuse shrinks but exactness holds.
-	if err := svc.Unregister("t2"); err != nil {
+	if err := svc.Unregister(nil, "t2"); err != nil {
 		t.Fatal(err)
 	}
 	p := waitForEpoch(t, svc, []string{"t1", "t3", "t4"})
@@ -166,7 +166,7 @@ func TestEpochChurnWarmStartBitExact(t *testing.T) {
 
 	// Last tenant gone: the plan clears.
 	for _, n := range []string{"t1", "t3", "t4"} {
-		if err := svc.Unregister(n); err != nil {
+		if err := svc.Unregister(nil, n); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -195,7 +195,7 @@ func TestReoptTransientFailureRetries(t *testing.T) {
 	faultinject.Enable(plan)
 	defer faultinject.Enable(nil)
 
-	if err := svc.Register("t1", testProfile(t, 1)); err != nil {
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
 		t.Fatal(err)
 	}
 	p := waitForEpoch(t, svc, []string{"t1"})
@@ -217,7 +217,7 @@ func TestReoptPersistentFailureDegrades(t *testing.T) {
 	defer cancel()
 	svc.Start(ctx)
 
-	if err := svc.Register("t1", testProfile(t, 1)); err != nil {
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
 		t.Fatal(err)
 	}
 	waitForEpoch(t, svc, []string{"t1"})
@@ -226,7 +226,7 @@ func TestReoptPersistentFailureDegrades(t *testing.T) {
 	plan := faultinject.NewPlan()
 	plan.Set(FaultReopt, faultinject.Rule{}) // fire forever
 	faultinject.Enable(plan)
-	if err := svc.Register("t2", testProfile(t, 2)); err != nil {
+	if err := svc.Register(nil, "t2", testProfile(t, 2)); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -262,7 +262,7 @@ func TestReoptPersistentFailureDegrades(t *testing.T) {
 // its deadline; the error is context.DeadlineExceeded via errors.Is.
 func TestPlanForDeadline(t *testing.T) {
 	svc := newTestService(t, testConfig())
-	if err := svc.Register("t1", testProfile(t, 1)); err != nil {
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
 		t.Fatal(err)
 	}
 	plan := faultinject.NewPlan()
@@ -285,7 +285,7 @@ func TestOverloadSheds(t *testing.T) {
 	cfg.MaxInflight = 1
 	cfg.QueueDepth = 0
 	svc := newTestService(t, cfg)
-	if err := svc.Register("t1", testProfile(t, 1)); err != nil {
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
 		t.Fatal(err)
 	}
 	// Pin the only slot with an injected slow solve.
@@ -322,7 +322,7 @@ func TestQueuedDeadline(t *testing.T) {
 	cfg.MaxInflight = 1
 	cfg.QueueDepth = 4
 	svc := newTestService(t, cfg)
-	if err := svc.Register("t1", testProfile(t, 1)); err != nil {
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
 		t.Fatal(err)
 	}
 	plan := faultinject.NewPlan()
@@ -355,17 +355,17 @@ func TestQueuedDeadline(t *testing.T) {
 // sentinel on every entry point.
 func TestDrainingRefusesTyped(t *testing.T) {
 	svc := newTestService(t, testConfig())
-	if err := svc.Register("t1", testProfile(t, 1)); err != nil {
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
 		t.Fatal(err)
 	}
 	svc.SetDraining(true)
 	if _, err := svc.PlanFor(context.Background(), []string{"t1"}, 0); !errors.Is(err, ErrDraining) {
 		t.Fatalf("PlanFor while draining = %v, want ErrDraining", err)
 	}
-	if err := svc.Register("t2", testProfile(t, 2)); !errors.Is(err, ErrDraining) {
+	if err := svc.Register(nil, "t2", testProfile(t, 2)); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Register while draining = %v, want ErrDraining", err)
 	}
-	if err := svc.Unregister("t1"); !errors.Is(err, ErrDraining) {
+	if err := svc.Unregister(nil, "t1"); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Unregister while draining = %v, want ErrDraining", err)
 	}
 	svc.SetDraining(false)
@@ -387,7 +387,7 @@ func TestServiceRestartRecoversTenants(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := uint64(1); i <= 3; i++ {
-		if err := svc.Register(fmt.Sprintf("t%d", i), testProfile(t, i)); err != nil {
+		if err := svc.Register(nil, fmt.Sprintf("t%d", i), testProfile(t, i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"partitionshare/internal/obs"
+)
+
+// This file is the request-telemetry middleware: the wrap envelope every
+// API handler runs under. It ingests (or mints) a W3C traceparent,
+// threads the trace identity and a per-request stage collector through
+// the context, opens the root service.req span the instrumented layers
+// (admission, curves, solve, store) parent under, and — once the
+// response is out — records the request into the RED rollups, the
+// per-tenant bounded child set, the latency histogram (with a trace-ID
+// exemplar), and the flight recorder. The same trace ID travels in the
+// response traceparent header, the error envelope's trace_id field, and
+// the flight-recorder record, so one identifier correlates all three.
+
+// TraceparentHeader is the W3C trace-context header the service reads
+// from requests and echoes on every response.
+const TraceparentHeader = "traceparent"
+
+// Admission outcomes recorded in flight-recorder entries.
+const (
+	outcomeAdmitted        = "admitted"
+	outcomeQueued          = "queued"
+	outcomeShed            = "shed"
+	outcomeDeadlineInQueue = "deadline_in_queue"
+)
+
+// statusWriter observes the status code a handler writes so the
+// telemetry defer can attribute the request after the fact. Handlers
+// still set status exclusively through the envelope writers; this
+// wrapper only watches.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	//vetkit:ignore(httpenvelope): transparent forwarder — the envelope writers run on top of this wrapper
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// reqTelemetry carries per-request attribution the inner layers fill in
+// as they learn it: which tenant the request concerns, the envelope
+// error code it ended with, and the admission outcome. It rides the
+// context so handlers and the limiter report without new plumbing.
+type reqTelemetry struct {
+	mu      sync.Mutex
+	tenant  string
+	code    string
+	outcome string
+}
+
+type reqTelemetryKey struct{}
+
+// telemetryFrom returns the request's telemetry carrier, or nil outside
+// the middleware (direct Service calls, tests) — all setters are
+// nil-safe so instrumented code never branches.
+func telemetryFrom(ctx context.Context) *reqTelemetry {
+	if ctx == nil {
+		return nil
+	}
+	rt, _ := ctx.Value(reqTelemetryKey{}).(*reqTelemetry)
+	return rt
+}
+
+func (rt *reqTelemetry) setTenant(name string) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.tenant = name
+	rt.mu.Unlock()
+}
+
+func (rt *reqTelemetry) setCode(code string) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.code = code
+	rt.mu.Unlock()
+}
+
+func (rt *reqTelemetry) setOutcome(o string) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.outcome = o
+	rt.mu.Unlock()
+}
+
+func (rt *reqTelemetry) get() (tenant, code, outcome string) {
+	if rt == nil {
+		return "", "", ""
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tenant, rt.code, rt.outcome
+}
+
+// statusClass buckets an HTTP status for the by-class RED counters.
+func statusClass(status int) string {
+	switch {
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// startStage opens one traced request stage: a child span under the
+// context's current span plus an entry in the request's stage
+// collector. The returned context parents further spans (and carries
+// the deadline) into the stage; done ends both. Works unchanged when
+// tracing or stage collection is disabled.
+func startStage(ctx context.Context, name string) (context.Context, func()) {
+	//vetkit:ignore(obsname): stage names are forwarded spanReq* constants from the call sites
+	sctx, span := obs.StartTraceSpan(ctx, name, "service")
+	rs := obs.ReqStagesFrom(ctx)
+	start := time.Now()
+	return sctx, func() {
+		span.End()
+		rs.Add(name, time.Since(start))
+	}
+}
+
+// wrap applies the common robustness-and-telemetry envelope: trace
+// ingest, drain refusal, request deadline, per-route and per-tenant
+// metrics, flight recording, and panic containment (a handler bug
+// becomes a 500, never a daemon crash).
+func (s *Service) wrap(route string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg := obs.Enabled()
+		reg.Counter(mHTTPRequestsPrefix + route).Add(1)
+
+		// Trace ingest: adopt a well-formed caller trace ID (minting our
+		// own span ID), replace anything malformed with a fresh identity,
+		// and echo the chosen traceparent up front so even a shed or
+		// panicking response carries it.
+		tc, _ := obs.EnsureTraceContext(r.Header.Get(TraceparentHeader))
+		w.Header().Set(TraceparentHeader, tc.Traceparent())
+		ctx := obs.WithTraceContext(r.Context(), tc)
+		ctx, stages := obs.WithReqStages(ctx)
+		rt := &reqTelemetry{}
+		ctx = context.WithValue(ctx, reqTelemetryKey{}, rt)
+		ctx, root := obs.StartTraceSpan(ctx, spanReq, "service")
+		r = r.WithContext(ctx)
+		sw := &statusWriter{ResponseWriter: w}
+
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				reg.Counter(mHTTPPanics).Add(1)
+				obs.Logger().Error("handler panic", "route", route, "panic", fmt.Sprint(p))
+				writeJSON(sw, http.StatusInternalServerError,
+					apiError{Error: "internal", Detail: "handler panic", TraceID: tc.TraceIDString()})
+			}
+			root.End()
+			s.recordRequest(reg, r, route, sw.status, tc.TraceIDString(), rt, stages, start)
+		}()
+		if s.draining.Load() {
+			writeError(sw, r, ErrDraining)
+			return
+		}
+		dctx, cancel, err := s.requestContext(r)
+		if err != nil {
+			writeError(sw, r, err)
+			return
+		}
+		defer cancel()
+		if err := fn(sw, r.WithContext(dctx)); err != nil {
+			writeError(sw, r, err)
+		}
+	}
+}
+
+// recordRequest files one finished request into every telemetry sink:
+// RED rollups, the per-tenant child set, the per-route latency
+// histogram (with the trace ID as the bucket's exemplar), and the
+// flight recorder. Runs once per request, after the response is out.
+func (s *Service) recordRequest(reg *obs.Registry, r *http.Request, route string, status int,
+	traceID string, rt *reqTelemetry, stages *obs.ReqStages, start time.Time) {
+	if status == 0 {
+		status = http.StatusOK // handler wrote nothing: implicit 200
+	}
+	class := statusClass(status)
+	dur := time.Since(start)
+	reg.Counter(mRequests).Add(1)
+	reg.Counter(mRequestsByClassPrefix + class).Add(1)
+	switch status {
+	case 499:
+		reg.Counter(mRequestsCanceled).Add(1)
+	case http.StatusGatewayTimeout:
+		reg.Counter(mRequestsDeadline).Add(1)
+	}
+	reg.Histogram(mHTTPLatencyPrefix+route, obs.DurationBuckets()).
+		ObserveExemplar(dur.Nanoseconds(), traceID)
+
+	tenant, code, outcome := rt.get()
+	if tenant != "" {
+		child := reg.ChildSet(mTenantPrefix, s.cfg.TenantSeriesCap).Child(tenant)
+		child.Counter(tenantRequestsPrefix + route).Add(1)
+		if status >= 400 {
+			child.Counter(tenantErrorsPrefix + class).Add(1)
+		}
+		child.Histogram(tenantLatencyPrefix+route, obs.DurationBuckets()).Observe(dur.Nanoseconds())
+	}
+
+	fr := obs.ActiveFlightRecorder()
+	fr.Record(obs.RequestRecord{
+		Method:  r.Method,
+		Route:   route,
+		Tenant:  tenant,
+		Status:  status,
+		Code:    code,
+		Outcome: outcome,
+		TraceID: traceID,
+		StartNS: start.Sub(fr.Start()).Nanoseconds(),
+		DurNS:   dur.Nanoseconds(),
+		Stages:  stages.Stages(),
+	})
+}

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"partitionshare/internal/faultinject"
+	"partitionshare/internal/obs"
+)
+
+// withTelemetry installs a fresh registry, tracer, and flight recorder
+// for one test and restores the previous globals afterwards.
+func withTelemetry(t *testing.T) (*obs.Registry, *obs.Tracer, *obs.FlightRecorder) {
+	t.Helper()
+	prevReg, prevTr, prevFr := obs.Enabled(), obs.ActiveTracer(), obs.ActiveFlightRecorder()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(0, nil)
+	fr := obs.NewFlightRecorder(0)
+	obs.Enable(reg)
+	obs.EnableTracer(tr)
+	obs.EnableFlightRecorder(fr)
+	t.Cleanup(func() {
+		obs.Enable(prevReg)
+		obs.EnableTracer(prevTr)
+		obs.EnableFlightRecorder(prevFr)
+	})
+	return reg, tr, fr
+}
+
+// serveDirect runs one request through the service handler without a
+// network listener.
+func serveDirect(t *testing.T, h http.Handler, method, target, traceparent string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != nil {
+		req = httptest.NewRequest(method, target, strings.NewReader(string(body)))
+	} else {
+		req = httptest.NewRequest(method, target, nil)
+	}
+	if traceparent != "" {
+		req.Header.Set(TraceparentHeader, traceparent)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// The tentpole acceptance path: a plan request carrying a W3C
+// traceparent yields the same trace ID in the response header, the
+// flight-recorder entry, and (on errors) the envelope — and the request
+// renders as one span tree with the admission, curves, and solve stages
+// parented under the root request span.
+func TestHTTPTraceContextEndToEnd(t *testing.T) {
+	_, tr, fr := withTelemetry(t)
+	svc := newTestService(t, testConfig())
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+
+	const inbound = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	const wantTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	rec := serveDirect(t, h, "POST", "/v1/plan", inbound, []byte(`{"tenants":["t1"]}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("plan = %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Response header: same trace ID, our own (new) span ID.
+	echoed := rec.Header().Get(TraceparentHeader)
+	tc, err := obs.ParseTraceparent(echoed)
+	if err != nil {
+		t.Fatalf("echoed traceparent %q malformed: %v", echoed, err)
+	}
+	if tc.TraceIDString() != wantTrace {
+		t.Fatalf("echoed trace ID %s, want caller's %s", tc.TraceIDString(), wantTrace)
+	}
+	if strings.Contains(echoed, "00f067aa0ba902b7") {
+		t.Fatal("response reused the caller's span ID")
+	}
+
+	// Span tree: a service.req root with the admission, curves, and
+	// solve stages parented under it — at least 4 spans for one request.
+	events := tr.Events()
+	var rootID int64
+	for _, ev := range events {
+		if ev.Name == spanReq {
+			rootID = ev.ID
+		}
+	}
+	if rootID == 0 {
+		t.Fatalf("no %s root span in %d events", spanReq, len(events))
+	}
+	parented := map[string]bool{}
+	total := 0
+	for _, ev := range events {
+		total++
+		if ev.Parent == rootID {
+			parented[ev.Name] = true
+		}
+	}
+	for _, want := range []string{spanReqAdmission, spanReqCurves, spanReqSolve} {
+		if !parented[want] {
+			t.Errorf("span %s not parented under %s (events: %+v)", want, spanReq, events)
+		}
+	}
+	if total < 4 {
+		t.Fatalf("plan request produced %d spans, want >= 4", total)
+	}
+
+	// Flight recorder: the request is on record with the same trace ID
+	// and a per-stage breakdown.
+	snap := fr.Snapshot()
+	if len(snap.Recent) == 0 {
+		t.Fatal("flight recorder empty")
+	}
+	got := snap.Recent[0]
+	if got.TraceID != wantTrace {
+		t.Fatalf("flight record trace ID %s, want %s", got.TraceID, wantTrace)
+	}
+	if got.Route != "plan_post" || got.Status != http.StatusOK || got.Tenant != "t1" {
+		t.Fatalf("flight record = %+v", got)
+	}
+	if got.Outcome != outcomeAdmitted {
+		t.Fatalf("flight record outcome %q, want %q", got.Outcome, outcomeAdmitted)
+	}
+	stageNames := map[string]bool{}
+	for _, st := range got.Stages {
+		stageNames[st.Name] = true
+	}
+	for _, want := range []string{spanReqAdmission, spanReqCurves, spanReqSolve} {
+		if !stageNames[want] {
+			t.Errorf("flight record missing stage %s: %+v", want, got.Stages)
+		}
+	}
+
+	// Error path: header and envelope carry the same trace ID.
+	rec = serveDirect(t, h, "POST", "/v1/plan", inbound, []byte(`{"tenants":["nope"]}`))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown tenant = %d", rec.Code)
+	}
+	var env apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := obs.ParseTraceparent(rec.Header().Get(TraceparentHeader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.TraceID != hdr.TraceIDString() || env.TraceID != wantTrace {
+		t.Fatalf("envelope trace_id %s vs header %s vs inbound %s: must all match",
+			env.TraceID, hdr.TraceIDString(), wantTrace)
+	}
+	if env.Error != "not_found" {
+		t.Fatalf("envelope code %s", env.Error)
+	}
+}
+
+// Malformed traceparents are replaced with a fresh identity — never
+// echoed back, never propagated into the trace tree.
+func TestHTTPTraceparentMalformedReplaced(t *testing.T) {
+	withTelemetry(t)
+	svc := newTestService(t, testConfig())
+	h := svc.Handler()
+	cases := []string{
+		"",
+		"garbage",
+		"00-zzzz2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-0000000000000000-00",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+	}
+	for _, in := range cases {
+		rec := serveDirect(t, h, "GET", "/v1/tenants", in, nil)
+		echoed := rec.Header().Get(TraceparentHeader)
+		tc, err := obs.ParseTraceparent(echoed)
+		if err != nil || !tc.Valid() {
+			t.Fatalf("traceparent %q: echoed %q is not a valid fresh context (%v)", in, echoed, err)
+		}
+		if in != "" && strings.Contains(in, tc.TraceIDString()) {
+			t.Fatalf("traceparent %q: malformed trace ID was propagated", in)
+		}
+	}
+}
+
+// A tenant-label flood over the HTTP surface stays capped: the live
+// per-tenant series never exceed the configured cap, with the overflow
+// folded into the "other" bucket and totals preserved.
+func TestHTTPTenantFloodCapped(t *testing.T) {
+	reg, _, _ := withTelemetry(t)
+	cfg := testConfig()
+	cfg.TenantSeriesCap = 8
+	svc := newTestService(t, cfg)
+	h := svc.Handler()
+
+	const flood = 10_000
+	for i := 0; i < flood; i++ {
+		// Unknown tenants 404 — but each still carries a tenant label,
+		// which is exactly the cardinality attack the cap defends against.
+		rec := serveDirect(t, h, "GET", fmt.Sprintf("/v1/tenants/t%05d/mrc", i), "", nil)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("request %d = %d", i, rec.Code)
+		}
+	}
+	snap := reg.Snapshot()
+	live := snap.Gauges[mTenantPrefix+"labels"]
+	if live > 8 {
+		t.Fatalf("live tenant series = %d, want <= 8", live)
+	}
+	var total int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, mTenantPrefix) && strings.HasSuffix(name, ".requests.mrc") {
+			total += v
+		}
+	}
+	if total != flood {
+		t.Fatalf("per-tenant request total = %d, want %d (overflow must absorb, not drop)", total, flood)
+	}
+	if snap.Counters[mTenantPrefix+"other.requests.mrc"] == 0 {
+		t.Fatal("overflow bucket empty after flood")
+	}
+	if snap.Counters[mRequests] != flood {
+		t.Fatalf("%s = %d, want %d", mRequests, snap.Counters[mRequests], flood)
+	}
+	if snap.Counters[mRequestsByClassPrefix+"4xx"] != flood {
+		t.Fatalf("4xx class counter = %d, want %d", snap.Counters[mRequestsByClassPrefix+"4xx"], flood)
+	}
+}
+
+// The 499/504 split: a request canceled by its own deadline counts as
+// deadline (504), and the status-class rollup sees it as 5xx.
+func TestHTTPDeadlineAndClassCounters(t *testing.T) {
+	reg, _, fr := withTelemetry(t)
+	srv, _ := startTestServer(t, testConfig())
+	base := "http://" + srv.Addr()
+	doReq(t, "PUT", base+"/v1/tenants/t1", profileBytes(t, testProfile(t, 1)))
+
+	status, _ := doReq(t, "POST", base+"/v1/plan", []byte(`{"tenants":["t1"]}`))
+	if status != http.StatusOK {
+		t.Fatalf("warm-up plan = %d", status)
+	}
+	deadlineBefore := reg.Counter(mRequestsDeadline).Value()
+
+	plan := faultinject.NewPlan()
+	plan.Set(FaultSolve, faultinject.Rule{Err: faultinject.Benign, Delay: 100 * time.Millisecond})
+	faultinject.Enable(plan)
+	defer faultinject.Enable(nil)
+	status, body := doReq(t, "POST", base+"/v1/plan?deadline_ms=10", []byte(`{"tenants":["t1"]}`))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("slow solve = %d %s", status, body)
+	}
+	if got := reg.Counter(mRequestsDeadline).Value(); got != deadlineBefore+1 {
+		t.Fatalf("%s = %d, want %d", mRequestsDeadline, got, deadlineBefore+1)
+	}
+	if reg.Counter(mRequestsByClassPrefix+"5xx").Value() == 0 {
+		t.Fatal("5xx class counter not incremented by the 504")
+	}
+	if reg.Counter(mRequests).Value() < 3 {
+		t.Fatalf("%s = %d, want >= 3", mRequests, reg.Counter(mRequests).Value())
+	}
+
+	// The failed request landed in the errored ring with its code.
+	snap := fr.Snapshot()
+	found := false
+	for _, recd := range snap.Errored {
+		if recd.Status == http.StatusGatewayTimeout && recd.Code == "deadline" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("504 not in the errored ring: %+v", snap.Errored)
+	}
+}
+
+// Telemetry must be observation only: the same plan request served with
+// tracing, metrics, and flight recording fully enabled and fully
+// disabled returns byte-identical bodies.
+func TestHTTPPlanBitExactTelemetryOnOff(t *testing.T) {
+	run := func(t *testing.T, enable bool) []byte {
+		if enable {
+			withTelemetry(t)
+		} else {
+			prevReg, prevTr, prevFr := obs.Enabled(), obs.ActiveTracer(), obs.ActiveFlightRecorder()
+			obs.Enable(nil)
+			obs.EnableTracer(nil)
+			obs.EnableFlightRecorder(nil)
+			t.Cleanup(func() {
+				obs.Enable(prevReg)
+				obs.EnableTracer(prevTr)
+				obs.EnableFlightRecorder(prevFr)
+			})
+		}
+		svc := newTestService(t, testConfig())
+		for i := uint64(1); i <= 3; i++ {
+			if err := svc.Register(nil, fmt.Sprintf("t%d", i), testProfile(t, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec := serveDirect(t, svc.Handler(), "POST", "/v1/plan", "", []byte(`{"tenants":["t1","t2","t3"]}`))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("plan = %d %s", rec.Code, rec.Body.String())
+		}
+		return rec.Body.Bytes()
+	}
+	on := run(t, true)
+	off := run(t, false)
+	if string(on) != string(off) {
+		t.Fatalf("plan bodies differ with telemetry on vs off:\n%s\nvs\n%s", on, off)
+	}
+	var p Plan
+	if err := json.Unmarshal(on, &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Alloc) != 3 || math.IsNaN(p.Objective) {
+		t.Fatalf("implausible plan %+v", p)
+	}
+}

@@ -6,8 +6,11 @@
 // miss ratio against the offline optpart CLI run on the same profiles at
 // the same geometry — the two paths must agree exactly (the service's
 // bit-exactness contract, observed end to end through both CLIs). It
-// then SIGTERMs the daemon and asserts the drain contract: exit status
-// 0 and a manifest that parses and names the tool.
+// also asserts the observability surface: traceparent propagation on a
+// plan request, the Prometheus exposition at /metrics/prom, and the
+// flight recorder at /debug/requests. It then SIGTERMs the daemon and
+// asserts the drain contract: exit status 0 and a manifest that parses
+// and names the tool.
 //
 // Usage:
 //
@@ -112,6 +115,8 @@ func main() {
 		fail("readyz = %d", status)
 	}
 
+	checkObservability(base)
+
 	// Drain contract: SIGTERM, clean exit 0, manifest written and parseable.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
 		fail("signal: %v", err)
@@ -141,6 +146,95 @@ func main() {
 	}
 	fmt.Printf("checkservice OK: plan %v mr %s matches offline optpart; clean drain with manifest\n",
 		plan.Alloc, wantMR)
+}
+
+// checkObservability asserts the daemon's request-telemetry surface:
+// W3C trace-context propagation on a plan request, the Prometheus text
+// exposition at /metrics/prom (content type, HELP/TYPE metadata,
+// monotone cumulative histogram buckets, a live service_requests_total
+// rollup), and a non-empty flight recorder at /debug/requests.
+func checkObservability(base string) {
+	// A well-formed caller traceparent: the daemon must keep the trace
+	// ID (so the caller can correlate) but mint its own span ID.
+	const callerTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const callerSpan = "00f067aa0ba902b7"
+	status, _, hdr := doReqTrace("POST", base+"/v1/plan",
+		[]byte(`{"tenants":["a","b"]}`), "00-"+callerTrace+"-"+callerSpan+"-01")
+	if status != http.StatusOK {
+		fail("traced POST /v1/plan = %d", status)
+	}
+	echo := hdr.Get("traceparent")
+	parts := strings.Split(echo, "-")
+	if len(parts) != 4 || parts[1] != callerTrace {
+		fail("traceparent trace ID not propagated: sent %s, echoed %q", callerTrace, echo)
+	}
+	if parts[2] == callerSpan {
+		fail("daemon echoed the caller's span ID instead of minting its own: %q", echo)
+	}
+
+	status, prom, hdr := doReqTrace("GET", base+"/metrics/prom", nil, "")
+	if status != http.StatusOK {
+		fail("GET /metrics/prom = %d", status)
+	}
+	const wantCT = "text/plain; version=0.0.4; charset=utf-8"
+	if ct := hdr.Get("Content-Type"); ct != wantCT {
+		fail("/metrics/prom content type %q, want %q", ct, wantCT)
+	}
+	text := string(prom)
+	if !strings.Contains(text, "# HELP ") || !strings.Contains(text, "# TYPE ") {
+		fail("/metrics/prom exposition lacks HELP/TYPE metadata:\n%s", text)
+	}
+	total, sawTotal := int64(0), false
+	prevBucketMetric, prevBucket := "", int64(-1)
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "service_requests_total ") {
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				fail("service_requests_total line %q: %v", line, err)
+			}
+			total, sawTotal = v, true
+		}
+		if i := strings.Index(line, "_bucket{le="); i >= 0 && !strings.HasPrefix(line, "#") {
+			metric := line[:i]
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				fail("bucket line %q: %v", line, err)
+			}
+			if metric != prevBucketMetric {
+				prevBucketMetric, prevBucket = metric, -1
+			}
+			if v < prevBucket {
+				fail("%s cumulative buckets not monotone: %d after %d", metric, v, prevBucket)
+			}
+			prevBucket = v
+		}
+	}
+	if !sawTotal || total < 1 {
+		fail("service_requests_total missing or zero after served requests (saw=%v total=%d)", sawTotal, total)
+	}
+	if prevBucketMetric == "" {
+		fail("/metrics/prom exposition carries no histogram buckets")
+	}
+
+	status, flight, _ := doReqTrace("GET", base+"/debug/requests", nil, "")
+	if status != http.StatusOK {
+		fail("GET /debug/requests = %d", status)
+	}
+	var snap struct {
+		Total  int64 `json:"total"`
+		Recent []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(flight, &snap); err != nil {
+		fail("/debug/requests does not parse: %v: %s", err, flight)
+	}
+	if snap.Total < 1 || len(snap.Recent) == 0 {
+		fail("flight recorder empty after served requests: %s", flight)
+	}
+	if snap.Recent[0].TraceID == "" {
+		fail("flight record lacks a trace ID: %s", flight)
+	}
 }
 
 // waitForAddr polls the daemon's addr-file until the bound address
@@ -197,9 +291,19 @@ func offlineOptimal(bin string, profiles []string) ([2]int, string) {
 }
 
 func doReq(method, url string, body []byte) (int, []byte) {
+	status, data, _ := doReqTrace(method, url, body, "")
+	return status, data
+}
+
+// doReqTrace is doReq plus an optional traceparent header on the
+// request, returning the response headers for echo assertions.
+func doReqTrace(method, url string, body []byte, traceparent string) (int, []byte, http.Header) {
 	req, err := http.NewRequest(method, url, bytes.NewReader(body))
 	if err != nil {
 		fail("%v", err)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -210,7 +314,7 @@ func doReq(method, url string, body []byte) (int, []byte) {
 	if err != nil {
 		fail("%v", err)
 	}
-	return resp.StatusCode, data
+	return resp.StatusCode, data, resp.Header
 }
 
 func fail(format string, args ...any) {
