@@ -37,7 +37,7 @@ import (
 const obsOverheadLimitPct = 3.0
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "snapshot file to create or merge into")
+	out := flag.String("out", "BENCH_PR10.json", "snapshot file to create or merge into")
 	label := flag.String("label", "current", "label for this run's column in the snapshot")
 	flag.Parse()
 

@@ -17,7 +17,16 @@
 //	GET    /v1/tenants/{name}/mrc   miss-ratio curve (?units=N)
 //	POST   /v1/plan                 plan for an ad-hoc group {"tenants":[...]}
 //	GET    /v1/plan                 current background epoch plan
+//	GET    /v1/plan/history         epoch audit records (?since_epoch=N)
+//	GET    /v1/plan/changes         change feed: long-poll (?wait_ms) or SSE (?stream=sse)
 //	GET    /healthz, /readyz        liveness / readiness
+//
+// Every served plan carries a provenance record (epoch, input digest,
+// solver path, warm/cold start, triggering cause and trace); every epoch
+// transition is diffed, appended to a crash-safe audit log in the store
+// directory, and fanned out to /v1/plan/changes subscribers without ever
+// back-pressuring re-optimization (slow consumers see a gap marker).
+// /debug/epochs renders the retained timeline human-readably.
 //
 // Robustness: requests run under deadlines (?deadline_ms, capped by
 // -deadline) propagated into the DP solve; admission is bounded
@@ -67,6 +76,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve live expvar metrics and pprof on this address")
 	flightCap := flag.Int("flight-cap", obs.DefaultFlightCap, "request flight-recorder ring capacity for /debug/requests (0 disables)")
 	tenantSeriesCap := flag.Int("tenant-series-cap", obs.DefaultChildSetCap, "live per-tenant metric series kept before folding into the 'other' bucket")
+	feedBuffer := flag.Int("feed-buffer", 0, "pending epoch events buffered per /v1/plan/changes subscriber before drop-oldest (0 = default)")
+	auditRetain := flag.Int("audit-retain", 0, "epoch audit records retained for /v1/plan/history (0 = default)")
 	metricsInterval := flag.Duration("metrics-interval", 0, "registry sampling interval for /metrics/history (0 disables)")
 	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "emit the diagnostic log as JSON instead of text")
@@ -136,11 +147,14 @@ func main() {
 		RetryMax:        *retryMax,
 		RetryBase:       *retryBase,
 		TenantSeriesCap: *tenantSeriesCap,
+		FeedBuffer:      *feedBuffer,
+		AuditRetain:     *auditRetain,
 		Seed:            1,
 	}, store)
 	if err != nil {
 		fatal(err)
 	}
+	defer svc.Close()
 	if n := store.Len(); n > 0 {
 		obs.Logger().Info("recovered tenants from store", "count", n, "dir", *storeDir)
 	}

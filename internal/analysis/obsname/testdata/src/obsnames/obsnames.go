@@ -52,6 +52,17 @@ const (
 	suffixBadCase    = "Requests"
 	suffixBadPrefix  = "requests_by"       // dynamic form must end in "."
 	suffixPkgDoubled = "obsnames.requests" // would render obsnames.tenant.X.obsnames.requests
+
+	// Plan-lifecycle shapes (PR10): an epoch gauge, a churn counter, a
+	// per-tenant delta child set, and the flagged variants of each — a
+	// delta prefix missing its trailing dot and an epoch gauge named in
+	// the legacy underscore style.
+	mPlanEpoch       = "obsnames.plan.epoch"
+	mPlanUnitsMoved  = "obsnames.plan.units_moved"
+	mPlanDeltaPrefix = "obsnames.plan.delta."
+	suffixDeltaUnits = "moved_units"
+	mPlanDeltaNoDot  = "obsnames.plan.delta"       // prefix must end in "."
+	mPlanEpochLegacy = "obsnames_plan_epoch_total" // undotted legacy shape
 )
 
 var reg Registry
@@ -69,6 +80,18 @@ func GoodChildren(label, route string) {
 	child.Counter(suffixRequests)
 	child.Counter(suffixReqPrefix + route) // dynamic suffix: const prefix + expr
 	child.Histogram(suffixLatency, nil)
+}
+
+func GoodPlanLifecycle(tenant string) {
+	reg.Gauge(mPlanEpoch)
+	reg.Counter(mPlanUnitsMoved)
+	reg.ChildSet(mPlanDeltaPrefix, 64).Child(tenant).Counter(suffixDeltaUnits)
+}
+
+func BadPlanLifecycle(tenant string) {
+	reg.Counter(mPlanEpochLegacy)     // want `dotted.snake`
+	reg.ChildSet(mPlanDeltaNoDot, 64) // want `ending in`
+	reg.ChildSet("other.plan.", 64)   // want `named constant`
 }
 
 func Bad(ctx context.Context, code string) {

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sync"
 	"testing"
 
 	"partitionshare/internal/experiment"
@@ -135,6 +136,9 @@ func New() (*Suite, error) {
 // Close releases the service fixture's store and its throwaway
 // directory.
 func (s *Suite) Close() {
+	if s.svc != nil {
+		s.svc.Close()
+	}
 	if s.store != nil {
 		s.store.Close()
 	}
@@ -396,7 +400,71 @@ func (s *Suite) Benches() []Bench {
 			}
 		},
 	})
+	// Plan-lifecycle paths (PR 10). PlanDiff is the per-epoch diff the
+	// publisher computes synchronously before every plan swap, at a
+	// larger-than-typical group size so the gate bounds the worst case.
+	// ChangeFeedFanout is one epoch publication fanned out to eight live
+	// subscribers — the other synchronous cost the feed adds to the
+	// re-optimization loop (drop-oldest, so it must stay flat even when
+	// subscribers lag).
+	benches = append(benches, Bench{
+		Name: "PlanDiff",
+		Fn: func(b *testing.B) {
+			const n = 64
+			prev := &service.Plan{Epoch: 1, Tenants: make([]string, n), Alloc: make([]int, n)}
+			next := &service.Plan{Epoch: 2, Tenants: make([]string, n), Alloc: make([]int, n)}
+			for i := 0; i < n; i++ {
+				prev.Tenants[i] = fmt.Sprintf("tenant-%03d", i)
+				next.Tenants[i] = prev.Tenants[i]
+				prev.Alloc[i] = 16
+				next.Alloc[i] = 16 + (i%5 - 2) // most tenants move a little
+			}
+			next.Tenants[n-1] = "tenant-joined" // plus one join/leave pair
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := service.ComputePlanDiff(prev, next)
+				if d.UnitsMoved == 0 {
+					b.Fatal("diff collapsed")
+				}
+			}
+		},
+	})
+	benches = append(benches, Bench{
+		Name: "ChangeFeedFanout",
+		Fn:   changeFeedFanoutBench,
+	})
 	return benches
+}
+
+// changeFeedFanoutBench publishes b.N epoch records to a feed with
+// eight live draining subscribers. The subscriber goroutines run for
+// the benchmark's duration only: Close wakes every Next with
+// ErrFeedClosed and wg joins them before the function returns.
+func changeFeedFanoutBench(b *testing.B) {
+	feed := service.NewChangeFeed(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		sub := feed.Subscribe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sub.Close()
+			for {
+				if _, _, err := sub.Next(context.Background()); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	rec := service.EpochRecord{Provenance: service.PlanProvenance{Cause: service.CauseChurn}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Provenance.Epoch = int64(i + 1)
+		feed.Publish(rec)
+	}
+	b.StopTimer()
+	feed.Close()
+	wg.Wait()
 }
 
 // VetkitSelfRunBench measures one full vetkit pass over the repository

@@ -33,13 +33,17 @@ type StageTiming struct {
 // admission outcome), correlation (trace ID), and timing (start offset
 // from the recorder's creation, duration, per-stage breakdown).
 type RequestRecord struct {
-	Method  string        `json:"method"`
-	Route   string        `json:"route"`
-	Tenant  string        `json:"tenant,omitempty"`
-	Status  int           `json:"status"`
-	Code    string        `json:"code,omitempty"` // envelope error code, "" on success
-	Outcome string        `json:"outcome,omitempty"`
-	TraceID string        `json:"trace_id,omitempty"`
+	Method  string `json:"method"`
+	Route   string `json:"route"`
+	Tenant  string `json:"tenant,omitempty"`
+	Status  int    `json:"status"`
+	Code    string `json:"code,omitempty"` // envelope error code, "" on success
+	Outcome string `json:"outcome,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Epoch is the plan epoch the request served or observed (0 when the
+	// request did not touch a published plan), correlating a
+	// /debug/requests entry with the /debug/epochs timeline.
+	Epoch   int64         `json:"epoch,omitempty"`
 	StartNS int64         `json:"start_ns"`
 	DurNS   int64         `json:"dur_ns"`
 	Stages  []StageTiming `json:"stages,omitempty"`

@@ -1,0 +1,91 @@
+package service
+
+import "sort"
+
+// A TenantDelta is one tenant's allocation change across an epoch
+// transition: FromUnits is its share under the previous plan (0 when it
+// just joined), ToUnits its share under the new one (0 when it left),
+// DeltaUnits the signed difference.
+type TenantDelta struct {
+	Tenant     string `json:"tenant"`
+	FromUnits  int    `json:"from_units"`
+	ToUnits    int    `json:"to_units"`
+	DeltaUnits int    `json:"delta_units"`
+}
+
+// A PlanDiff summarizes one epoch transition: the per-tenant deltas over
+// the union of both plans' tenants, ranked movers first (by |delta|
+// descending, name ascending to break ties), plus the churn summary —
+// UnitsMoved is the total units that changed hands (the sum of positive
+// deltas; equal to the sum of negative ones when total capacity is
+// unchanged), Gained/Lost the tenants present only in the new/old plan.
+type PlanDiff struct {
+	FromEpoch  int64         `json:"from_epoch"`
+	ToEpoch    int64         `json:"to_epoch"`
+	Deltas     []TenantDelta `json:"deltas,omitempty"`
+	UnitsMoved int           `json:"units_moved"`
+	Gained     []string      `json:"gained,omitempty"`
+	Lost       []string      `json:"lost,omitempty"`
+}
+
+// ComputePlanDiff diffs two epoch plans. Either side may be nil: a nil
+// prev means every tenant of next is gained (the first epoch), a nil
+// next means every tenant of prev is lost (the group emptied). Both nil
+// yields the zero diff.
+func ComputePlanDiff(prev, next *Plan) PlanDiff {
+	d := PlanDiff{FromEpoch: -1, ToEpoch: -1}
+	from := map[string]int{}
+	if prev != nil {
+		d.FromEpoch = prev.Epoch
+		for i, t := range prev.Tenants {
+			from[t] = prev.Alloc[i]
+		}
+	}
+	to := map[string]int{}
+	if next != nil {
+		d.ToEpoch = next.Epoch
+		for i, t := range next.Tenants {
+			to[t] = next.Alloc[i]
+		}
+	}
+	names := make([]string, 0, len(from)+len(to))
+	for t := range from {
+		names = append(names, t)
+	}
+	for t := range to {
+		if _, dup := from[t]; !dup {
+			names = append(names, t)
+		}
+	}
+	for _, t := range names {
+		fu, wasThere := from[t]
+		tu, isThere := to[t]
+		d.Deltas = append(d.Deltas, TenantDelta{Tenant: t, FromUnits: fu, ToUnits: tu, DeltaUnits: tu - fu})
+		if !wasThere {
+			d.Gained = append(d.Gained, t)
+		}
+		if !isThere {
+			d.Lost = append(d.Lost, t)
+		}
+		if tu > fu {
+			d.UnitsMoved += tu - fu
+		}
+	}
+	sort.Slice(d.Deltas, func(i, j int) bool {
+		ai, aj := abs(d.Deltas[i].DeltaUnits), abs(d.Deltas[j].DeltaUnits)
+		if ai != aj {
+			return ai > aj
+		}
+		return d.Deltas[i].Tenant < d.Deltas[j].Tenant
+	})
+	sort.Strings(d.Gained)
+	sort.Strings(d.Lost)
+	return d
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"partitionshare/internal/obs"
+)
+
+// The plan change feed: the live half of the plan-lifecycle
+// observability layer. The reopt loop publishes every epoch's audit
+// record here after it lands in the audit log; HTTP long-poll and SSE
+// subscribers (GET /v1/plan/changes) consume it. The backpressure
+// contract is one-sided by design: Publish never blocks and never
+// waits on a subscriber — a subscriber that falls more than its buffer
+// behind loses its oldest pending records and is handed a gap marker
+// instead, so a slow or stuck consumer can never back-pressure
+// re-optimization. A consumer that sees gap=true re-syncs from
+// GET /v1/plan/history, which retains what the buffer dropped.
+
+// ErrFeedClosed reports a wait on a change feed that has shut down
+// (service drain); subscribers should end their streams.
+var ErrFeedClosed = errors.New("service: change feed closed")
+
+// defaultFeedBuffer is the per-subscriber pending-record buffer when the
+// config leaves FeedBuffer unset. Epoch records are small and epochs are
+// churn-rate events, so a short buffer covers any live consumer; history
+// covers the rest.
+const defaultFeedBuffer = 16
+
+// A ChangeFeed fans epoch records out to its subscribers. Construct with
+// NewChangeFeed; safe for concurrent use.
+type ChangeFeed struct {
+	bufCap int
+
+	mu     sync.Mutex
+	subs   map[*FeedSub]struct{}
+	closed bool
+	done   chan struct{}
+}
+
+// NewChangeFeed returns a feed whose subscribers each buffer up to
+// bufCap pending records (<= 0 means the default).
+func NewChangeFeed(bufCap int) *ChangeFeed {
+	if bufCap <= 0 {
+		bufCap = defaultFeedBuffer
+	}
+	return &ChangeFeed{
+		bufCap: bufCap,
+		subs:   make(map[*FeedSub]struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Publish delivers rec to every subscriber, dropping each full
+// subscriber's oldest pending record (and marking its gap) rather than
+// waiting. Never blocks; publishing on a closed feed is a no-op.
+func (f *ChangeFeed) Publish(rec EpochRecord) {
+	reg := obs.Enabled()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	reg.Counter(mFeedEvents).Add(1)
+	for sub := range f.subs {
+		sub.mu.Lock()
+		if len(sub.buf) >= f.bufCap {
+			sub.buf = sub.buf[1:]
+			sub.gap = true
+			reg.Counter(mFeedDropped).Add(1)
+		}
+		sub.buf = append(sub.buf, rec)
+		sub.mu.Unlock()
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Subscribe registers a new subscriber, which receives every record
+// published from now on. Callers must Close the subscription.
+func (f *ChangeFeed) Subscribe() *FeedSub {
+	sub := &FeedSub{feed: f, notify: make(chan struct{}, 1)}
+	f.mu.Lock()
+	f.subs[sub] = struct{}{}
+	n := len(f.subs)
+	f.mu.Unlock()
+	obs.Enabled().Gauge(mFeedSubscribers).Set(int64(n))
+	return sub
+}
+
+// Close shuts the feed down: pending buffers stay readable, every
+// blocked Next wakes with ErrFeedClosed once drained, and later
+// publishes are dropped. Idempotent.
+func (f *ChangeFeed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	close(f.done)
+}
+
+// Done is closed when the feed shuts down.
+func (f *ChangeFeed) Done() <-chan struct{} { return f.done }
+
+// A FeedSub is one subscriber's bounded view of the feed. Not safe for
+// concurrent Next calls; one consumer goroutine per subscription.
+type FeedSub struct {
+	feed   *ChangeFeed
+	notify chan struct{}
+
+	mu  sync.Mutex
+	buf []EpochRecord
+	gap bool
+}
+
+// Next returns the pending records (oldest first) and whether the
+// subscriber overflowed since the last call (gap=true means records
+// were dropped; the consumer should surface the gap and re-sync from
+// history). With nothing pending it blocks until a publish, ctx
+// cancellation (returning ctx.Err()), or feed shutdown (returning
+// ErrFeedClosed).
+func (s *FeedSub) Next(ctx context.Context) (recs []EpochRecord, gap bool, err error) {
+	for {
+		s.mu.Lock()
+		recs, gap = s.buf, s.gap
+		s.buf, s.gap = nil, false
+		s.mu.Unlock()
+		if len(recs) > 0 || gap {
+			return recs, gap, nil
+		}
+		select {
+		case <-s.notify:
+		case <-s.feed.done:
+			// Drain once more: a publish may have raced the shutdown.
+			s.mu.Lock()
+			recs, gap = s.buf, s.gap
+			s.buf, s.gap = nil, false
+			s.mu.Unlock()
+			if len(recs) > 0 || gap {
+				return recs, gap, nil
+			}
+			return nil, false, ErrFeedClosed
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// Close unsubscribes. Idempotent; a blocked Next is left to its ctx or
+// the feed's shutdown.
+func (s *FeedSub) Close() {
+	f := s.feed
+	f.mu.Lock()
+	delete(f.subs, s)
+	n := len(f.subs)
+	f.mu.Unlock()
+	obs.Enabled().Gauge(mFeedSubscribers).Set(int64(n))
+}

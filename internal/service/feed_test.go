@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func feedRecord(epoch int64) EpochRecord {
+	return EpochRecord{Provenance: PlanProvenance{Epoch: epoch, Cause: CauseChurn}}
+}
+
+// TestFeedDeliversInOrder: a subscriber sees every published record in
+// publish order, possibly batched.
+func TestFeedDeliversInOrder(t *testing.T) {
+	f := NewChangeFeed(16)
+	defer f.Close()
+	sub := f.Subscribe()
+	defer sub.Close()
+
+	for e := int64(1); e <= 5; e++ {
+		f.Publish(feedRecord(e))
+	}
+	var got []int64
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for len(got) < 5 {
+		recs, gap, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if gap {
+			t.Fatal("gap reported without overflow")
+		}
+		for _, r := range recs {
+			got = append(got, r.Provenance.Epoch)
+		}
+	}
+	for i, e := range got {
+		if e != int64(i+1) {
+			t.Fatalf("out-of-order delivery: %v", got)
+		}
+	}
+}
+
+// TestFeedOverflowGapNotBlock is the backpressure contract: a slow
+// subscriber never blocks Publish; it loses the oldest records and is
+// told about the loss via the gap flag.
+func TestFeedOverflowGapNotBlock(t *testing.T) {
+	f := NewChangeFeed(4)
+	defer f.Close()
+	sub := f.Subscribe()
+	defer sub.Close()
+
+	// Publish far past the buffer without draining. If Publish could
+	// block, this loop would deadlock the test (caught by the timeout).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := int64(1); e <= 100; e++ {
+			f.Publish(feedRecord(e))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	recs, gap, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if !gap {
+		t.Fatal("overflow did not set the gap flag")
+	}
+	if len(recs) != 4 {
+		t.Fatalf("kept %d records, want the buffer bound 4", len(recs))
+	}
+	// Drop-oldest: the survivors are the newest records, still in order.
+	for i, r := range recs {
+		if r.Provenance.Epoch != int64(97+i) {
+			t.Fatalf("survivor %d has epoch %d, want %d", i, r.Provenance.Epoch, 97+i)
+		}
+	}
+	// The gap flag is one-shot: the next batch is clean.
+	f.Publish(feedRecord(101))
+	recs, gap, err = sub.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap || len(recs) != 1 || recs[0].Provenance.Epoch != 101 {
+		t.Fatalf("post-gap batch = %v gap=%v", recs, gap)
+	}
+}
+
+// TestFeedIndependentSubscribers: one slow subscriber's overflow does
+// not lose records for a fast one.
+func TestFeedIndependentSubscribers(t *testing.T) {
+	f := NewChangeFeed(4)
+	defer f.Close()
+	slow := f.Subscribe()
+	defer slow.Close()
+	fast := f.Subscribe()
+	defer fast.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	total := 0
+	for e := int64(1); e <= 20; e++ {
+		f.Publish(feedRecord(e))
+		recs, gap, err := fast.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap {
+			t.Fatal("draining subscriber overflowed")
+		}
+		total += len(recs)
+	}
+	if total != 20 {
+		t.Fatalf("fast subscriber got %d records, want 20", total)
+	}
+	if _, gap, err := slow.Next(ctx); err != nil || !gap {
+		t.Fatalf("slow subscriber gap=%v err=%v, want gap", gap, err)
+	}
+}
+
+// TestFeedNextContextCancel: a blocked Next returns promptly with the
+// context error when the caller gives up.
+func TestFeedNextContextCancel(t *testing.T) {
+	f := NewChangeFeed(4)
+	defer f.Close()
+	sub := f.Subscribe()
+	defer sub.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := sub.Next(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Next on idle feed = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestFeedCloseWakesSubscribers: Close wakes a blocked Next with
+// ErrFeedClosed, and records published just before Close are still
+// drained first.
+func TestFeedCloseWakesSubscribers(t *testing.T) {
+	f := NewChangeFeed(4)
+	sub := f.Subscribe()
+	defer sub.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		for {
+			recs, _, err := sub.Next(ctx)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if len(recs) == 0 {
+				errc <- errors.New("empty batch without error")
+				return
+			}
+		}
+	}()
+	f.Publish(feedRecord(1))
+	f.Close()
+	f.Close() // idempotent
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrFeedClosed) {
+			t.Fatalf("Next after close = %v, want ErrFeedClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not wake the subscriber")
+	}
+	f.Publish(feedRecord(2)) // no-op after close, must not panic
+}

@@ -77,11 +77,14 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 //	GET    /v1/tenants/{name}/mrc   miss-ratio curve (?units=N)
 //	POST   /v1/plan                 ad-hoc group plan (JSON body)
 //	GET    /v1/plan                 current background epoch plan
+//	GET    /v1/plan/history         epoch audit records (?since_epoch=N)
+//	GET    /v1/plan/changes         change feed: long-poll (?wait_ms=N) or SSE (?stream=sse)
 //	GET    /healthz                 liveness (always 200 while the process runs)
 //	GET    /readyz                  readiness (503 while draining)
 //	GET    /metrics                 registry snapshot (JSON; ?format=prometheus)
 //	GET    /metrics/prom            Prometheus text exposition
 //	GET    /debug/requests          request flight recorder
+//	GET    /debug/epochs            human-readable epoch timeline
 //
 // Every handler runs under a request deadline (?deadline_ms or the
 // configured default), propagated through admission into the DP solve,
@@ -95,6 +98,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants/{name}/mrc", s.wrap("mrc", s.handleMRC))
 	mux.HandleFunc("POST /v1/plan", s.wrap("plan_post", s.handlePlanPost))
 	mux.HandleFunc("GET /v1/plan", s.wrap("plan_get", s.handlePlanGet))
+	mux.HandleFunc("GET /v1/plan/history", s.wrap("plan_history", s.handlePlanHistory))
+	// The change feed runs under the stream wrap: full telemetry, no
+	// per-request deadline (the handler bounds its own waits).
+	mux.HandleFunc("GET /v1/plan/changes", s.wrapStream("plan_changes", s.handlePlanChanges))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -120,6 +127,9 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, _ *http.Request) {
 		obs.ServeFlightRecorder(w)
+	})
+	mux.HandleFunc("GET /debug/epochs", func(w http.ResponseWriter, _ *http.Request) {
+		s.serveEpochsDebug(w)
 	})
 	return mux
 }
@@ -224,6 +234,7 @@ func (s *Service) handlePlanGet(w http.ResponseWriter, r *http.Request) error {
 	if !ok {
 		return ErrNoPlan
 	}
+	telemetryFrom(r.Context()).setEpoch(plan.Epoch)
 	writeJSON(w, http.StatusOK, plan)
 	return nil
 }

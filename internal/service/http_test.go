@@ -30,6 +30,7 @@ func startTestServer(t *testing.T, cfg Config) (*Server, *Service) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { svc.Close() })
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
 	srv, err := StartServer(ctx, svc, "127.0.0.1:0")

@@ -57,6 +57,34 @@ const (
 	mPlanLatencyNS       = "service.plan.latency_ns"
 	mPlanDegradedServed  = "service.plan.degraded_served"
 
+	// Plan lifecycle (service.go, audit.go, feed.go; DESIGN.md §16).
+	// The epoch gauge and churn counters track the published plan as it
+	// evolves; the delta prefix is a bounded per-tenant ChildSet whose
+	// full names are mPlanDeltaPrefix + tenant + "." + the suffix below;
+	// the outcome counters split epochs by how the solve ran.
+	mPlanEpoch            = "service.plan.epoch"
+	mPlanUnitsMoved       = "service.plan.units_moved"
+	mPlanDeltaPrefix      = "service.plan.delta."
+	planDeltaUnitsSuffix  = "moved_units"
+	mPlanOutcomeWarm      = "service.plan.outcome.warm"
+	mPlanOutcomeCold      = "service.plan.outcome.cold"
+	mPlanOutcomeStaleFall = "service.plan.outcome.stale_fallback"
+
+	// Change feed (feed.go): fan-out volume, drop-oldest overflow, and
+	// the live subscriber gauge.
+	mFeedEvents      = "service.feed.events"
+	mFeedDropped     = "service.feed.dropped"
+	mFeedSubscribers = "service.feed.subscribers"
+
+	// Epoch audit log (audit.go): mirrors the tenant-store trio plus the
+	// append-side pair (appends are tolerated failures; the reopt loop
+	// never blocks on them).
+	mAuditAppended       = "service.audit.appended"
+	mAuditAppendFailures = "service.audit.append_failures"
+	mAuditReplayed       = "service.audit.replayed"
+	mAuditTornRecovered  = "service.audit.torn_recovered"
+	mAuditCompactions    = "service.audit.compactions"
+
 	// Background re-optimization (service.go).
 	spanReoptEpoch   = "service.reopt.epoch"
 	mReoptEpochs     = "service.reopt.epochs"

@@ -1,0 +1,560 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"partitionshare/internal/mrc"
+	"partitionshare/internal/obs"
+)
+
+// --- PlanDiff unit tests ----------------------------------------------
+
+func TestComputePlanDiff(t *testing.T) {
+	prev := &Plan{Epoch: 3, Tenants: []string{"a", "b", "c"}, Alloc: []int{10, 20, 34}}
+	next := &Plan{Epoch: 4, Tenants: []string{"a", "c", "d"}, Alloc: []int{4, 40, 20}}
+	d := ComputePlanDiff(prev, next)
+
+	if d.FromEpoch != 3 || d.ToEpoch != 4 {
+		t.Fatalf("epochs %d->%d, want 3->4", d.FromEpoch, d.ToEpoch)
+	}
+	// Moved units counts only one direction, so swaps are not doubled:
+	// gains are d(+20) and c(+6); a loses 6 and b loses 20.
+	if d.UnitsMoved != 26 {
+		t.Fatalf("UnitsMoved = %d, want 26", d.UnitsMoved)
+	}
+	if len(d.Gained) != 1 || d.Gained[0] != "d" {
+		t.Fatalf("Gained = %v, want [d]", d.Gained)
+	}
+	if len(d.Lost) != 1 || d.Lost[0] != "b" {
+		t.Fatalf("Lost = %v, want [b]", d.Lost)
+	}
+	// Deltas rank by |delta| descending, ties by name.
+	wantOrder := []struct {
+		tenant string
+		delta  int
+	}{{"b", -20}, {"d", 20}, {"a", -6}, {"c", 6}}
+	if len(d.Deltas) != len(wantOrder) {
+		t.Fatalf("Deltas = %+v", d.Deltas)
+	}
+	for i, w := range wantOrder {
+		got := d.Deltas[i]
+		if got.Tenant != w.tenant || got.DeltaUnits != w.delta {
+			t.Fatalf("delta[%d] = %+v, want %s %+d", i, got, w.tenant, w.delta)
+		}
+		if got.ToUnits-got.FromUnits != got.DeltaUnits {
+			t.Fatalf("delta[%d] inconsistent: %+v", i, got)
+		}
+	}
+}
+
+func TestComputePlanDiffNilSides(t *testing.T) {
+	p := &Plan{Epoch: 1, Tenants: []string{"a", "b"}, Alloc: []int{30, 34}}
+
+	first := ComputePlanDiff(nil, p)
+	if first.FromEpoch != -1 || first.ToEpoch != 1 {
+		t.Fatalf("first epoch bounds %d->%d", first.FromEpoch, first.ToEpoch)
+	}
+	if len(first.Gained) != 2 || first.UnitsMoved != 64 {
+		t.Fatalf("first diff = %+v", first)
+	}
+
+	last := ComputePlanDiff(p, nil)
+	if len(last.Lost) != 2 || last.UnitsMoved != 0 {
+		t.Fatalf("retirement diff = %+v (loss-only moves no units in)", last)
+	}
+
+	empty := ComputePlanDiff(nil, nil)
+	if empty.UnitsMoved != 0 || len(empty.Deltas) != 0 {
+		t.Fatalf("nil/nil diff = %+v", empty)
+	}
+}
+
+// --- InputDigest unit tests -------------------------------------------
+
+func TestInputDigestDeterministicAndSensitive(t *testing.T) {
+	curve := func(seed float64) mrc.Curve {
+		return mrc.Curve{MR: []float64{1, 0.5, seed}, Accesses: 1000, AccessRate: 10}
+	}
+	names := []string{"a", "b"}
+	curves := []mrc.Curve{curve(0.25), curve(0.125)}
+
+	base := InputDigest(names, curves, 64)
+	if base == "" || base != InputDigest(names, curves, 64) {
+		t.Fatalf("digest not deterministic: %q", base)
+	}
+	if got := InputDigest(names, curves, 32); got == base {
+		t.Fatal("digest ignores the unit count")
+	}
+	if got := InputDigest([]string{"a", "c"}, curves, 64); got == base {
+		t.Fatal("digest ignores tenant names")
+	}
+	perturbed := []mrc.Curve{curve(0.25), curve(0.1250001)}
+	if got := InputDigest(names, perturbed, 64); got == base {
+		t.Fatal("digest ignores curve values")
+	}
+	// Name/curve boundary shifts must not collide (length-prefixing).
+	if InputDigest([]string{"ab"}, curves[:1], 64) == InputDigest([]string{"a"}, curves[:1], 64) {
+		t.Fatal("digest is not boundary-safe on names")
+	}
+}
+
+// --- Provenance -------------------------------------------------------
+
+// TestPlanProvenanceOnEveryPath: ad-hoc plans carry ad_hoc provenance
+// with epoch -1; published epoch plans carry churn provenance with the
+// real epoch, and the digest matches an identical ad-hoc recompute.
+func TestPlanProvenanceOnEveryPath(t *testing.T) {
+	svc := newTestService(t, testConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	adhoc, err := svc.PlanFor(context.Background(), []string{"t1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := adhoc.Provenance
+	if pv == nil || pv.Cause != CauseAdHoc || pv.Epoch != -1 {
+		t.Fatalf("ad-hoc provenance = %+v", pv)
+	}
+	if pv.InputDigest == "" || pv.SolverPath == "" || pv.ComputeNS <= 0 || pv.UnixNS == 0 {
+		t.Fatalf("ad-hoc provenance incomplete: %+v", pv)
+	}
+
+	bg := waitForEpoch(t, svc, []string{"t1"})
+	bpv := bg.Provenance
+	if bpv == nil || bpv.Cause != CauseChurn || bpv.Epoch != bg.Epoch {
+		t.Fatalf("epoch provenance = %+v", bpv)
+	}
+	// Same tenant set, same geometry: the input digests agree, tying the
+	// served plan to the exact inputs that produced it.
+	if bpv.InputDigest != pv.InputDigest {
+		t.Fatalf("digest mismatch: epoch %q vs ad-hoc %q", bpv.InputDigest, pv.InputDigest)
+	}
+}
+
+// TestEpochContinuityAcrossRestart: the epoch counter seeds from the
+// audit log, so a restarted daemon continues the sequence instead of
+// reissuing epoch 1 — /debug/requests and history stay unambiguous.
+func TestEpochContinuityAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(testConfig(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	svc.Start(ctx)
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	p1 := waitForEpoch(t, svc, []string{"t1"})
+	cancel()
+	svc.Close()
+	store.Close()
+
+	store2, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	svc2, err := New(testConfig(), store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	svc2.Start(ctx2)
+	if err := svc2.Register(nil, "t2", testProfile(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	p2 := waitForEpoch(t, svc2, []string{"t1", "t2"})
+	if p2.Epoch <= p1.Epoch {
+		t.Fatalf("epoch went backwards across restart: %d then %d", p1.Epoch, p2.Epoch)
+	}
+	if h := svc2.Audit().History(-1); h[len(h)-1].Provenance.Epoch != p2.Epoch {
+		t.Fatalf("audit tail %d, want %d", h[len(h)-1].Provenance.Epoch, p2.Epoch)
+	}
+}
+
+// --- HTTP: history, long-poll, SSE, debug -----------------------------
+
+func planUnits(p Plan) map[string]int {
+	m := make(map[string]int, len(p.Tenants))
+	for i, n := range p.Tenants {
+		m[n] = p.Alloc[i]
+	}
+	return m
+}
+
+// assertDiffMatchesPlans checks an epoch event's deltas against the two
+// actually-served plans — the acceptance criterion: the feed reports
+// exactly the difference a client would compute from its own polls.
+func assertDiffMatchesPlans(t *testing.T, d PlanDiff, before, after Plan) {
+	t.Helper()
+	wantFrom, wantTo := planUnits(before), planUnits(after)
+	seen := map[string]bool{}
+	for _, td := range d.Deltas {
+		seen[td.Tenant] = true
+		if td.FromUnits != wantFrom[td.Tenant] || td.ToUnits != wantTo[td.Tenant] {
+			t.Fatalf("delta for %s = %+v, served plans say %d -> %d",
+				td.Tenant, td, wantFrom[td.Tenant], wantTo[td.Tenant])
+		}
+		if td.DeltaUnits != td.ToUnits-td.FromUnits {
+			t.Fatalf("inconsistent delta: %+v", td)
+		}
+	}
+	moved := 0
+	for n, to := range wantTo {
+		if delta := to - wantFrom[n]; delta != 0 {
+			if !seen[n] {
+				t.Fatalf("tenant %s moved %+d units but has no delta entry", n, delta)
+			}
+			if delta > 0 {
+				moved += delta
+			}
+		}
+	}
+	if d.UnitsMoved != moved {
+		t.Fatalf("UnitsMoved = %d, recomputed %d from the served plans", d.UnitsMoved, moved)
+	}
+}
+
+// TestHTTPPlanChangesLongPoll is the end-to-end churn acceptance test:
+// register -> plan -> long-poll -> register -> the poll returns an epoch
+// event whose deltas match the difference of the two served plans.
+func TestHTTPPlanChangesLongPoll(t *testing.T) {
+	srv, svc := startTestServer(t, testConfig())
+	base := "http://" + srv.Addr()
+
+	doReq(t, "PUT", base+"/v1/tenants/t1", profileBytes(t, testProfile(t, 1)))
+	waitForEpoch(t, svc, []string{"t1"})
+	_, body := doReq(t, "GET", base+"/v1/plan", nil)
+	var plan1 Plan
+	if err := json.Unmarshal(body, &plan1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Long-poll from plan1's epoch, then churn. Subscribe-before-history
+	// in the handler makes this race-free regardless of arrival order.
+	pollDone := make(chan planHistoryResponse, 1)
+	go func() {
+		_, body := doReq(t, "GET",
+			fmt.Sprintf("%s/v1/plan/changes?since_epoch=%d&wait_ms=1500", base, plan1.Epoch), nil)
+		var resp planHistoryResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Errorf("long-poll body: %v: %s", err, body)
+		}
+		pollDone <- resp
+	}()
+	time.Sleep(10 * time.Millisecond) // let the poll park (not required for correctness)
+	doReq(t, "PUT", base+"/v1/tenants/t2", profileBytes(t, testProfile(t, 2)))
+	waitForEpoch(t, svc, []string{"t1", "t2"})
+	_, body = doReq(t, "GET", base+"/v1/plan", nil)
+	var plan2 Plan
+	if err := json.Unmarshal(body, &plan2); err != nil {
+		t.Fatal(err)
+	}
+
+	var resp planHistoryResponse
+	select {
+	case resp = <-pollDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never returned")
+	}
+	if resp.Gap {
+		t.Fatalf("gap on a fully retained window: %+v", resp)
+	}
+	if len(resp.Events) == 0 {
+		t.Fatal("long-poll returned no events after churn")
+	}
+	ev := resp.Events[len(resp.Events)-1]
+	if ev.Provenance.Epoch != plan2.Epoch || ev.Provenance.Cause != CauseChurn {
+		t.Fatalf("event provenance = %+v, want churn epoch %d", ev.Provenance, plan2.Epoch)
+	}
+	if ev.Diff.FromEpoch != plan1.Epoch || ev.Diff.ToEpoch != plan2.Epoch {
+		t.Fatalf("diff bounds %d->%d, want %d->%d",
+			ev.Diff.FromEpoch, ev.Diff.ToEpoch, plan1.Epoch, plan2.Epoch)
+	}
+	assertDiffMatchesPlans(t, ev.Diff, plan1, plan2)
+
+	// An expired empty poll is a 200 with no events, not an error.
+	status, body := doReq(t, "GET",
+		fmt.Sprintf("%s/v1/plan/changes?since_epoch=%d&wait_ms=20", base, plan2.Epoch), nil)
+	if status != http.StatusOK {
+		t.Fatalf("empty poll = %d %s", status, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Events) != 0 {
+		t.Fatalf("empty poll body = %s (err %v)", body, err)
+	}
+	if resp.LastEpoch != plan2.Epoch {
+		t.Fatalf("empty poll last_epoch = %d, want %d", resp.LastEpoch, plan2.Epoch)
+	}
+}
+
+// readSSEEvents consumes the stream until want "epoch" events arrived
+// (other event types are collected too) or the reader fails.
+func readSSEEvents(t *testing.T, r *bufio.Reader, want int) (epochs []EpochRecord, others []string) {
+	t.Helper()
+	var event string
+	for len(epochs) < want {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream ended early (%v) with %d/%d epoch events", err, len(epochs), want)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if event != "epoch" {
+				others = append(others, event)
+				continue
+			}
+			var rec EpochRecord
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &rec); err != nil {
+				t.Fatalf("SSE data does not parse: %v: %s", err, line)
+			}
+			epochs = append(epochs, rec)
+		}
+	}
+	return epochs, others
+}
+
+// TestHTTPPlanChangesSSE: the stream replays the backlog after
+// since_epoch, then delivers live epochs; deltas again match the served
+// plans.
+func TestHTTPPlanChangesSSE(t *testing.T) {
+	srv, svc := startTestServer(t, testConfig())
+	base := "http://" + srv.Addr()
+
+	doReq(t, "PUT", base+"/v1/tenants/t1", profileBytes(t, testProfile(t, 1)))
+	waitForEpoch(t, svc, []string{"t1"})
+	_, body := doReq(t, "GET", base+"/v1/plan", nil)
+	var plan1 Plan
+	if err := json.Unmarshal(body, &plan1); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/plan/changes?stream=sse&since_epoch=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		t.Fatalf("SSE handshake = %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	reader := bufio.NewReader(resp.Body)
+
+	// Backlog: epoch 1 arrives before any churn.
+	backlog, _ := readSSEEvents(t, reader, 1)
+	if backlog[0].Provenance.Epoch != plan1.Epoch {
+		t.Fatalf("backlog epoch %d, want %d", backlog[0].Provenance.Epoch, plan1.Epoch)
+	}
+
+	// Live: churn while the stream is open.
+	doReq(t, "PUT", base+"/v1/tenants/t2", profileBytes(t, testProfile(t, 2)))
+	waitForEpoch(t, svc, []string{"t1", "t2"})
+	_, body = doReq(t, "GET", base+"/v1/plan", nil)
+	var plan2 Plan
+	if err := json.Unmarshal(body, &plan2); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := readSSEEvents(t, reader, 1)
+	if live[0].Provenance.Epoch != plan2.Epoch {
+		t.Fatalf("live epoch %d, want %d", live[0].Provenance.Epoch, plan2.Epoch)
+	}
+	assertDiffMatchesPlans(t, live[0].Diff, plan1, plan2)
+}
+
+// TestHTTPPlanHistory: since_epoch filtering, last_epoch, and the gap
+// flag when retention has dropped the records a client asks for.
+func TestHTTPPlanHistory(t *testing.T) {
+	cfg := testConfig()
+	cfg.AuditRetain = 2
+	srv, svc := startTestServer(t, cfg)
+	base := "http://" + srv.Addr()
+
+	var group []string
+	for i := uint64(1); i <= 4; i++ {
+		name := fmt.Sprintf("t%d", i)
+		doReq(t, "PUT", base+"/v1/tenants/"+name, profileBytes(t, testProfile(t, i)))
+		group = append(group, name)
+		waitForEpoch(t, svc, group)
+	}
+
+	status, body := doReq(t, "GET", base+"/v1/plan/history?since_epoch=3", nil)
+	if status != http.StatusOK {
+		t.Fatalf("history = %d %s", status, body)
+	}
+	var resp planHistoryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.LastEpoch != 4 || len(resp.Events) != 1 || resp.Events[0].Provenance.Epoch != 4 {
+		t.Fatalf("history since 3 = %s", body)
+	}
+	if resp.Gap {
+		t.Fatal("contiguous resume flagged as gap")
+	}
+
+	// since_epoch=0 asks for epochs 1..4, but retention only holds 3..4.
+	_, body = doReq(t, "GET", base+"/v1/plan/history?since_epoch=0", nil)
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Gap {
+		t.Fatalf("retention hole not flagged: %s", body)
+	}
+	if len(resp.Events) != 2 || resp.Events[0].Provenance.Epoch != 3 {
+		t.Fatalf("retained window = %s", body)
+	}
+
+	// Malformed parameters are client errors.
+	if status, _ := doReq(t, "GET", base+"/v1/plan/history?since_epoch=frogs", nil); status != http.StatusBadRequest {
+		t.Fatalf("bad since_epoch = %d", status)
+	}
+	if status, _ := doReq(t, "GET", base+"/v1/plan/changes?wait_ms=-1", nil); status != http.StatusBadRequest {
+		t.Fatalf("bad wait_ms = %d", status)
+	}
+
+	// The human timeline renders the same records.
+	status, body = doReq(t, "GET", base+"/debug/epochs", nil)
+	if status != http.StatusOK || !strings.Contains(string(body), "epoch 4") {
+		t.Fatalf("/debug/epochs = %d %s", status, body)
+	}
+	if !strings.Contains(string(body), "cause=churn") {
+		t.Fatalf("/debug/epochs missing provenance: %s", body)
+	}
+}
+
+// TestFlightRecordCarriesEpoch: a served plan request's flight-recorder
+// entry carries the epoch it served, linking /debug/requests to
+// /debug/epochs.
+func TestFlightRecordCarriesEpoch(t *testing.T) {
+	_, _, fr := withTelemetry(t)
+	svc := newTestService(t, testConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	p := waitForEpoch(t, svc, []string{"t1"})
+
+	rec := serveDirect(t, svc.Handler(), "GET", "/v1/plan", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/plan = %d %s", rec.Code, rec.Body.String())
+	}
+	snap := fr.Snapshot()
+	var found bool
+	for _, r := range snap.Recent {
+		if r.Route == "plan_get" && r.Epoch == p.Epoch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no plan_get record with epoch %d in %+v", p.Epoch, snap.Recent)
+	}
+}
+
+// TestDrainClosesChangeFeed: Drain must wake a parked long-poll so
+// shutdown cannot hang behind a subscriber; the poll resolves as a
+// typed draining refusal (or a clean empty poll if it raced the close).
+func TestDrainClosesChangeFeed(t *testing.T) {
+	srv, svc := startTestServer(t, testConfig())
+	base := "http://" + srv.Addr()
+	doReq(t, "PUT", base+"/v1/tenants/t1", profileBytes(t, testProfile(t, 1)))
+	p := waitForEpoch(t, svc, []string{"t1"})
+
+	pollDone := make(chan int, 1)
+	go func() {
+		status, _ := doReq(t, "GET",
+			fmt.Sprintf("%s/v1/plan/changes?since_epoch=%d&wait_ms=1900", base, p.Epoch), nil)
+		pollDone <- status
+	}()
+	// Wait for the poll to actually subscribe before draining.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		svc.feed.mu.Lock()
+		n := len(svc.feed.subs)
+		svc.feed.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long-poll never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(5 * time.Second) }()
+	select {
+	case status := <-pollDone:
+		if status != http.StatusServiceUnavailable && status != http.StatusOK {
+			t.Fatalf("parked poll resolved with %d during drain", status)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("drain left the long-poll parked")
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestPlanChurnMetrics: the epoch gauge tracks the current epoch and
+// units_moved accumulates, in both the registry and the exposition.
+func TestPlanChurnMetrics(t *testing.T) {
+	reg, _, _ := withTelemetry(t)
+	svc := newTestService(t, testConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+
+	if err := svc.Register(nil, "t1", testProfile(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitForEpoch(t, svc, []string{"t1"})
+	if err := svc.Register(nil, "t2", testProfile(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	p2 := waitForEpoch(t, svc, []string{"t1", "t2"})
+
+	if got := reg.Gauge(mPlanEpoch).Value(); got != p2.Epoch {
+		t.Fatalf("%s = %d, want %d", mPlanEpoch, got, p2.Epoch)
+	}
+	if reg.Counter(mPlanUnitsMoved).Value() <= 0 {
+		t.Fatalf("%s never incremented", mPlanUnitsMoved)
+	}
+	var buf strings.Builder
+	if err := obs.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	expo := buf.String()
+	for _, want := range []string{"service_plan_epoch", "service_plan_units_moved"} {
+		if !strings.Contains(expo, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, expo)
+		}
+	}
+}

@@ -61,6 +61,11 @@ func (s *Server) Err() <-chan error { return s.err }
 // deadline error means stragglers were cut off.
 func (s *Server) Drain(timeout time.Duration) error {
 	s.svc.SetDraining(true)
+	// Shut the change feed down before the HTTP drain: open SSE streams
+	// and long-polls are legitimate long-lived connections, and Shutdown
+	// waits for them — closing the feed wakes every subscriber so their
+	// handlers return and the drain can complete.
+	s.svc.feed.Close()
 	obs.Logger().Info("draining", "timeout", timeout)
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()

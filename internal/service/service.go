@@ -58,6 +58,17 @@ type Config struct {
 	// (telemetry.go); tenants beyond it fold into the "other" overflow
 	// series. Non-positive means the obs default.
 	TenantSeriesCap int
+	// FeedBuffer bounds each change-feed subscriber's pending-record
+	// buffer; a subscriber further behind than this loses its oldest
+	// records and sees a gap marker (feed.go). Non-positive means the
+	// default.
+	FeedBuffer int
+	// AuditRetain bounds how many epoch records the audit log keeps;
+	// AuditCompactEvery is how many appended records accumulate before
+	// the log folds them into a fresh snapshot. Non-positive means the
+	// defaults (audit.go).
+	AuditRetain       int
+	AuditCompactEvery int
 	// Seed makes the backoff jitter deterministic for tests.
 	Seed uint64
 }
@@ -66,16 +77,19 @@ type Config struct {
 // directly comparable to offline solves.
 func DefaultConfig() Config {
 	return Config{
-		Units:           1024,
-		BlocksPerUnit:   4,
-		MaxInflight:     8,
-		QueueDepth:      64,
-		DefaultDeadline: 2 * time.Second,
-		ReoptDeadline:   10 * time.Second,
-		RetryMax:        3,
-		RetryBase:       50 * time.Millisecond,
-		TenantSeriesCap: obs.DefaultChildSetCap,
-		Seed:            1,
+		Units:             1024,
+		BlocksPerUnit:     4,
+		MaxInflight:       8,
+		QueueDepth:        64,
+		DefaultDeadline:   2 * time.Second,
+		ReoptDeadline:     10 * time.Second,
+		RetryMax:          3,
+		RetryBase:         50 * time.Millisecond,
+		TenantSeriesCap:   obs.DefaultChildSetCap,
+		FeedBuffer:        defaultFeedBuffer,
+		AuditRetain:       defaultAuditRetain,
+		AuditCompactEvery: defaultCompactEvery,
+		Seed:              1,
 	}
 }
 
@@ -108,6 +122,15 @@ func (c *Config) normalize() {
 	if c.TenantSeriesCap <= 0 {
 		c.TenantSeriesCap = d.TenantSeriesCap
 	}
+	if c.FeedBuffer <= 0 {
+		c.FeedBuffer = d.FeedBuffer
+	}
+	if c.AuditRetain <= 0 {
+		c.AuditRetain = d.AuditRetain
+	}
+	if c.AuditCompactEvery <= 0 {
+		c.AuditCompactEvery = d.AuditCompactEvery
+	}
 }
 
 // A Plan is a served partition decision: the co-run group, the optimal
@@ -124,6 +147,10 @@ type Plan struct {
 	MissRatios     []float64 `json:"miss_ratios"`
 	SolverPath     string    `json:"solver_path,omitempty"`
 	WarmReused     int       `json:"warm_reused_layers"`
+	// Provenance records where this plan came from: the input digest,
+	// solver path, warm/cold start, compute duration, triggering cause,
+	// and trace (provenance.go). Every served plan carries one.
+	Provenance *PlanProvenance `json:"provenance,omitempty"`
 	// Degraded marks a plan served while it no longer reflects the
 	// current tenant set — background re-optimization is failing or has
 	// not caught up. The allocation is still the exact optimum for the
@@ -141,9 +168,15 @@ type Service struct {
 	store   *Store
 	limiter *Limiter
 
-	mu     sync.Mutex
-	curves map[string]mrc.Curve // derived at cfg geometry
-	order  []string             // registration order: the warm start's stable prefix
+	// audit is the durable epoch record (audit.go); feed fans epoch
+	// events out to /v1/plan/changes subscribers (feed.go).
+	audit *AuditLog
+	feed  *ChangeFeed
+
+	mu         sync.Mutex
+	curves     map[string]mrc.Curve // derived at cfg geometry
+	order      []string             // registration order: the warm start's stable prefix
+	churnTrace string               // trace ID of the last churn request, for epoch provenance
 
 	// inc and rng are owned by the reopt goroutine exclusively.
 	inc *partition.Incremental
@@ -160,19 +193,30 @@ type Service struct {
 }
 
 // New builds a Service over an opened store, deriving curves for every
-// already-registered tenant at the configured geometry.
+// already-registered tenant at the configured geometry. The epoch audit
+// log opens in the store's directory, and the epoch counter resumes
+// from its last recorded epoch, so epochs are monotonic across daemon
+// restarts, not just within one process.
 func New(cfg Config, store *Store) (*Service, error) {
 	cfg.normalize()
+	audit, err := OpenAuditLog(store.Dir(), cfg.AuditRetain, cfg.AuditCompactEvery)
+	if err != nil {
+		return nil, err
+	}
 	s := &Service{
 		cfg:     cfg,
 		store:   store,
 		limiter: NewLimiter(cfg.MaxInflight, cfg.QueueDepth),
+		audit:   audit,
+		feed:    NewChangeFeed(cfg.FeedBuffer),
 		curves:  make(map[string]mrc.Curve),
 		inc:     partition.NewIncremental(cfg.Units),
 		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
 		churn:   make(chan struct{}, 1),
 		stopped: make(chan struct{}),
 	}
+	s.epoch.Store(audit.LastEpoch())
+	obs.Enabled().Gauge(mPlanEpoch).Set(audit.LastEpoch())
 	for _, name := range store.Names() {
 		p, err := store.Get(name)
 		if err != nil {
@@ -182,6 +226,21 @@ func New(cfg Config, store *Store) (*Service, error) {
 		s.order = append(s.order, name)
 	}
 	return s, nil
+}
+
+// Audit returns the service's epoch audit log.
+func (s *Service) Audit() *AuditLog { return s.audit }
+
+// Feed returns the service's plan change feed.
+func (s *Service) Feed() *ChangeFeed { return s.feed }
+
+// Close releases the service's plan-lifecycle resources: the change
+// feed shuts down (waking every subscriber) and the audit journal
+// closes. The tenant store is the caller's to close; Close does not
+// stop the background loop (cancel its context first).
+func (s *Service) Close() error {
+	s.feed.Close()
+	return s.audit.Close()
 }
 
 func (s *Service) deriveCurve(name string, p profileio.Profile, units int) mrc.Curve {
@@ -240,10 +299,33 @@ func (s *Service) Register(ctx context.Context, name string, p profileio.Profile
 		s.order = append(s.order, name)
 	}
 	s.curves[name] = s.deriveCurve(name, p, s.cfg.Units)
+	s.noteChurnTraceLocked(ctx)
 	s.mu.Unlock()
 	obs.Enabled().Counter(mTenantsRegistered).Add(1)
 	s.signalChurn()
 	return nil
+}
+
+// noteChurnTraceLocked remembers the triggering request's trace ID so
+// the next epoch's provenance can point back at it. Later churn before
+// the solve starts overwrites it — coalesced churn is attributed to its
+// last trigger, matching the coalesced churn signal itself.
+func (s *Service) noteChurnTraceLocked(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		s.churnTrace = tid
+	}
+}
+
+// takeChurnTrace consumes the pending churn trace ID.
+func (s *Service) takeChurnTrace() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tid := s.churnTrace
+	s.churnTrace = ""
+	return tid
 }
 
 // Unregister removes a tenant durably and schedules a background
@@ -267,6 +349,7 @@ func (s *Service) Unregister(ctx context.Context, name string) error {
 			break
 		}
 	}
+	s.noteChurnTraceLocked(ctx)
 	s.mu.Unlock()
 	obs.Enabled().Counter(mTenantsUnregistered).Add(1)
 	s.signalChurn()
@@ -354,6 +437,7 @@ func (s *Service) PlanFor(ctx context.Context, names []string, units int) (Plan,
 	}
 	// workers=1 keeps the solve serial but cancellable: the kernel polls
 	// ctx between DP layers, so the request deadline reaches every solve.
+	solveStart := time.Now()
 	sol, err := partition.OptimizeParallel(sctx, partition.Problem{Curves: curves, Units: units}, 1)
 	if err != nil {
 		return Plan{}, err
@@ -370,6 +454,15 @@ func (s *Service) PlanFor(ctx context.Context, names []string, units int) (Plan,
 		GroupMissRatio: sol.GroupMissRatio,
 		MissRatios:     append([]float64(nil), sol.MissRatios...),
 		SolverPath:     sol.SolverPath,
+		Provenance: &PlanProvenance{
+			Epoch:       -1,
+			Cause:       CauseAdHoc,
+			InputDigest: InputDigest(names, curves, units),
+			SolverPath:  sol.SolverPath,
+			ComputeNS:   time.Since(solveStart).Nanoseconds(),
+			TraceID:     obs.TraceIDFrom(ctx),
+			UnixNS:      time.Now().UnixNano(),
+		},
 	}, nil
 }
 
@@ -447,15 +540,12 @@ func (s *Service) reoptimize(ctx context.Context) {
 	for attempt := 0; ; attempt++ {
 		names, curves := s.snapshotGroup()
 		if len(curves) == 0 {
-			s.plan.Store(nil)
-			s.degraded.Store(false)
+			s.retireEpoch()
 			return
 		}
 		plan, err := s.solveEpoch(ctx, names, curves)
 		if err == nil {
-			plan.Epoch = s.epoch.Add(1)
-			s.plan.Store(plan)
-			s.degraded.Store(false)
+			s.publishEpoch(plan)
 			reg.Counter(mReoptEpochs).Add(1)
 			reg.Gauge(mReoptWarmReused).Set(int64(plan.WarmReused))
 			return
@@ -474,6 +564,87 @@ func (s *Service) reoptimize(ctx context.Context) {
 		if !s.sleepBackoff(ctx, attempt) {
 			return
 		}
+	}
+}
+
+// publishEpoch stamps the solved plan with its epoch number and full
+// provenance, diffs it against the previous published plan, stores it,
+// and fans the transition out: audit log first (so /v1/plan/history is
+// already consistent when a feed event arrives), then churn metrics,
+// then the change feed. Runs only on the reopt goroutine.
+func (s *Service) publishEpoch(plan *Plan) {
+	prev := s.plan.Load()
+	cause := CauseChurn
+	if s.degraded.Load() {
+		cause = CauseRecovery
+	}
+	plan.Epoch = s.epoch.Add(1)
+	plan.Provenance.Epoch = plan.Epoch
+	plan.Provenance.Cause = cause
+	plan.Provenance.TraceID = s.takeChurnTrace()
+	plan.Provenance.UnixNS = time.Now().UnixNano()
+	diff := ComputePlanDiff(prev, plan)
+	s.plan.Store(plan)
+	s.degraded.Store(false)
+
+	rec := EpochRecord{
+		Provenance: *plan.Provenance,
+		Diff:       diff,
+		Tenants:    plan.Tenants,
+		Alloc:      plan.Alloc,
+		Units:      plan.Units,
+	}
+	s.auditAppend(rec)
+
+	reg := obs.Enabled()
+	reg.Gauge(mPlanEpoch).Set(plan.Epoch)
+	reg.Counter(mPlanUnitsMoved).Add(int64(diff.UnitsMoved))
+	cs := reg.ChildSet(mPlanDeltaPrefix, s.cfg.TenantSeriesCap)
+	for _, td := range diff.Deltas {
+		if td.DeltaUnits != 0 {
+			cs.Child(td.Tenant).Counter(planDeltaUnitsSuffix).Add(int64(abs(td.DeltaUnits)))
+		}
+	}
+	s.feed.Publish(rec)
+}
+
+// retireEpoch handles the group emptying: the published plan is
+// withdrawn, and — when there was one — the withdrawal is itself an
+// audited, fed epoch transition (every tenant lost), so subscribers see
+// the group end rather than silence.
+func (s *Service) retireEpoch() {
+	prev := s.plan.Load()
+	s.plan.Store(nil)
+	s.degraded.Store(false)
+	if prev == nil {
+		return
+	}
+	epoch := s.epoch.Add(1)
+	diff := ComputePlanDiff(prev, nil)
+	diff.ToEpoch = epoch
+	rec := EpochRecord{
+		Provenance: PlanProvenance{
+			Epoch:       epoch,
+			Cause:       CauseChurn,
+			InputDigest: InputDigest(nil, nil, s.cfg.Units),
+			TraceID:     s.takeChurnTrace(),
+			UnixNS:      time.Now().UnixNano(),
+		},
+		Diff:  diff,
+		Units: s.cfg.Units,
+	}
+	s.auditAppend(rec)
+	obs.Enabled().Gauge(mPlanEpoch).Set(epoch)
+	s.feed.Publish(rec)
+}
+
+// auditAppend records one epoch transition, tolerating failure: a
+// broken audit disk must never stall or fail re-optimization, so errors
+// are counted and logged, not propagated.
+func (s *Service) auditAppend(rec EpochRecord) {
+	if err := s.audit.Append(rec); err != nil {
+		obs.Enabled().Counter(mAuditAppendFailures).Add(1)
+		obs.Logger().Warn("epoch audit append failed", "epoch", rec.Provenance.Epoch, "err", err)
 	}
 }
 
@@ -509,7 +680,9 @@ func (s *Service) solveEpoch(ctx context.Context, names []string, curves []mrc.C
 	}
 
 	reg := obs.Enabled()
+	digest := InputDigest(names, curves, s.cfg.Units)
 	start := time.Now()
+	warm := true
 	var sol partition.Solution
 	reused, err := s.inc.Rebase(sctx, curves)
 	if err == nil {
@@ -517,6 +690,16 @@ func (s *Service) solveEpoch(ctx context.Context, names []string, curves []mrc.C
 		if err == nil {
 			reg.Counter(mReoptWarm).Add(1)
 			reg.Histogram(mReoptWarmNS, obs.DurationBuckets()).Observe(time.Since(start).Nanoseconds())
+			// Outcome split for the churn dashboards: "warm" means prior
+			// layers were actually reused; a fresh full push (first epoch,
+			// wholesale group swap) is a cold solve that happened to run
+			// through the incremental cache.
+			if reused > 0 {
+				reg.Counter(mPlanOutcomeWarm).Add(1)
+			} else {
+				reg.Counter(mPlanOutcomeCold).Add(1)
+				warm = false
+			}
 		}
 	}
 	if err != nil {
@@ -527,6 +710,8 @@ func (s *Service) solveEpoch(ctx context.Context, names []string, curves []mrc.C
 		// inconsistent cache); fall back to the cold path, which the
 		// differential tests pin bit-exact vs the warm one.
 		reg.Counter(mReoptCold).Add(1)
+		reg.Counter(mPlanOutcomeStaleFall).Add(1)
+		warm = false
 		reused = 0
 		start = time.Now()
 		sol, err = partition.OptimizeParallel(sctx, partition.Problem{Curves: curves, Units: s.cfg.Units}, 1)
@@ -544,5 +729,14 @@ func (s *Service) solveEpoch(ctx context.Context, names []string, curves []mrc.C
 		MissRatios:     append([]float64(nil), sol.MissRatios...),
 		SolverPath:     sol.SolverPath,
 		WarmReused:     reused,
+		// Epoch, Cause, TraceID, and UnixNS are stamped at publish time
+		// (publishEpoch); the solve fills what only it knows.
+		Provenance: &PlanProvenance{
+			InputDigest: digest,
+			SolverPath:  sol.SolverPath,
+			WarmStart:   warm,
+			WarmReused:  reused,
+			ComputeNS:   time.Since(start).Nanoseconds(),
+		},
 	}, nil
 }

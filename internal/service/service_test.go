@@ -41,6 +41,7 @@ func newTestService(t *testing.T, cfg Config) *Service {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { svc.Close() })
 	return svc
 }
 

@@ -339,6 +339,10 @@ func (s *Store) Len() int {
 	return len(s.tenants)
 }
 
+// Dir returns the store's directory — shared with the epoch audit log,
+// so one -store flag names the daemon's whole durable footprint.
+func (s *Store) Dir() string { return s.dir }
+
 // Seq returns the sequence number of the last applied operation.
 func (s *Store) Seq() uint64 {
 	s.mu.Lock()

@@ -57,6 +57,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return sw.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so the SSE stream handler can
+// push events through the wrapper as they happen.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // reqTelemetry carries per-request attribution the inner layers fill in
 // as they learn it: which tenant the request concerns, the envelope
 // error code it ended with, and the admission outcome. It rides the
@@ -66,6 +74,7 @@ type reqTelemetry struct {
 	tenant  string
 	code    string
 	outcome string
+	epoch   int64
 }
 
 type reqTelemetryKey struct{}
@@ -108,13 +117,25 @@ func (rt *reqTelemetry) setOutcome(o string) {
 	rt.mu.Unlock()
 }
 
-func (rt *reqTelemetry) get() (tenant, code, outcome string) {
+// setEpoch records the plan epoch the request served or observed, for
+// the flight-recorder record (correlates /debug/requests entries with
+// the /debug/epochs timeline).
+func (rt *reqTelemetry) setEpoch(epoch int64) {
 	if rt == nil {
-		return "", "", ""
+		return
+	}
+	rt.mu.Lock()
+	rt.epoch = epoch
+	rt.mu.Unlock()
+}
+
+func (rt *reqTelemetry) get() (tenant, code, outcome string, epoch int64) {
+	if rt == nil {
+		return "", "", "", 0
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.tenant, rt.code, rt.outcome
+	return rt.tenant, rt.code, rt.outcome, rt.epoch
 }
 
 // statusClass buckets an HTTP status for the by-class RED counters.
@@ -152,6 +173,19 @@ func startStage(ctx context.Context, name string) (context.Context, func()) {
 // metrics, flight recording, and panic containment (a handler bug
 // becomes a 500, never a daemon crash).
 func (s *Service) wrap(route string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return s.wrapWith(route, fn, true)
+}
+
+// wrapStream is the wrap variant for the change-feed endpoints: the
+// same telemetry envelope, but without the per-request solve deadline —
+// a long-poll or SSE stream legitimately outlives it; the handlers
+// bound their own waits (?wait_ms capped by the default deadline) and
+// end on client disconnect or feed shutdown.
+func (s *Service) wrapStream(route string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return s.wrapWith(route, fn, false)
+}
+
+func (s *Service) wrapWith(route string, fn func(http.ResponseWriter, *http.Request) error, applyDeadline bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reg := obs.Enabled()
 		reg.Counter(mHTTPRequestsPrefix + route).Add(1)
@@ -183,6 +217,12 @@ func (s *Service) wrap(route string, fn func(http.ResponseWriter, *http.Request)
 		}()
 		if s.draining.Load() {
 			writeError(sw, r, ErrDraining)
+			return
+		}
+		if !applyDeadline {
+			if err := fn(sw, r); err != nil {
+				writeError(sw, r, err)
+			}
 			return
 		}
 		dctx, cancel, err := s.requestContext(r)
@@ -219,7 +259,7 @@ func (s *Service) recordRequest(reg *obs.Registry, r *http.Request, route string
 	reg.Histogram(mHTTPLatencyPrefix+route, obs.DurationBuckets()).
 		ObserveExemplar(dur.Nanoseconds(), traceID)
 
-	tenant, code, outcome := rt.get()
+	tenant, code, outcome, epoch := rt.get()
 	if tenant != "" {
 		child := reg.ChildSet(mTenantPrefix, s.cfg.TenantSeriesCap).Child(tenant)
 		child.Counter(tenantRequestsPrefix + route).Add(1)
@@ -238,6 +278,7 @@ func (s *Service) recordRequest(reg *obs.Registry, r *http.Request, route string
 		Code:    code,
 		Outcome: outcome,
 		TraceID: traceID,
+		Epoch:   epoch,
 		StartNS: start.Sub(fr.Start()).Nanoseconds(),
 		DurNS:   dur.Nanoseconds(),
 		Stages:  stages.Stages(),

@@ -309,14 +309,37 @@ func TestHTTPPlanBitExactTelemetryOnOff(t *testing.T) {
 	}
 	on := run(t, true)
 	off := run(t, false)
-	if string(on) != string(off) {
-		t.Fatalf("plan bodies differ with telemetry on vs off:\n%s\nvs\n%s", on, off)
+	// Provenance carries inherently per-request fields (compute duration,
+	// wall timestamp, trace identity); normalize those, then require the
+	// rest of the two bodies — allocation, objective, and the
+	// deterministic provenance (digest, solver path, cause) — to be
+	// byte-identical.
+	normalize := func(raw []byte) ([]byte, Plan) {
+		var p Plan
+		if err := json.Unmarshal(raw, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Provenance == nil {
+			t.Fatalf("plan response missing provenance: %s", raw)
+		}
+		p.Provenance.ComputeNS = 0
+		p.Provenance.UnixNS = 0
+		p.Provenance.TraceID = ""
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, p
 	}
-	var p Plan
-	if err := json.Unmarshal(on, &p); err != nil {
-		t.Fatal(err)
+	onNorm, p := normalize(on)
+	offNorm, _ := normalize(off)
+	if string(onNorm) != string(offNorm) {
+		t.Fatalf("plan bodies differ with telemetry on vs off:\n%s\nvs\n%s", onNorm, offNorm)
 	}
 	if len(p.Alloc) != 3 || math.IsNaN(p.Objective) {
 		t.Fatalf("implausible plan %+v", p)
+	}
+	if p.Provenance.Cause != CauseAdHoc || p.Provenance.InputDigest == "" {
+		t.Fatalf("implausible provenance %+v", p.Provenance)
 	}
 }

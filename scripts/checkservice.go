@@ -5,12 +5,17 @@
 // a plan for the pair, and cross-checks the served allocation and group
 // miss ratio against the offline optpart CLI run on the same profiles at
 // the same geometry — the two paths must agree exactly (the service's
-// bit-exactness contract, observed end to end through both CLIs). It
-// also asserts the observability surface: traceparent propagation on a
-// plan request, the Prometheus exposition at /metrics/prom, and the
-// flight recorder at /debug/requests. It then SIGTERMs the daemon and
-// asserts the drain contract: exit status 0 and a manifest that parses
-// and names the tool.
+// bit-exactness contract, observed end to end through both CLIs). The
+// registrations are staged to exercise the plan-lifecycle surface: the
+// first tenant's epoch is captured from GET /v1/plan, a long-poll on
+// GET /v1/plan/changes is parked, and the second registration must wake
+// it with an epoch event whose per-tenant deltas exactly match the
+// difference of the two served plans. It also asserts the observability
+// surface: traceparent propagation on a plan request, the Prometheus
+// exposition at /metrics/prom (including the service_plan_epoch gauge),
+// the flight recorder at /debug/requests, and the /debug/epochs
+// timeline. It then SIGTERMs the daemon and asserts the drain contract:
+// exit status 0 and a manifest that parses and names the tool.
 //
 // Usage:
 //
@@ -73,19 +78,29 @@ func main() {
 
 	base := "http://" + waitForAddr(addrFile)
 
-	// Register both tenants by profile upload, under names "a" and "b"
-	// so the plan's allocation order is pinned to the argument order.
+	// Register the tenants one at a time, under names "a" and "b" so the
+	// plan's allocation order is pinned to the argument order. The stagger
+	// produces two distinct epochs, which the change-feed check below
+	// diffs against each other.
 	names := []string{"a", "b"}
-	for i, path := range profiles {
-		body, err := os.ReadFile(path)
-		if err != nil {
-			fail("%v", err)
-		}
-		status, resp := doReq("PUT", base+"/v1/tenants/"+names[i], body)
+	registerTenant(base, names[0], profiles[0])
+	plan1 := waitForServedPlan(base, names[:1])
+
+	// Park a long-poll past plan1's epoch before the churn that ends it.
+	pollCh := make(chan []byte, 1)
+	go func() {
+		status, body := doReq("GET", fmt.Sprintf(
+			"%s/v1/plan/changes?since_epoch=%d&wait_ms=10000", base, plan1.Epoch), nil)
 		if status != http.StatusOK {
-			fail("PUT tenant %s = %d %s", names[i], status, resp)
+			fail("long-poll /v1/plan/changes = %d %s", status, body)
 		}
-	}
+		pollCh <- body
+	}()
+	time.Sleep(50 * time.Millisecond) // give the poll time to park
+
+	registerTenant(base, names[1], profiles[1])
+	plan2 := waitForServedPlan(base, names)
+	checkChangeFeedEvent(pollCh, plan1, plan2)
 
 	status, resp := doReq("POST", base+"/v1/plan", []byte(`{"tenants":["a","b"]}`))
 	if status != http.StatusOK {
@@ -148,11 +163,142 @@ func main() {
 		plan.Alloc, wantMR)
 }
 
+// servedPlan is the slice of the plan document the lifecycle checks
+// need: identity (epoch), membership, and the allocation.
+type servedPlan struct {
+	Epoch    int64    `json:"epoch"`
+	Tenants  []string `json:"tenants"`
+	Alloc    []int    `json:"alloc"`
+	Degraded bool     `json:"degraded"`
+}
+
+func registerTenant(base, name, profilePath string) {
+	body, err := os.ReadFile(profilePath)
+	if err != nil {
+		fail("%v", err)
+	}
+	status, resp := doReq("PUT", base+"/v1/tenants/"+name, body)
+	if status != http.StatusOK {
+		fail("PUT tenant %s = %d %s", name, status, resp)
+	}
+}
+
+// waitForServedPlan polls GET /v1/plan until the background loop serves
+// a fresh plan covering exactly the wanted tenant set.
+func waitForServedPlan(base string, want []string) servedPlan {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		status, body := doReq("GET", base+"/v1/plan", nil)
+		if status == http.StatusOK {
+			var p servedPlan
+			if err := json.Unmarshal(body, &p); err != nil {
+				fail("served plan does not parse: %v: %s", err, body)
+			}
+			if !p.Degraded && len(p.Tenants) == len(want) {
+				match := true
+				for i := range want {
+					if p.Tenants[i] != want[i] {
+						match = false
+						break
+					}
+				}
+				if match {
+					return p
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fail("daemon never served a fresh plan for %v", want)
+	return servedPlan{}
+}
+
+// checkChangeFeedEvent receives the parked long-poll's response and
+// cross-checks the reported epoch event against the two served plans:
+// the event must be plan2's epoch, and every per-tenant delta must be
+// exactly the difference between the allocations the daemon actually
+// served — the feed reports what a client would compute from its own
+// polls, no more and no less.
+func checkChangeFeedEvent(pollCh <-chan []byte, plan1, plan2 servedPlan) {
+	var body []byte
+	select {
+	case body = <-pollCh:
+	case <-time.After(15 * time.Second):
+		fail("long-poll on /v1/plan/changes never returned after churn")
+	}
+	var resp struct {
+		LastEpoch int64 `json:"last_epoch"`
+		Events    []struct {
+			Provenance struct {
+				Epoch int64  `json:"epoch"`
+				Cause string `json:"cause"`
+			} `json:"provenance"`
+			Diff struct {
+				FromEpoch int64 `json:"from_epoch"`
+				ToEpoch   int64 `json:"to_epoch"`
+				Deltas    []struct {
+					Tenant     string `json:"tenant"`
+					FromUnits  int    `json:"from_units"`
+					ToUnits    int    `json:"to_units"`
+					DeltaUnits int    `json:"delta_units"`
+				} `json:"deltas"`
+			} `json:"diff"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		fail("change-feed response does not parse: %v: %s", err, body)
+	}
+	if len(resp.Events) == 0 {
+		fail("change feed woke with no events: %s", body)
+	}
+	unitsOf := func(p servedPlan) map[string]int {
+		m := make(map[string]int, len(p.Tenants))
+		for i, n := range p.Tenants {
+			m[n] = p.Alloc[i]
+		}
+		return m
+	}
+	from, to := unitsOf(plan1), unitsOf(plan2)
+	for _, ev := range resp.Events {
+		if ev.Provenance.Epoch != plan2.Epoch {
+			continue
+		}
+		if ev.Provenance.Cause != "churn" {
+			fail("epoch %d event cause %q, want churn", plan2.Epoch, ev.Provenance.Cause)
+		}
+		if ev.Diff.FromEpoch != plan1.Epoch || ev.Diff.ToEpoch != plan2.Epoch {
+			fail("diff bounds %d->%d, want %d->%d",
+				ev.Diff.FromEpoch, ev.Diff.ToEpoch, plan1.Epoch, plan2.Epoch)
+		}
+		for _, d := range ev.Diff.Deltas {
+			if d.FromUnits != from[d.Tenant] || d.ToUnits != to[d.Tenant] ||
+				d.DeltaUnits != d.ToUnits-d.FromUnits {
+				fail("delta for %s is %+v, served plans say %d -> %d",
+					d.Tenant, d, from[d.Tenant], to[d.Tenant])
+			}
+		}
+		// Every tenant that moved has an entry.
+		reported := make(map[string]bool, len(ev.Diff.Deltas))
+		for _, d := range ev.Diff.Deltas {
+			reported[d.Tenant] = true
+		}
+		for n, u := range to {
+			if u != from[n] && !reported[n] {
+				fail("tenant %s moved %d -> %d but the event has no delta for it", n, from[n], u)
+			}
+		}
+		return
+	}
+	fail("change feed never reported epoch %d: %s", plan2.Epoch, body)
+}
+
 // checkObservability asserts the daemon's request-telemetry surface:
 // W3C trace-context propagation on a plan request, the Prometheus text
 // exposition at /metrics/prom (content type, HELP/TYPE metadata,
 // monotone cumulative histogram buckets, a live service_requests_total
-// rollup), and a non-empty flight recorder at /debug/requests.
+// rollup, and the service_plan_epoch gauge tracking the published
+// epoch), a non-empty flight recorder at /debug/requests, and the
+// /debug/epochs timeline rendering the audited transitions.
 func checkObservability(base string) {
 	// A well-formed caller traceparent: the daemon must keep the trace
 	// ID (so the caller can correlate) but mint its own span ID.
@@ -185,8 +331,16 @@ func checkObservability(base string) {
 		fail("/metrics/prom exposition lacks HELP/TYPE metadata:\n%s", text)
 	}
 	total, sawTotal := int64(0), false
+	planEpoch, sawPlanEpoch := int64(0), false
 	prevBucketMetric, prevBucket := "", int64(-1)
 	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "service_plan_epoch ") {
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				fail("service_plan_epoch line %q: %v", line, err)
+			}
+			planEpoch, sawPlanEpoch = v, true
+		}
 		if strings.HasPrefix(line, "service_requests_total ") {
 			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
 			if err != nil {
@@ -214,6 +368,17 @@ func checkObservability(base string) {
 	}
 	if prevBucketMetric == "" {
 		fail("/metrics/prom exposition carries no histogram buckets")
+	}
+	if !sawPlanEpoch || planEpoch < 2 {
+		fail("service_plan_epoch missing or behind after two epochs (saw=%v epoch=%d)", sawPlanEpoch, planEpoch)
+	}
+
+	status, epochs, _ := doReqTrace("GET", base+"/debug/epochs", nil, "")
+	if status != http.StatusOK {
+		fail("GET /debug/epochs = %d", status)
+	}
+	if !strings.Contains(string(epochs), "cause=churn") {
+		fail("/debug/epochs timeline lacks provenance lines:\n%s", epochs)
 	}
 
 	status, flight, _ := doReqTrace("GET", base+"/debug/requests", nil, "")

@@ -84,11 +84,11 @@ go run scripts/checkservice.go "$OBS_SMOKE_DIR/partitiond" "$OBS_SMOKE_DIR/optpa
 # Perf-regression watch: advisory here (hardware differs run to run, so
 # a local diff against the committed baseline must not fail the gate);
 # CI runs the same comparison. The || true keeps set -e from tripping.
-echo "== benchdiff (advisory): BENCH_PR8.json vs BENCH_PR9.json"
-if [ -f BENCH_PR8.json ] && [ -f BENCH_PR9.json ]; then
-	go run ./cmd/benchdiff BENCH_PR8.json BENCH_PR9.json || true
+echo "== benchdiff (advisory): BENCH_PR9.json vs BENCH_PR10.json"
+if [ -f BENCH_PR9.json ] && [ -f BENCH_PR10.json ]; then
+	go run ./cmd/benchdiff BENCH_PR9.json BENCH_PR10.json || true
 else
-	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr9)"
+	echo "SKIP: snapshot files missing (generate with: go run ./cmd/benchsnap -label pr10)"
 fi
 
 echo "== govulncheck"
